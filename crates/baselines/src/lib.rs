@@ -1,0 +1,344 @@
+//! Baseline cluster schedulers for head-to-head comparison (§7.5, Fig 19).
+//!
+//! Faithful reimplementations of the *placement logic* of the four systems
+//! the paper compares against, behind the common task-by-task
+//! [`QueueScheduler`] interface (Fig 2a):
+//!
+//! - [`SparrowScheduler`]: batch sampling with power-of-two probes and no
+//!   global state — effectively random assignment under load;
+//! - [`SwarmKitScheduler`]: Docker SwarmKit's simple load spreading (fewest
+//!   running tasks wins);
+//! - [`KubernetesScheduler`]: feasibility filter plus least-requested /
+//!   balanced-allocation scoring (no network awareness);
+//! - [`MesosScheduler`]: offer-based placement — frameworks take the first
+//!   fitting offer from a rotating subset of machines.
+//!
+//! None of them consider machine network bandwidth, which is exactly what
+//! Fig 19 demonstrates: Firmament's network-aware policy beats them on
+//! tail task response time by 3.4–6.2×.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use firmament_cluster::{ClusterState, MachineId, Task};
+use firmament_flow::testgen::XorShift64;
+
+/// A queue-based, task-by-task scheduler (Fig 2a).
+pub trait QueueScheduler {
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses a machine for one task, or `None` if no machine fits (the
+    /// task waits in the queue and is retried after the next completion).
+    fn place(&mut self, state: &ClusterState, task: &Task) -> Option<MachineId>;
+}
+
+fn machines_sorted(state: &ClusterState) -> Vec<MachineId> {
+    let mut ids: Vec<MachineId> = state.machines.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Sparrow \[28\]: distributed scheduling via batch sampling.
+///
+/// For each task the scheduler probes `probe_ratio` random machines and
+/// places the task on the probed machine with the most free slots. With no
+/// global view, placements are close to random under load — Fig 19a's
+/// "Sparrow" line.
+#[derive(Debug)]
+pub struct SparrowScheduler {
+    rng: XorShift64,
+    /// Probes per task (Sparrow's d; the paper used d = 2).
+    pub probe_ratio: usize,
+}
+
+impl SparrowScheduler {
+    /// Creates a Sparrow scheduler with the canonical probe ratio of 2.
+    pub fn new(seed: u64) -> Self {
+        SparrowScheduler {
+            rng: XorShift64::new(seed),
+            probe_ratio: 2,
+        }
+    }
+}
+
+impl QueueScheduler for SparrowScheduler {
+    fn name(&self) -> &'static str {
+        "sparrow"
+    }
+
+    fn place(&mut self, state: &ClusterState, _task: &Task) -> Option<MachineId> {
+        let ids = machines_sorted(state);
+        if ids.is_empty() {
+            return None;
+        }
+        let mut best: Option<(MachineId, u32)> = None;
+        for _ in 0..self.probe_ratio.max(1) {
+            let m = ids[self.rng.below(ids.len() as u64) as usize];
+            let free = state.machines[&m].free_slots();
+            if free > 0 && best.map(|(_, bf)| free > bf).unwrap_or(true) {
+                best = Some((m, free));
+            }
+        }
+        best.map(|(m, _)| m)
+    }
+}
+
+/// Docker SwarmKit: spread tasks so every machine has as few as possible.
+#[derive(Debug, Default)]
+pub struct SwarmKitScheduler;
+
+impl QueueScheduler for SwarmKitScheduler {
+    fn name(&self) -> &'static str {
+        "swarmkit"
+    }
+
+    fn place(&mut self, state: &ClusterState, _task: &Task) -> Option<MachineId> {
+        machines_sorted(state)
+            .into_iter()
+            .filter(|m| state.machines[m].has_free_slot())
+            .min_by_key(|m| (state.machines[m].running.len(), *m))
+    }
+}
+
+/// Kubernetes: filter feasible machines, score by least-requested resources
+/// and balanced allocation, place on the argmax.
+#[derive(Debug, Default)]
+pub struct KubernetesScheduler;
+
+impl KubernetesScheduler {
+    /// Scores a machine for a task: average of the least-requested score
+    /// (free fraction) across CPU and RAM, in 0..=100, plus a balance bonus
+    /// — the default kube-scheduler priorities (network bandwidth is *not*
+    /// considered).
+    fn score(state: &ClusterState, m: MachineId, task: &Task) -> i64 {
+        let machine = &state.machines[&m];
+        let mut used_cpu = 0u64;
+        let mut used_ram = 0u64;
+        for t in &machine.running {
+            if let Some(t) = state.tasks.get(t) {
+                used_cpu += t.request.cpu_millis;
+                used_ram += t.request.ram_mb;
+            }
+        }
+        used_cpu += task.request.cpu_millis;
+        used_ram += task.request.ram_mb;
+        let cap = machine.capacity;
+        let cpu_free = 100i64 - (100 * used_cpu.min(cap.cpu_millis) / cap.cpu_millis.max(1)) as i64;
+        let ram_free = 100i64 - (100 * used_ram.min(cap.ram_mb) / cap.ram_mb.max(1)) as i64;
+        let skew = (cpu_free - ram_free).abs();
+        (cpu_free + ram_free) / 2 + (100 - skew) / 10
+    }
+}
+
+impl QueueScheduler for KubernetesScheduler {
+    fn name(&self) -> &'static str {
+        "kubernetes"
+    }
+
+    fn place(&mut self, state: &ClusterState, task: &Task) -> Option<MachineId> {
+        machines_sorted(state)
+            .into_iter()
+            .filter(|m| state.machines[m].has_free_slot())
+            .max_by_key(|&m| (Self::score(state, m, task), std::cmp::Reverse(m)))
+    }
+}
+
+/// Mesos \[21\]: two-level scheduling via resource offers.
+///
+/// The master offers machines to frameworks in round-robin order; the
+/// framework accepts the first offer with a free slot. Placement quality is
+/// limited by the partial, rotating view — the framework never sees the
+/// whole cluster at once.
+#[derive(Debug)]
+pub struct MesosScheduler {
+    cursor: usize,
+    /// How many machines are offered per scheduling attempt.
+    pub offer_batch: usize,
+}
+
+impl MesosScheduler {
+    /// Creates a Mesos-style scheduler offering 5 machines at a time.
+    pub fn new() -> Self {
+        MesosScheduler {
+            cursor: 0,
+            offer_batch: 5,
+        }
+    }
+}
+
+impl Default for MesosScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueueScheduler for MesosScheduler {
+    fn name(&self) -> &'static str {
+        "mesos"
+    }
+
+    fn place(&mut self, state: &ClusterState, _task: &Task) -> Option<MachineId> {
+        let ids = machines_sorted(state);
+        if ids.is_empty() {
+            return None;
+        }
+        // Walk at most one full rotation, in offer batches.
+        for step in 0..ids.len() {
+            let m = ids[(self.cursor + step) % ids.len()];
+            if state.machines[&m].has_free_slot() {
+                // Advance the cursor past this offer batch.
+                self.cursor = (self.cursor + step + self.offer_batch) % ids.len();
+                return Some(m);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_cluster::{ClusterEvent, Job, JobClass, ResourceVector, TopologySpec};
+
+    fn cluster(machines: usize, slots: u32) -> ClusterState {
+        ClusterState::with_topology(&TopologySpec {
+            machines,
+            machines_per_rack: 20,
+            slots_per_machine: slots,
+        })
+    }
+
+    fn task(id: u64) -> Task {
+        let mut t = Task::new(id, 0, 0, 1_000_000);
+        t.request = ResourceVector::new(1000, 2048, 500);
+        t
+    }
+
+    fn run_and_place(
+        state: &mut ClusterState,
+        sched: &mut dyn QueueScheduler,
+        t: Task,
+    ) -> Option<MachineId> {
+        let ev = ClusterEvent::JobSubmitted {
+            job: Job::new(t.job, JobClass::Batch, 0, 0),
+            tasks: vec![t.clone()],
+        };
+        state.apply(&ev);
+        let m = sched.place(state, &t)?;
+        state.apply(&ClusterEvent::TaskPlaced {
+            task: t.id,
+            machine: m,
+            now: 0,
+        });
+        Some(m)
+    }
+
+    #[test]
+    fn swarmkit_spreads_evenly() {
+        let mut state = cluster(4, 4);
+        let mut s = SwarmKitScheduler;
+        for i in 0..8 {
+            run_and_place(&mut state, &mut s, task(i)).unwrap();
+        }
+        for m in state.machines.values() {
+            assert_eq!(m.running.len(), 2, "machine {} unbalanced", m.id);
+        }
+    }
+
+    #[test]
+    fn sparrow_places_when_capacity_exists() {
+        let mut state = cluster(4, 2);
+        let mut s = SparrowScheduler::new(42);
+        let mut placed = 0;
+        for i in 0..8 {
+            if run_and_place(&mut state, &mut s, task(i)).is_some() {
+                placed += 1;
+            }
+        }
+        // Sampling may miss free machines, but most tasks place.
+        assert!(placed >= 5, "placed only {placed}/8");
+    }
+
+    #[test]
+    fn sparrow_fails_on_full_cluster() {
+        let mut state = cluster(2, 1);
+        let mut s = SparrowScheduler::new(7);
+        // Fill both machines directly so every probe must fail.
+        for (tid, m) in [(0u64, 0u64), (1, 1)] {
+            let ev = ClusterEvent::JobSubmitted {
+                job: Job::new(0, JobClass::Batch, 0, 0),
+                tasks: vec![task(tid)],
+            };
+            state.apply(&ev);
+            state.apply(&ClusterEvent::TaskPlaced {
+                task: tid,
+                machine: m,
+                now: 0,
+            });
+        }
+        let t = task(2);
+        let ev = ClusterEvent::JobSubmitted {
+            job: Job::new(0, JobClass::Batch, 0, 0),
+            tasks: vec![t.clone()],
+        };
+        state.apply(&ev);
+        assert_eq!(s.place(&state, &t), None);
+    }
+
+    #[test]
+    fn kubernetes_prefers_empty_machines() {
+        let mut state = cluster(2, 4);
+        let mut k = KubernetesScheduler;
+        // Load machine 0 manually.
+        for i in 0..3 {
+            let ev = ClusterEvent::JobSubmitted {
+                job: Job::new(0, JobClass::Batch, 0, 0),
+                tasks: vec![task(100 + i)],
+            };
+            state.apply(&ev);
+            state.apply(&ClusterEvent::TaskPlaced {
+                task: 100 + i,
+                machine: 0,
+                now: 0,
+            });
+        }
+        let m = run_and_place(&mut state, &mut k, task(0)).unwrap();
+        assert_eq!(m, 1, "least-requested must pick the empty machine");
+    }
+
+    #[test]
+    fn mesos_rotates_offers() {
+        let mut state = cluster(6, 10);
+        let mut m = MesosScheduler::new();
+        let first = run_and_place(&mut state, &mut m, task(0)).unwrap();
+        let second = run_and_place(&mut state, &mut m, task(1)).unwrap();
+        assert_ne!(
+            first, second,
+            "rotating offers must not pin everything to one machine"
+        );
+    }
+
+    #[test]
+    fn all_baselines_respect_slot_limits() {
+        let mut scheds: Vec<Box<dyn QueueScheduler>> = vec![
+            Box::new(SparrowScheduler::new(1)),
+            Box::new(SwarmKitScheduler),
+            Box::new(KubernetesScheduler),
+            Box::new(MesosScheduler::new()),
+        ];
+        for s in &mut scheds {
+            let mut state = cluster(3, 2);
+            let mut placed = 0;
+            for i in 0..10 {
+                if run_and_place(&mut state, s.as_mut(), task(i)).is_some() {
+                    placed += 1;
+                }
+            }
+            assert!(placed <= 6, "{} overcommitted: {placed} > 6", s.name());
+            for m in state.machines.values() {
+                assert!(m.running.len() <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the end-to-end scheduler path: graph update,
+//! solve, and placement extraction (§6.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firmament_bench::warmed_cluster;
+use firmament_core::{extract_placements, Firmament};
+use firmament_mcmf::{relaxation, SolveOptions};
+use firmament_policies::{LoadSpreadingPolicy, QuincyConfig, QuincyPolicy, SchedulingPolicy};
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_round");
+    group.bench_function("quincy_policy_200_machines", |b| {
+        let (state, mut firmament, _) = warmed_cluster(
+            200,
+            12,
+            0.8,
+            5,
+            Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+        );
+        b.iter(|| firmament.schedule(&state).unwrap())
+    });
+    group.bench_function("load_spreading_200_machines", |b| {
+        let (state, mut firmament, _) = warmed_cluster(
+            200,
+            12,
+            0.8,
+            5,
+            Firmament::new(LoadSpreadingPolicy::new()),
+        );
+        b.iter(|| firmament.schedule(&state).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let (_state, firmament, _) = warmed_cluster(
+        200,
+        12,
+        0.8,
+        5,
+        Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+    );
+    let mut g = firmament.policy().base().graph.clone();
+    relaxation::solve(&mut g, &SolveOptions::unlimited()).unwrap();
+    c.bench_function("extract_placements_200_machines", |b| {
+        b.iter(|| extract_placements(&g))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_round, bench_extraction
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks for the MCMF solver suite, including the
+//! α-factor ablation DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
+use firmament_mcmf::cost_scaling::{self, CostScalingConfig};
+use firmament_mcmf::incremental::IncrementalCostScaling;
+use firmament_mcmf::{relaxation, ssp, SolveOptions};
+
+fn instance(tasks: usize) -> InstanceSpec {
+    InstanceSpec {
+        tasks,
+        machines: (tasks / 4).max(4),
+        slots_per_machine: 5,
+        prefs_per_task: 4,
+        ..InstanceSpec::default()
+    }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    for tasks in [200usize, 1000] {
+        let spec = instance(tasks);
+        group.bench_with_input(BenchmarkId::new("relaxation", tasks), &spec, |b, s| {
+            b.iter_batched(
+                || scheduling_instance(1, s).graph,
+                |mut g| relaxation::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("cost_scaling", tasks), &spec, |b, s| {
+            b.iter_batched(
+                || scheduling_instance(1, s).graph,
+                |mut g| cost_scaling::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("ssp", tasks), &spec, |b, s| {
+            b.iter_batched(
+                || scheduling_instance(1, s).graph,
+                |mut g| ssp::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_factor(c: &mut Criterion) {
+    // Ablation: the paper found α = 9 ≈30% faster than the default 2.
+    let mut group = c.benchmark_group("alpha_factor");
+    let spec = instance(1000);
+    for alpha in [2i64, 4, 9, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
+            b.iter_batched(
+                || scheduling_instance(1, &spec).graph,
+                |mut g| {
+                    cost_scaling::solve_with(
+                        &mut g,
+                        &SolveOptions::unlimited(),
+                        &CostScalingConfig { alpha: a },
+                    )
+                    .unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_vs_scratch");
+    let spec = instance(1000);
+    group.bench_function("from_scratch", |b| {
+        b.iter_batched(
+            || {
+                let mut inst = scheduling_instance(2, &spec);
+                // Perturb a few costs.
+                let arcs: Vec<_> = inst.graph.arc_ids().collect();
+                for k in 0..20 {
+                    inst.graph.set_arc_cost(arcs[k * 7], (k as i64) + 1).unwrap();
+                }
+                inst.graph
+            },
+            |mut g| cost_scaling::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("incremental", |b| {
+        b.iter_batched(
+            || {
+                let mut inst = scheduling_instance(2, &spec);
+                let mut inc = IncrementalCostScaling::default();
+                inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+                let arcs: Vec<_> = inst.graph.arc_ids().collect();
+                for k in 0..20 {
+                    inst.graph.set_arc_cost(arcs[k * 7], (k as i64) + 1).unwrap();
+                }
+                (inst.graph, inc)
+            },
+            |(mut g, mut inc)| inc.solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_algorithms, bench_alpha_factor, bench_incremental
+}
+criterion_main!(benches);

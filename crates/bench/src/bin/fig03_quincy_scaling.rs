@@ -1,0 +1,55 @@
+//! Fig 3: Quincy's cost-scaling approach scales poorly with cluster size.
+//!
+//! Replays trace-shaped workloads at increasing cluster sizes against the
+//! Quincy configuration (from-scratch cost scaling) and reports runtime
+//! percentiles per size. Paper: median 64 s / p99 83 s at 12,500 machines.
+
+use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
+use firmament_core::Firmament;
+use firmament_mcmf::{cost_scaling, SolveOptions};
+use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_sim::Samples;
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes = [50usize, 450, 850, 1250, 2500, 5000, 7500, 10_000, 12_500];
+    header(&[
+        "machines", "p1_s", "p25_s", "p50_s", "p75_s", "p99_s", "max_s",
+    ]);
+    let mut medians = Vec::new();
+    for &paper_size in &sizes {
+        let machines = scale.machines(paper_size);
+        let mut samples = Samples::new();
+        for rep in 0..5u64 {
+            let (_state, firmament, _) = warmed_cluster(
+                machines,
+                12,
+                0.5,
+                1000 + rep,
+                Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+            );
+            let mut g = firmament.policy().base().graph.clone();
+            let sol = cost_scaling::solve(&mut g, &SolveOptions::unlimited()).expect("solve");
+            samples.push(sol.runtime.as_secs_f64());
+        }
+        row(&[
+            machines.to_string(),
+            format!("{:.4}", samples.percentile(1.0)),
+            format!("{:.4}", samples.percentile(25.0)),
+            format!("{:.4}", samples.percentile(50.0)),
+            format!("{:.4}", samples.percentile(75.0)),
+            format!("{:.4}", samples.percentile(99.0)),
+            format!("{:.4}", samples.max()),
+        ]);
+        medians.push(samples.percentile(50.0));
+    }
+    let grows = medians.last().unwrap() > &(medians[0] * 5.0);
+    verdict(
+        "fig03",
+        grows,
+        &format!(
+            "cost-scaling median grows {:.1}x from smallest to largest cluster (paper: ~minutes at full scale)",
+            medians.last().unwrap() / medians[0].max(1e-9)
+        ),
+    );
+}

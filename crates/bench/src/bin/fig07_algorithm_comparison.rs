@@ -1,0 +1,68 @@
+//! Fig 7: average runtime of the four MCMF algorithms vs cluster size.
+//!
+//! Paper: relaxation best (<200 ms at 12.5k machines) despite the worst
+//! complexity; SSP beats only cycle canceling and exceeds 100 s at 1,250
+//! machines; cost scaling in between.
+
+use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
+use firmament_core::Firmament;
+use firmament_mcmf::{cost_scaling, cycle_canceling, relaxation, ssp, SolveOptions};
+use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes = [50usize, 1250, 2500, 5000, 7500, 10_000, 12_500];
+    // Budget each run so the slow algorithms cannot stall the suite.
+    let opts = SolveOptions {
+        time_limit: Some(Duration::from_secs(20)),
+        ..Default::default()
+    };
+    header(&["machines", "cycle_canceling_s", "ssp_s", "cost_scaling_s", "relaxation_s"]);
+    let mut last = (0.0f64, 0.0f64);
+    for &paper_size in &sizes {
+        let machines = scale.machines(paper_size);
+        let (_state, firmament, _) = warmed_cluster(
+            machines,
+            12,
+            0.5,
+            7,
+            Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+        );
+        let graph = firmament.policy().base().graph.clone();
+        let run = |f: &dyn Fn(&mut firmament_flow::FlowGraph) -> f64| -> f64 {
+            let mut g = graph.clone();
+            f(&mut g)
+        };
+        let cc = if machines <= scale.machines(1250) {
+            run(&|g| {
+                let s = cycle_canceling::solve(g, &opts).expect("cc");
+                if s.terminated_early { f64::NAN } else { s.runtime.as_secs_f64() }
+            })
+        } else {
+            f64::NAN // too slow to be worth the wall time, as in the paper
+        };
+        let sp = run(&|g| {
+            let s = ssp::solve(g, &opts).expect("ssp");
+            if s.terminated_early { f64::NAN } else { s.runtime.as_secs_f64() }
+        });
+        let cs = run(&|g| cost_scaling::solve(g, &opts).expect("cs").runtime.as_secs_f64());
+        let rx = run(&|g| relaxation::solve(g, &opts).expect("rx").runtime.as_secs_f64());
+        row(&[
+            machines.to_string(),
+            format!("{cc:.4}"),
+            format!("{sp:.4}"),
+            format!("{cs:.4}"),
+            format!("{rx:.4}"),
+        ]);
+        last = (cs, rx);
+    }
+    verdict(
+        "fig07",
+        last.1 < last.0,
+        &format!(
+            "relaxation ({:.3}s) beats cost scaling ({:.3}s) at the largest size, as in the paper",
+            last.1, last.0
+        ),
+    );
+}

@@ -1,0 +1,68 @@
+//! Fig 10: approximate MCMF misplaces tasks until just before convergence.
+//!
+//! Terminate cost scaling and relaxation at iteration budgets and count
+//! tasks placed differently from the optimal solution. Paper: thousands of
+//! misplacements persist until the final iterations — early termination is
+//! not a viable latency optimization.
+
+use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
+use firmament_core::Firmament;
+use firmament_mcmf::approx::{count_misplacements, task_assignments};
+use firmament_mcmf::{cost_scaling, relaxation, SolveOptions};
+use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+
+fn main() {
+    let scale = Scale::from_args();
+    let machines = scale.machines(12_500);
+    let (_state, firmament, _) = warmed_cluster(
+        machines,
+        12,
+        0.95,
+        13,
+        Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+    );
+    let graph = firmament.policy().base().graph.clone();
+
+    // Reference: full solves.
+    let mut g_opt = graph.clone();
+    let full_cs = cost_scaling::solve(&mut g_opt, &SolveOptions::unlimited()).expect("cs");
+    let optimal = task_assignments(&g_opt);
+    let mut g_rx = graph.clone();
+    let full_rx = relaxation::solve(&mut g_rx, &SolveOptions::unlimited()).expect("rx");
+
+    header(&["budget_fraction_pct", "cs_misplaced", "cs_runtime_s", "rx_misplaced", "rx_runtime_s"]);
+    let mut early_bad = false;
+    for pct in [10u64, 25, 50, 75, 90, 99, 100] {
+        let cs_budget = (full_cs.stats.iterations * pct / 100).max(1);
+        let rx_budget = (full_rx.stats.iterations * pct / 100).max(1);
+        let mut g = graph.clone();
+        let cs_opts = SolveOptions {
+            iteration_limit: Some(cs_budget),
+            ..Default::default()
+        };
+        let cs_sol = cost_scaling::solve(&mut g, &cs_opts).expect("cs partial");
+        let cs_mis = count_misplacements(&task_assignments(&g), &optimal);
+        let mut g = graph.clone();
+        let rx_opts = SolveOptions {
+            iteration_limit: Some(rx_budget),
+            ..Default::default()
+        };
+        let rx_sol = relaxation::solve(&mut g, &rx_opts).expect("rx partial");
+        let rx_mis = count_misplacements(&task_assignments(&g), &optimal);
+        row(&[
+            pct.to_string(),
+            cs_mis.to_string(),
+            format!("{:.4}", cs_sol.runtime.as_secs_f64()),
+            rx_mis.to_string(),
+            format!("{:.4}", rx_sol.runtime.as_secs_f64()),
+        ]);
+        if pct <= 75 && (cs_mis > 0 || rx_mis > 0) {
+            early_bad = true;
+        }
+    }
+    verdict(
+        "fig10",
+        early_bad,
+        "early termination leaves many tasks misplaced (paper rejects approximate MCMF)",
+    );
+}

@@ -1,0 +1,67 @@
+//! Fig 17: Firmament's breaking point on a workload of only short tasks.
+//!
+//! 10-task jobs at 80 % load with shrinking task duration; job response
+//! time stays near-ideal (= task duration) until the solver can no longer
+//! keep up. Paper: ~5 ms tasks at 100 machines, ~375 ms at 1,000.
+
+use firmament_bench::{header, row, verdict, Scale};
+use firmament_cluster::TopologySpec;
+use firmament_core::Firmament;
+use firmament_policies::LoadSpreadingPolicy;
+use firmament_sim::trace::FixedWorkload;
+use firmament_sim::{run_flow_sim, SimConfig, TraceSpec};
+
+fn main() {
+    let scale = Scale::from_args();
+    header(&["machines", "task_duration_ms", "median_job_response_ms", "overhead_ratio"]);
+    let mut ok = true;
+    for paper_machines in [100usize, 1000] {
+        let machines = scale.machines(paper_machines);
+        for duration_ms in [5000u64, 2000, 1000, 500, 250, 100] {
+            let d = duration_ms as f64 / 1000.0;
+            let config = SimConfig {
+                topology: TopologySpec {
+                    machines,
+                    machines_per_rack: 40,
+                    slots_per_machine: 4,
+                },
+                trace: TraceSpec {
+                    machines,
+                    slots_per_machine: 4,
+                    target_utilization: 0.8,
+                    seed: 17,
+                    fixed: Some(FixedWorkload {
+                        tasks_per_job: 10,
+                        duration_s: d,
+                    }),
+                    ..TraceSpec::default()
+                },
+                duration_s: (d * 20.0).max(5.0),
+                warmup: false,
+                ..SimConfig::default()
+            };
+            let mut report =
+                run_flow_sim(&config, Firmament::new(LoadSpreadingPolicy::new()));
+            if report.job_response.is_empty() {
+                continue;
+            }
+            let median = report.job_response.percentile(50.0) * 1000.0;
+            let ratio = median / duration_ms as f64;
+            row(&[
+                machines.to_string(),
+                duration_ms.to_string(),
+                format!("{median:.1}"),
+                format!("{ratio:.2}"),
+            ]);
+            // Near-ideal at long durations.
+            if duration_ms >= 2000 && ratio > 2.0 {
+                ok = false;
+            }
+        }
+    }
+    verdict(
+        "fig17",
+        ok,
+        "job response stays near-ideal for longer tasks and deviates as durations shrink",
+    );
+}

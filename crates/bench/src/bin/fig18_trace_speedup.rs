@@ -1,0 +1,78 @@
+//! Fig 18: Firmament keeps up with a 300×-accelerated Google workload;
+//! relaxation alone develops multi-second tails past 150×.
+
+use firmament_bench::{header, row, verdict, Scale};
+use firmament_cluster::TopologySpec;
+use firmament_core::Firmament;
+use firmament_mcmf::{DualConfig, SolverKind};
+use firmament_policies::{QuincyConfig, QuincyPolicy};
+use firmament_sim::{run_flow_sim, SimConfig, TraceSpec};
+
+fn run(kind: SolverKind, machines: usize, speedup: f64, runtime_scale: f64) -> firmament_sim::SimReport {
+    let config = SimConfig {
+        topology: TopologySpec {
+            machines,
+            machines_per_rack: 40,
+            slots_per_machine: 12,
+        },
+        trace: TraceSpec {
+            machines,
+            slots_per_machine: 12,
+            target_utilization: 0.85,
+            speedup,
+            seed: 18,
+            job_size_scale: machines as f64 / 12_500.0,
+            ..TraceSpec::default()
+        },
+        duration_s: 30.0,
+        runtime_scale,
+        ..SimConfig::default()
+    };
+    run_flow_sim(
+        &config,
+        Firmament::with_solver(
+            QuincyPolicy::new(QuincyConfig::default()),
+            DualConfig {
+                kind,
+                ..Default::default()
+            },
+        ),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let machines = scale.machines(12_500);
+    header(&["speedup", "series", "p50_s", "p75_s", "p99_s", "max_s"]);
+    let mut firmament_beats = 0usize;
+    let mut points = 0usize;
+    for speedup in [50.0f64, 100.0, 150.0, 200.0, 250.0, 300.0] {
+        let rts = scale.divisor as f64;
+        let mut dual = run(SolverKind::Dual, machines, speedup, rts);
+        let mut relax = run(SolverKind::RelaxationOnly, machines, speedup, rts);
+        for (name, r) in [("firmament", &mut dual), ("relaxation_only", &mut relax)] {
+            if r.placement_latency.is_empty() {
+                continue;
+            }
+            row(&[
+                format!("{speedup:.0}"),
+                name.to_string(),
+                format!("{:.4}", r.placement_latency.percentile(50.0)),
+                format!("{:.4}", r.placement_latency.percentile(75.0)),
+                format!("{:.4}", r.placement_latency.percentile(99.0)),
+                format!("{:.4}", r.placement_latency.max()),
+            ]);
+        }
+        if !dual.placement_latency.is_empty() && !relax.placement_latency.is_empty() {
+            points += 1;
+            if dual.placement_latency.max() <= relax.placement_latency.max() * 1.2 {
+                firmament_beats += 1;
+            }
+        }
+    }
+    verdict(
+        "fig18",
+        firmament_beats * 2 >= points,
+        "dual solver tail latency tracks or beats relaxation-only across speedups",
+    );
+}

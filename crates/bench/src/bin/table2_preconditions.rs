@@ -1,0 +1,31 @@
+//! Table 2: per-iteration preconditions of each algorithm, as encoded in
+//! `firmament_mcmf::invariants` (and verified by its unit tests).
+
+use firmament_bench::{header, row, verdict};
+use firmament_mcmf::invariants::invariants;
+use firmament_mcmf::AlgorithmKind;
+
+fn main() {
+    header(&["algorithm", "feasibility", "reduced_cost_optimality", "eps_optimality"]);
+    let mark = |b: bool| if b { "yes" } else { "-" }.to_string();
+    for kind in [
+        AlgorithmKind::Relaxation,
+        AlgorithmKind::CycleCanceling,
+        AlgorithmKind::CostScaling,
+        AlgorithmKind::SuccessiveShortestPath,
+    ] {
+        let inv = invariants(kind);
+        row(&[
+            kind.to_string(),
+            mark(inv.feasibility),
+            mark(inv.reduced_cost_optimality),
+            mark(inv.eps_optimality),
+        ]);
+    }
+    let cs = invariants(AlgorithmKind::CostScaling);
+    verdict(
+        "table2",
+        cs.feasibility && cs.eps_optimality,
+        "cost scaling needs feasibility AND eps-optimality, which is why it is hard to incrementalize",
+    );
+}

@@ -1,0 +1,35 @@
+//! Table 3: which arc changes force reoptimization of an optimal flow.
+
+use firmament_bench::{header, row, verdict};
+use firmament_flow::changes::{table3_cell, ArcChangeKind, Table3Cell};
+
+fn main() {
+    header(&["change", "rc<0", "rc=0", "rc>0"]);
+    let fmt = |c: Table3Cell| match c {
+        Table3Cell::Green => "ok".to_string(),
+        Table3Cell::Red => "BREAKS".to_string(),
+        Table3Cell::Orange(cond) => format!("breaks if {cond}"),
+    };
+    for (name, kind) in [
+        ("increase_capacity", ArcChangeKind::IncreaseCapacity),
+        ("decrease_capacity", ArcChangeKind::DecreaseCapacity),
+        ("increase_cost", ArcChangeKind::IncreaseCost),
+        ("decrease_cost", ArcChangeKind::DecreaseCost),
+    ] {
+        row(&[
+            name.to_string(),
+            fmt(table3_cell(kind, -1)),
+            fmt(table3_cell(kind, 0)),
+            fmt(table3_cell(kind, 1)),
+        ]);
+    }
+    let feasibility_only_from_cap_decrease = matches!(
+        table3_cell(ArcChangeKind::DecreaseCapacity, -1),
+        Table3Cell::Red
+    );
+    verdict(
+        "table3",
+        feasibility_only_from_cap_decrease,
+        "only capacity decreases can destroy feasibility; everything else affects optimality",
+    );
+}

@@ -1,0 +1,167 @@
+//! Experiment harness shared by the figure/table reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §5 for the index). They print tab-separated rows — the
+//! series the paper plots — plus a short "shape check" verdict comparing
+//! the measured trend against the paper's qualitative claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use firmament_cluster::{ClusterEvent, ClusterState, TopologySpec};
+use firmament_core::Firmament;
+use firmament_policies::SchedulingPolicy;
+use firmament_sim::trace::{GoogleTraceGenerator, TraceSpec};
+use std::time::{Duration, Instant};
+
+/// Scale presets: the paper's cluster sizes, scaled down by `--scale` so
+/// the suite completes on a laptop while preserving the curves' shape.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Divider applied to the paper's machine counts (default 10).
+    pub divisor: usize,
+}
+
+impl Scale {
+    /// Parses `--scale <n>` / `--full` from the command line.
+    pub fn from_args() -> Scale {
+        let mut divisor = 10;
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            if a == "--full" {
+                divisor = 1;
+            }
+            if a == "--scale" {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    divisor = v.max(1);
+                }
+            }
+        }
+        Scale { divisor }
+    }
+
+    /// Scales one of the paper's machine counts.
+    pub fn machines(&self, paper_machines: usize) -> usize {
+        (paper_machines / self.divisor).max(10)
+    }
+}
+
+/// Builds a cluster plus Firmament scheduler at the given size, with the
+/// machines registered, and fills it to `utilization` with trace workload.
+///
+/// Returns the state and scheduler ready for measurement; the initial
+/// workload has been *submitted and placed* (one warm scheduling round).
+pub fn warmed_cluster<P: SchedulingPolicy>(
+    machines: usize,
+    slots: u32,
+    utilization: f64,
+    seed: u64,
+    mut firmament: Firmament<P>,
+) -> (ClusterState, Firmament<P>, GoogleTraceGenerator) {
+    let mut state = ClusterState::with_topology(&TopologySpec {
+        machines,
+        machines_per_rack: 40,
+        slots_per_machine: slots,
+    });
+    let ms: Vec<_> = state.machines.values().cloned().collect();
+    for m in ms {
+        firmament
+            .handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
+            .expect("machine registration");
+    }
+    let mut generator = GoogleTraceGenerator::new(TraceSpec {
+        machines,
+        slots_per_machine: slots,
+        target_utilization: utilization,
+        seed,
+        ..TraceSpec::default()
+    });
+    let warm = generator.warmup(&mut state);
+    for a in warm {
+        let ev = ClusterEvent::JobSubmitted {
+            job: a.job.clone(),
+            tasks: a.tasks.clone(),
+        };
+        state.apply(&ev);
+        firmament.handle_event(&state, &ev).expect("submit");
+    }
+    let outcome = firmament.schedule(&state).expect("warm round");
+    for action in &outcome.actions {
+        if let firmament_core::SchedulingAction::Place { task, machine } = action {
+            if state.machines[machine].has_free_slot() {
+                let ev = ClusterEvent::TaskPlaced {
+                    task: *task,
+                    machine: *machine,
+                    now: state.now,
+                };
+                state.apply(&ev);
+                firmament.handle_event(&state, &ev).expect("place");
+            }
+        }
+    }
+    (state, firmament, generator)
+}
+
+/// Times a closure, returning its result and the elapsed wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Prints a TSV header row.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Prints a TSV data row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Formats seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Prints the shape-check verdict line consumed by EXPERIMENTS.md.
+pub fn verdict(experiment: &str, holds: bool, detail: &str) {
+    println!(
+        "# VERDICT {experiment}: {} — {detail}",
+        if holds { "SHAPE HOLDS" } else { "SHAPE DEVIATES" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_policies::LoadSpreadingPolicy;
+
+    #[test]
+    fn scale_preset_floors_at_ten() {
+        let s = Scale { divisor: 100 };
+        assert_eq!(s.machines(50), 10);
+        assert_eq!(s.machines(12_500), 125);
+    }
+
+    #[test]
+    fn warmed_cluster_reaches_utilization() {
+        let (state, firmament, _) = warmed_cluster(
+            20,
+            8,
+            0.5,
+            7,
+            Firmament::new(LoadSpreadingPolicy::new()),
+        );
+        assert!(state.slot_utilization() >= 0.4, "{}", state.slot_utilization());
+        assert!(state.slot_utilization() <= 1.0);
+        assert!(firmament.rounds() >= 1);
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, d) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(d.as_secs() < 5);
+    }
+}

@@ -1,0 +1,202 @@
+//! HDFS-like block store for data-locality computation.
+//!
+//! The Quincy policy expresses data locality through preference arcs: a task
+//! gets an arc to a machine or rack holding at least a threshold fraction of
+//! its input (§7.2, Fig 15). This block store tracks which machines hold
+//! replicas of which blocks and answers "what fraction of this input is
+//! local to machine m / rack r".
+
+use crate::machine::RackId;
+use crate::task::MachineId;
+use std::collections::HashMap;
+
+/// Default HDFS block size (128 MiB).
+pub const BLOCK_BYTES: u64 = 128 * 1024 * 1024;
+
+/// Default replication factor.
+pub const REPLICATION: usize = 3;
+
+/// Tracks block replica placement across machines.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    /// block id → machines holding a replica.
+    replicas: HashMap<u64, Vec<MachineId>>,
+    /// machine → rack, for rack-level locality.
+    rack_of: HashMap<MachineId, RackId>,
+    next_block: u64,
+}
+
+impl BlockStore {
+    /// Creates an empty store over the given machine→rack mapping.
+    pub fn new(machines: impl IntoIterator<Item = (MachineId, RackId)>) -> Self {
+        BlockStore {
+            replicas: HashMap::new(),
+            rack_of: machines.into_iter().collect(),
+            next_block: 0,
+        }
+    }
+
+    /// Registers a machine (e.g. after a machine join event).
+    pub fn add_machine(&mut self, machine: MachineId, rack: RackId) {
+        self.rack_of.insert(machine, rack);
+    }
+
+    /// Removes a machine and all replicas it held (machine failure).
+    pub fn remove_machine(&mut self, machine: MachineId) {
+        self.rack_of.remove(&machine);
+        for reps in self.replicas.values_mut() {
+            reps.retain(|&m| m != machine);
+        }
+    }
+
+    /// Allocates a fresh block with the given replica holders, returning its
+    /// id.
+    pub fn place_block(&mut self, holders: Vec<MachineId>) -> u64 {
+        let id = self.next_block;
+        self.next_block += 1;
+        self.replicas.insert(id, holders);
+        id
+    }
+
+    /// Returns the machines holding a block.
+    pub fn holders(&self, block: u64) -> &[MachineId] {
+        self.replicas.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Fraction (0..=1) of `blocks` with a replica on `machine`.
+    pub fn machine_locality(&self, blocks: &[u64], machine: MachineId) -> f64 {
+        if blocks.is_empty() {
+            return 0.0;
+        }
+        let local = blocks
+            .iter()
+            .filter(|b| self.holders(**b).contains(&machine))
+            .count();
+        local as f64 / blocks.len() as f64
+    }
+
+    /// Fraction (0..=1) of `blocks` with a replica somewhere in `rack`.
+    pub fn rack_locality(&self, blocks: &[u64], rack: RackId) -> f64 {
+        if blocks.is_empty() {
+            return 0.0;
+        }
+        let local = blocks
+            .iter()
+            .filter(|b| {
+                self.holders(**b)
+                    .iter()
+                    .any(|m| self.rack_of.get(m) == Some(&rack))
+            })
+            .count();
+        local as f64 / blocks.len() as f64
+    }
+
+    /// Machines holding at least `threshold` fraction of `blocks`, with the
+    /// fraction they hold. This drives preference-arc creation.
+    pub fn machines_above_threshold(
+        &self,
+        blocks: &[u64],
+        threshold: f64,
+    ) -> Vec<(MachineId, f64)> {
+        if blocks.is_empty() {
+            return Vec::new();
+        }
+        let mut counts: HashMap<MachineId, usize> = HashMap::new();
+        for b in blocks {
+            for &m in self.holders(*b) {
+                *counts.entry(m).or_insert(0) += 1;
+            }
+        }
+        let total = blocks.len() as f64;
+        let mut out: Vec<(MachineId, f64)> = counts
+            .into_iter()
+            .map(|(m, c)| (m, c as f64 / total))
+            .filter(|&(_, f)| f >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Racks holding at least `threshold` fraction of `blocks`.
+    pub fn racks_above_threshold(&self, blocks: &[u64], threshold: f64) -> Vec<(RackId, f64)> {
+        if blocks.is_empty() {
+            return Vec::new();
+        }
+        let mut counts: HashMap<RackId, usize> = HashMap::new();
+        for b in blocks {
+            let mut racks: Vec<RackId> = self
+                .holders(*b)
+                .iter()
+                .filter_map(|m| self.rack_of.get(m).copied())
+                .collect();
+            racks.sort_unstable();
+            racks.dedup();
+            for r in racks {
+                *counts.entry(r).or_insert(0) += 1;
+            }
+        }
+        let total = blocks.len() as f64;
+        let mut out: Vec<(RackId, f64)> = counts
+            .into_iter()
+            .map(|(r, c)| (r, c as f64 / total))
+            .filter(|&(_, f)| f >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> BlockStore {
+        // 4 machines, 2 racks.
+        BlockStore::new([(0, 0), (1, 0), (2, 1), (3, 1)])
+    }
+
+    #[test]
+    fn machine_locality_fraction() {
+        let mut s = store();
+        let b0 = s.place_block(vec![0, 1, 2]);
+        let b1 = s.place_block(vec![0, 3, 2]);
+        let b2 = s.place_block(vec![1, 3, 2]);
+        let blocks = vec![b0, b1, b2];
+        assert!((s.machine_locality(&blocks, 0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.machine_locality(&blocks, 2) - 1.0).abs() < 1e-9);
+        assert_eq!(s.machine_locality(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn rack_locality_fraction() {
+        let mut s = store();
+        let b0 = s.place_block(vec![0]); // rack 0 only
+        let b1 = s.place_block(vec![2]); // rack 1 only
+        let blocks = vec![b0, b1];
+        assert!((s.rack_locality(&blocks, 0) - 0.5).abs() < 1e-9);
+        assert!((s.rack_locality(&blocks, 1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_query_sorted_by_fraction() {
+        let mut s = store();
+        let b0 = s.place_block(vec![0, 1]);
+        let b1 = s.place_block(vec![0, 2]);
+        let b2 = s.place_block(vec![0, 3]);
+        let blocks = vec![b0, b1, b2];
+        let hits = s.machines_above_threshold(&blocks, 0.3);
+        assert_eq!(hits[0], (0, 1.0));
+        assert_eq!(hits.len(), 4); // 1, 2, 3 all hold 1/3 ≥ 0.3
+        let strict = s.machines_above_threshold(&blocks, 0.5);
+        assert_eq!(strict, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn machine_removal_drops_replicas() {
+        let mut s = store();
+        let b = s.place_block(vec![0, 1]);
+        s.remove_machine(0);
+        assert_eq!(s.holders(b), &[1]);
+        assert_eq!(s.machine_locality(&[b], 0), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Cluster events: the inputs that drive state and flow-network updates.
+//!
+//! All of these ultimately reduce to the three graph-change types of §5.2
+//! (supply, capacity, and cost changes); the mapping is performed by the
+//! scheduling policies in `firmament-policies`.
+
+use crate::machine::Machine;
+use crate::task::{Job, MachineId, Task, TaskId, Time};
+
+/// An event observed by the cluster manager.
+#[derive(Debug, Clone)]
+pub enum ClusterEvent {
+    /// Advances the clock without changing state.
+    Tick {
+        /// New current time (µs).
+        now: Time,
+    },
+    /// A job and its tasks were submitted.
+    JobSubmitted {
+        /// The job (its `tasks` list is filled in from `tasks`).
+        job: Job,
+        /// The job's tasks.
+        tasks: Vec<Task>,
+    },
+    /// The scheduler placed (or migrated) a task.
+    TaskPlaced {
+        /// The task.
+        task: TaskId,
+        /// Destination machine.
+        machine: MachineId,
+        /// Placement time (µs).
+        now: Time,
+    },
+    /// The scheduler preempted a running task.
+    TaskPreempted {
+        /// The task.
+        task: TaskId,
+        /// Preemption time (µs).
+        now: Time,
+    },
+    /// A task finished.
+    TaskCompleted {
+        /// The task.
+        task: TaskId,
+        /// Completion time (µs).
+        now: Time,
+    },
+    /// A machine joined the cluster.
+    MachineAdded {
+        /// The new machine.
+        machine: Machine,
+    },
+    /// A machine failed or was drained.
+    MachineRemoved {
+        /// The machine.
+        machine: MachineId,
+        /// Removal time (µs).
+        now: Time,
+    },
+}
+
+impl ClusterEvent {
+    /// Returns `true` if this event changes the set of schedulable work
+    /// (and therefore requires a new scheduling round).
+    pub fn triggers_scheduling(&self) -> bool {
+        matches!(
+            self,
+            ClusterEvent::JobSubmitted { .. }
+                | ClusterEvent::TaskCompleted { .. }
+                | ClusterEvent::TaskPreempted { .. }
+                | ClusterEvent::MachineAdded { .. }
+                | ClusterEvent::MachineRemoved { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::JobClass;
+
+    #[test]
+    fn scheduling_triggers() {
+        assert!(ClusterEvent::JobSubmitted {
+            job: Job::new(0, JobClass::Batch, 0, 0),
+            tasks: vec![],
+        }
+        .triggers_scheduling());
+        assert!(ClusterEvent::TaskCompleted { task: 0, now: 0 }.triggers_scheduling());
+        assert!(!ClusterEvent::Tick { now: 5 }.triggers_scheduling());
+        assert!(!ClusterEvent::TaskPlaced {
+            task: 0,
+            machine: 0,
+            now: 0
+        }
+        .triggers_scheduling());
+    }
+}

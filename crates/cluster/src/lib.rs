@@ -1,0 +1,38 @@
+//! Cluster model substrate for the Firmament scheduler.
+//!
+//! Models everything the scheduling policies and simulator need about a
+//! datacenter cluster: machines with slots, resources, and network links
+//! ([`machine`]); jobs and tasks with the Fig 1 lifecycle ([`task`]); an
+//! HDFS-like block store for data-locality computation ([`blocks`]); and
+//! the aggregate [`ClusterState`] updated by [`ClusterEvent`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmament_cluster::{ClusterState, TopologySpec};
+//!
+//! let state = ClusterState::with_topology(&TopologySpec {
+//!     machines: 100,
+//!     machines_per_rack: 20,
+//!     slots_per_machine: 12,
+//! });
+//! assert_eq!(state.total_slots(), 1200);
+//! assert_eq!(state.slot_utilization(), 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod events;
+pub mod machine;
+pub mod resources;
+pub mod state;
+pub mod task;
+
+pub use blocks::BlockStore;
+pub use events::ClusterEvent;
+pub use machine::{Machine, RackId, TopologySpec};
+pub use resources::ResourceVector;
+pub use state::ClusterState;
+pub use task::{Job, JobClass, JobId, MachineId, Task, TaskId, TaskState, Time};

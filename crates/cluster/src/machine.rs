@@ -1,0 +1,155 @@
+//! Machines, racks, and cluster topology.
+
+use crate::resources::ResourceVector;
+use crate::task::{MachineId, TaskId};
+
+/// Rack identifier.
+pub type RackId = u32;
+
+/// A cluster machine with slots, resources, and a network link.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Globally unique id.
+    pub id: MachineId,
+    /// Rack this machine lives in.
+    pub rack: RackId,
+    /// Task slots (the paper's head-to-head experiments are slot-based).
+    pub slots: u32,
+    /// Total resources.
+    pub capacity: ResourceVector,
+    /// Link bandwidth in Mbit/s (10 Gbps in the paper's testbed).
+    pub link_mbps: u64,
+    /// Tasks currently placed here.
+    pub running: Vec<TaskId>,
+    /// Externally observed (non-task) bandwidth use in Mbit/s, e.g. the
+    /// background iperf/nginx traffic of Fig 19b.
+    pub background_mbps: u64,
+}
+
+impl Machine {
+    /// Creates a machine with the given slots and a 10 Gbps link.
+    pub fn new(id: MachineId, rack: RackId, slots: u32) -> Self {
+        Machine {
+            id,
+            rack,
+            slots,
+            capacity: ResourceVector::new(12_000, 65_536, 10_000),
+            link_mbps: 10_000,
+            running: Vec::new(),
+            background_mbps: 0,
+        }
+    }
+
+    /// Free slots on this machine.
+    pub fn free_slots(&self) -> u32 {
+        self.slots.saturating_sub(self.running.len() as u32)
+    }
+
+    /// Returns `true` if at least one slot is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.free_slots() > 0
+    }
+
+    /// Records a task placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free or the task is already here.
+    pub fn add_task(&mut self, task: TaskId) {
+        assert!(self.has_free_slot(), "machine {} has no free slot", self.id);
+        assert!(
+            !self.running.contains(&task),
+            "task {task} already on machine {}",
+            self.id
+        );
+        self.running.push(task);
+    }
+
+    /// Removes a task (completion, preemption, migration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not on this machine.
+    pub fn remove_task(&mut self, task: TaskId) {
+        let pos = self
+            .running
+            .iter()
+            .position(|&t| t == task)
+            .unwrap_or_else(|| panic!("task {task} not on machine {}", self.id));
+        self.running.swap_remove(pos);
+    }
+}
+
+/// Parameters for building a cluster.
+#[derive(Debug, Clone)]
+pub struct TopologySpec {
+    /// Number of machines.
+    pub machines: usize,
+    /// Machines per rack.
+    pub machines_per_rack: usize,
+    /// Slots per machine (the simulated Google cluster runs ~12 tasks per
+    /// machine in the steady state: 150k tasks on 12.5k machines).
+    pub slots_per_machine: u32,
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec {
+            machines: 40,
+            machines_per_rack: 20,
+            slots_per_machine: 12,
+        }
+    }
+}
+
+/// Builds the machine list for a topology.
+pub fn build_machines(spec: &TopologySpec) -> Vec<Machine> {
+    (0..spec.machines)
+        .map(|m| {
+            Machine::new(
+                m as MachineId,
+                (m / spec.machines_per_rack.max(1)) as RackId,
+                spec.slots_per_machine,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_accounting() {
+        let mut m = Machine::new(0, 0, 2);
+        assert_eq!(m.free_slots(), 2);
+        m.add_task(10);
+        m.add_task(11);
+        assert!(!m.has_free_slot());
+        m.remove_task(10);
+        assert_eq!(m.free_slots(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free slot")]
+    fn overcommit_panics() {
+        let mut m = Machine::new(0, 0, 1);
+        m.add_task(1);
+        m.add_task(2);
+    }
+
+    #[test]
+    fn topology_racks() {
+        let spec = TopologySpec {
+            machines: 45,
+            machines_per_rack: 20,
+            slots_per_machine: 4,
+        };
+        let ms = build_machines(&spec);
+        assert_eq!(ms.len(), 45);
+        assert_eq!(ms[0].rack, 0);
+        assert_eq!(ms[19].rack, 0);
+        assert_eq!(ms[20].rack, 1);
+        assert_eq!(ms[44].rack, 2);
+    }
+}

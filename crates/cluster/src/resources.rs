@@ -1,0 +1,106 @@
+//! Multi-dimensional resource vectors.
+//!
+//! The Google trace contains multi-dimensional resource requests; Firmament
+//! supports multi-dimensional feasibility checking (as in Borg), though the
+//! paper's head-to-head experiments use slot-based assignment for fairness
+//! with Quincy (§7.1). Both models are provided here.
+
+/// A vector of resource quantities: CPU millicores, RAM megabytes, and
+/// network bandwidth in Mbit/s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceVector {
+    /// CPU in millicores (1000 = one core).
+    pub cpu_millis: u64,
+    /// Memory in MiB.
+    pub ram_mb: u64,
+    /// Network bandwidth in Mbit/s.
+    pub net_mbps: u64,
+}
+
+impl ResourceVector {
+    /// Creates a resource vector.
+    pub const fn new(cpu_millis: u64, ram_mb: u64, net_mbps: u64) -> Self {
+        ResourceVector {
+            cpu_millis,
+            ram_mb,
+            net_mbps,
+        }
+    }
+
+    /// The zero vector.
+    pub const fn zero() -> Self {
+        ResourceVector::new(0, 0, 0)
+    }
+
+    /// Returns `true` if `request` fits within `self` in every dimension.
+    pub fn fits(&self, request: &ResourceVector) -> bool {
+        self.cpu_millis >= request.cpu_millis
+            && self.ram_mb >= request.ram_mb
+            && self.net_mbps >= request.net_mbps
+    }
+
+    /// Element-wise saturating subtraction.
+    pub fn saturating_sub(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu_millis: self.cpu_millis.saturating_sub(other.cpu_millis),
+            ram_mb: self.ram_mb.saturating_sub(other.ram_mb),
+            net_mbps: self.net_mbps.saturating_sub(other.net_mbps),
+        }
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cpu_millis: self.cpu_millis + other.cpu_millis,
+            ram_mb: self.ram_mb + other.ram_mb,
+            net_mbps: self.net_mbps + other.net_mbps,
+        }
+    }
+
+    /// The dominant utilization share of `used` relative to `self`, in the
+    /// DRF sense, as parts-per-million (0 if `self` is zero).
+    pub fn dominant_share_ppm(&self, used: &ResourceVector) -> u64 {
+        let mut best = 0u64;
+        for (cap, u) in [
+            (self.cpu_millis, used.cpu_millis),
+            (self.ram_mb, used.ram_mb),
+            (self.net_mbps, used.net_mbps),
+        ] {
+            if cap > 0 {
+                best = best.max(u * 1_000_000 / cap);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_is_per_dimension() {
+        let cap = ResourceVector::new(4000, 8192, 10_000);
+        assert!(cap.fits(&ResourceVector::new(4000, 8192, 10_000)));
+        assert!(cap.fits(&ResourceVector::zero()));
+        assert!(!cap.fits(&ResourceVector::new(4001, 0, 0)));
+        assert!(!cap.fits(&ResourceVector::new(0, 9000, 0)));
+        assert!(!cap.fits(&ResourceVector::new(0, 0, 10_001)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ResourceVector::new(1000, 2048, 100);
+        let b = ResourceVector::new(500, 1024, 200);
+        assert_eq!(a.add(&b), ResourceVector::new(1500, 3072, 300));
+        assert_eq!(a.saturating_sub(&b), ResourceVector::new(500, 1024, 0));
+    }
+
+    #[test]
+    fn dominant_share() {
+        let cap = ResourceVector::new(1000, 1000, 1000);
+        let used = ResourceVector::new(500, 250, 750);
+        assert_eq!(cap.dominant_share_ppm(&used), 750_000);
+        assert_eq!(ResourceVector::zero().dominant_share_ppm(&used), 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Aggregate cluster state consumed by scheduling policies.
+
+use crate::blocks::BlockStore;
+use crate::events::ClusterEvent;
+use crate::machine::{build_machines, Machine, TopologySpec};
+use crate::task::{Job, JobId, MachineId, Task, TaskId, TaskState, Time};
+use std::collections::HashMap;
+
+/// The cluster manager's view of the world: machines, jobs, tasks, and the
+/// block store, updated by [`ClusterEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterState {
+    /// Machines by id.
+    pub machines: HashMap<MachineId, Machine>,
+    /// Jobs by id.
+    pub jobs: HashMap<JobId, Job>,
+    /// Tasks by id.
+    pub tasks: HashMap<TaskId, Task>,
+    /// Block replica tracking.
+    pub blocks: BlockStore,
+    /// Current (virtual) time in µs.
+    pub now: Time,
+}
+
+impl ClusterState {
+    /// Creates a cluster with the given topology and an empty workload.
+    pub fn with_topology(spec: &TopologySpec) -> Self {
+        let machines = build_machines(spec);
+        let blocks = BlockStore::new(machines.iter().map(|m| (m.id, m.rack)));
+        ClusterState {
+            machines: machines.into_iter().map(|m| (m.id, m)).collect(),
+            jobs: HashMap::new(),
+            tasks: HashMap::new(),
+            blocks,
+            now: 0,
+        }
+    }
+
+    /// Total slots across all machines.
+    pub fn total_slots(&self) -> u64 {
+        self.machines.values().map(|m| m.slots as u64).sum()
+    }
+
+    /// Occupied slots (running tasks).
+    pub fn used_slots(&self) -> u64 {
+        self.machines.values().map(|m| m.running.len() as u64).sum()
+    }
+
+    /// Slot utilization in `[0, 1]`.
+    pub fn slot_utilization(&self) -> f64 {
+        let total = self.total_slots();
+        if total == 0 {
+            0.0
+        } else {
+            self.used_slots() as f64 / total as f64
+        }
+    }
+
+    /// Tasks currently waiting (or preempted and awaiting rescheduling).
+    pub fn waiting_tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks
+            .values()
+            .filter(|t| matches!(t.state, TaskState::Waiting | TaskState::Preempted))
+    }
+
+    /// Tasks currently running.
+    pub fn running_tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks
+            .values()
+            .filter(|t| t.state == TaskState::Running)
+    }
+
+    /// Applies a cluster event, updating machines/jobs/tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent events (e.g. completing an unknown task);
+    /// event streams are produced by the simulator or cluster manager and
+    /// must be internally consistent.
+    pub fn apply(&mut self, event: &ClusterEvent) {
+        match event {
+            ClusterEvent::Tick { now } => self.now = *now,
+            ClusterEvent::JobSubmitted { job, tasks } => {
+                self.now = self.now.max(job.submit_time);
+                let mut j = job.clone();
+                j.tasks = tasks.iter().map(|t| t.id).collect();
+                for t in tasks {
+                    self.tasks.insert(t.id, t.clone());
+                }
+                self.jobs.insert(j.id, j);
+            }
+            ClusterEvent::TaskPlaced { task, machine, now } => {
+                self.now = self.now.max(*now);
+                let t = self.tasks.get_mut(task).expect("placed task exists");
+                if let Some(old) = t.machine {
+                    // Migration: leave the old machine first.
+                    self.machines
+                        .get_mut(&old)
+                        .expect("old machine exists")
+                        .remove_task(*task);
+                    t.preempt(*now);
+                }
+                t.place(*machine, *now);
+                self.machines
+                    .get_mut(machine)
+                    .expect("target machine exists")
+                    .add_task(*task);
+            }
+            ClusterEvent::TaskPreempted { task, now } => {
+                self.now = self.now.max(*now);
+                let t = self.tasks.get_mut(task).expect("preempted task exists");
+                let m = t.machine.expect("running task has machine");
+                t.preempt(*now);
+                self.machines
+                    .get_mut(&m)
+                    .expect("machine exists")
+                    .remove_task(*task);
+            }
+            ClusterEvent::TaskCompleted { task, now } => {
+                self.now = self.now.max(*now);
+                let t = self.tasks.get_mut(task).expect("completed task exists");
+                let m = t.machine.expect("running task has machine");
+                t.complete(*now);
+                self.machines
+                    .get_mut(&m)
+                    .expect("machine exists")
+                    .remove_task(*task);
+            }
+            ClusterEvent::MachineAdded { machine } => {
+                self.blocks.add_machine(machine.id, machine.rack);
+                self.machines.insert(machine.id, machine.clone());
+            }
+            ClusterEvent::MachineRemoved { machine, now } => {
+                self.now = self.now.max(*now);
+                if let Some(m) = self.machines.remove(machine) {
+                    // Tasks on a failed machine return to the waiting pool
+                    // with their progress lost (fail-stop model).
+                    for tid in m.running {
+                        let t = self.tasks.get_mut(&tid).expect("running task exists");
+                        t.state = TaskState::Waiting;
+                        t.machine = None;
+                        t.placed_at = None;
+                        t.executed = 0;
+                    }
+                }
+                self.blocks.remove_machine(*machine);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::JobClass;
+
+    fn submit_one(state: &mut ClusterState, job_id: JobId, task_id: TaskId, duration: Time) {
+        let job = Job::new(job_id, JobClass::Batch, 0, state.now);
+        let task = Task::new(task_id, job_id, state.now, duration);
+        state.apply(&ClusterEvent::JobSubmitted {
+            job,
+            tasks: vec![task],
+        });
+    }
+
+    #[test]
+    fn submit_place_complete_roundtrip() {
+        let mut s = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 2,
+            slots_per_machine: 1,
+        });
+        submit_one(&mut s, 0, 100, 5_000);
+        assert_eq!(s.waiting_tasks().count(), 1);
+        s.apply(&ClusterEvent::TaskPlaced {
+            task: 100,
+            machine: 1,
+            now: 10,
+        });
+        assert_eq!(s.used_slots(), 1);
+        assert_eq!(s.slot_utilization(), 0.5);
+        s.apply(&ClusterEvent::TaskCompleted { task: 100, now: 5_010 });
+        assert_eq!(s.used_slots(), 0);
+        assert_eq!(s.tasks[&100].state, TaskState::Completed);
+    }
+
+    #[test]
+    fn migration_moves_between_machines() {
+        let mut s = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 2,
+            slots_per_machine: 1,
+        });
+        submit_one(&mut s, 0, 7, 100_000);
+        s.apply(&ClusterEvent::TaskPlaced {
+            task: 7,
+            machine: 0,
+            now: 0,
+        });
+        s.apply(&ClusterEvent::TaskPlaced {
+            task: 7,
+            machine: 1,
+            now: 50,
+        });
+        assert_eq!(s.machines[&0].running.len(), 0);
+        assert_eq!(s.machines[&1].running.len(), 1);
+        assert_eq!(s.tasks[&7].machine, Some(1));
+    }
+
+    #[test]
+    fn machine_failure_requeues_tasks() {
+        let mut s = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 2,
+            slots_per_machine: 2,
+        });
+        submit_one(&mut s, 0, 1, 9_999);
+        s.apply(&ClusterEvent::TaskPlaced {
+            task: 1,
+            machine: 0,
+            now: 10,
+        });
+        s.apply(&ClusterEvent::MachineRemoved { machine: 0, now: 20 });
+        assert!(s.machines.get(&0).is_none());
+        assert_eq!(s.tasks[&1].state, TaskState::Waiting);
+        assert_eq!(s.waiting_tasks().count(), 1);
+    }
+
+    #[test]
+    fn preemption_returns_slot() {
+        let mut s = ClusterState::with_topology(&TopologySpec {
+            machines: 1,
+            machines_per_rack: 1,
+            slots_per_machine: 1,
+        });
+        submit_one(&mut s, 0, 1, 9_999);
+        s.apply(&ClusterEvent::TaskPlaced {
+            task: 1,
+            machine: 0,
+            now: 0,
+        });
+        s.apply(&ClusterEvent::TaskPreempted { task: 1, now: 500 });
+        assert_eq!(s.used_slots(), 0);
+        assert_eq!(s.tasks[&1].state, TaskState::Preempted);
+        assert_eq!(s.tasks[&1].executed, 500);
+    }
+}

@@ -1,0 +1,216 @@
+//! Tasks, jobs, and the task lifecycle state machine (Fig 1).
+
+use crate::resources::ResourceVector;
+
+/// Microseconds of simulated or wall time.
+pub type Time = u64;
+
+/// Unique task identifier.
+pub type TaskId = u64;
+
+/// Unique job identifier.
+pub type JobId = u64;
+
+/// Unique machine identifier.
+pub type MachineId = u64;
+
+/// The class of a job, following Omega's priority-based classification
+/// (§7.1): service jobs are long-running and prioritized over batch jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// A batch job whose tasks run to completion.
+    Batch,
+    /// A long-running service job.
+    Service,
+}
+
+/// Task lifecycle states (Fig 1): submitted → waiting → scheduling →
+/// starting/running → completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Submitted and waiting for the scheduler.
+    Waiting,
+    /// Placed on a machine and running.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Evicted from its machine; will be rescheduled.
+    Preempted,
+}
+
+/// A single task of a job.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Globally unique id.
+    pub id: TaskId,
+    /// Owning job.
+    pub job: JobId,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// Resource request (also used to derive the bandwidth request of the
+    /// network-aware policy).
+    pub request: ResourceVector,
+    /// Total execution time needed (µs); `u64::MAX` for service tasks.
+    pub duration: Time,
+    /// Submission time (µs).
+    pub submit_time: Time,
+    /// Time of the current placement, if running.
+    pub placed_at: Option<Time>,
+    /// Machine currently hosting the task, if running.
+    pub machine: Option<MachineId>,
+    /// Input data blocks (HDFS-style) read by the task.
+    pub input_blocks: Vec<u64>,
+    /// Total input size in bytes.
+    pub input_bytes: u64,
+    /// Accumulated execution before the last preemption (µs), so preempted
+    /// work is not repeated (the cluster manager checkpoint assumption).
+    pub executed: Time,
+}
+
+impl Task {
+    /// Creates a waiting task.
+    pub fn new(id: TaskId, job: JobId, submit_time: Time, duration: Time) -> Self {
+        Task {
+            id,
+            job,
+            state: TaskState::Waiting,
+            request: ResourceVector::zero(),
+            duration,
+            submit_time,
+            placed_at: None,
+            machine: None,
+            input_blocks: Vec::new(),
+            input_bytes: 0,
+            executed: 0,
+        }
+    }
+
+    /// Marks the task as placed on a machine at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is already running or completed.
+    pub fn place(&mut self, machine: MachineId, now: Time) {
+        assert!(
+            matches!(self.state, TaskState::Waiting | TaskState::Preempted),
+            "cannot place task {} in state {:?}",
+            self.id,
+            self.state
+        );
+        self.state = TaskState::Running;
+        self.machine = Some(machine);
+        self.placed_at = Some(now);
+    }
+
+    /// Preempts a running task at `now`, banking its executed time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not running.
+    pub fn preempt(&mut self, now: Time) {
+        assert_eq!(self.state, TaskState::Running, "preempting non-running task");
+        let started = self.placed_at.expect("running task has placement time");
+        self.executed += now.saturating_sub(started);
+        self.state = TaskState::Preempted;
+        self.machine = None;
+        self.placed_at = None;
+    }
+
+    /// Completes a running task at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not running.
+    pub fn complete(&mut self, now: Time) {
+        assert_eq!(self.state, TaskState::Running, "completing non-running task");
+        let started = self.placed_at.expect("running task has placement time");
+        self.executed += now.saturating_sub(started);
+        self.state = TaskState::Completed;
+    }
+
+    /// Remaining execution time (µs).
+    pub fn remaining(&self) -> Time {
+        self.duration.saturating_sub(self.executed)
+    }
+
+    /// Task response time if completed at `finish` (Fig 1: submission →
+    /// completion).
+    pub fn response_time(&self, finish: Time) -> Time {
+        finish.saturating_sub(self.submit_time)
+    }
+}
+
+/// A job: a set of parallel tasks with a class and priority.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Globally unique id.
+    pub id: JobId,
+    /// Batch or service (Omega-style classification).
+    pub class: JobClass,
+    /// Priority: higher is more important (service > batch in the paper's
+    /// simulations).
+    pub priority: u8,
+    /// Ids of the job's tasks.
+    pub tasks: Vec<TaskId>,
+    /// Submission time (µs).
+    pub submit_time: Time,
+}
+
+impl Job {
+    /// Creates an empty job.
+    pub fn new(id: JobId, class: JobClass, priority: u8, submit_time: Time) -> Self {
+        Job {
+            id,
+            class,
+            priority,
+            tasks: Vec::new(),
+            submit_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut t = Task::new(1, 0, 100, 5_000);
+        assert_eq!(t.state, TaskState::Waiting);
+        t.place(3, 200);
+        assert_eq!(t.state, TaskState::Running);
+        assert_eq!(t.machine, Some(3));
+        t.complete(5_200);
+        assert_eq!(t.state, TaskState::Completed);
+        assert_eq!(t.executed, 5_000);
+        assert_eq!(t.response_time(5_200), 5_100);
+    }
+
+    #[test]
+    fn preemption_banks_execution() {
+        let mut t = Task::new(1, 0, 0, 10_000);
+        t.place(2, 1_000);
+        t.preempt(4_000);
+        assert_eq!(t.state, TaskState::Preempted);
+        assert_eq!(t.executed, 3_000);
+        assert_eq!(t.remaining(), 7_000);
+        t.place(5, 6_000);
+        t.complete(13_000);
+        assert_eq!(t.executed, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn double_place_panics() {
+        let mut t = Task::new(1, 0, 0, 100);
+        t.place(0, 0);
+        t.place(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "preempting non-running")]
+    fn preempt_waiting_panics() {
+        let mut t = Task::new(1, 0, 0, 100);
+        t.preempt(5);
+    }
+}

@@ -1,0 +1,373 @@
+//! The Firmament scheduler service: events in, placements out (Fig 4).
+//!
+//! Firmament continuously reschedules the entire workload: cluster events
+//! update the policy's flow network; each scheduling round refreshes the
+//! state-dependent costs (the two-pass update of §6.3), runs the
+//! speculative dual MCMF solver (§6.1), and extracts placement actions by
+//! diffing the optimal flow against the current task assignments.
+
+use crate::extract::{extract_placements, Placement};
+use firmament_cluster::{ClusterEvent, ClusterState, MachineId, TaskId, TaskState};
+use firmament_mcmf::dual::{DualConfig, DualOutcome, DualSolver};
+use firmament_mcmf::incremental::drain_task_flow;
+use firmament_mcmf::{AlgorithmKind, SolveError, SolveOptions};
+use firmament_policies::{PolicyError, SchedulingPolicy};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A scheduling action produced by a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingAction {
+    /// Start (or migrate) a task on a machine.
+    Place {
+        /// The task to place.
+        task: TaskId,
+        /// The destination machine.
+        machine: MachineId,
+    },
+    /// Evict a running task (it re-enters the waiting pool).
+    Preempt {
+        /// The task to evict.
+        task: TaskId,
+    },
+}
+
+/// The outcome of one scheduling round.
+#[derive(Debug)]
+pub struct RoundOutcome {
+    /// Actions to apply to the cluster, in order (preemptions first).
+    pub actions: Vec<SchedulingAction>,
+    /// The solver's algorithm runtime (Fig 2b: "solver running").
+    pub algorithm_runtime: Duration,
+    /// Which MCMF algorithm won the speculative race.
+    pub winner: AlgorithmKind,
+    /// Objective value of the optimal flow.
+    pub objective: i64,
+    /// Total tasks currently placed somewhere after this round.
+    pub placed_tasks: usize,
+    /// Tasks left unscheduled by this round.
+    pub unscheduled_tasks: usize,
+}
+
+/// Errors from the scheduler.
+#[derive(Debug)]
+pub enum SchedulerError {
+    /// The policy failed to translate an event.
+    Policy(PolicyError),
+    /// The MCMF solver failed.
+    Solver(SolveError),
+}
+
+impl From<PolicyError> for SchedulerError {
+    fn from(e: PolicyError) -> Self {
+        SchedulerError::Policy(e)
+    }
+}
+
+impl From<SolveError> for SchedulerError {
+    fn from(e: SolveError) -> Self {
+        SchedulerError::Solver(e)
+    }
+}
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::Policy(e) => write!(f, "policy error: {e}"),
+            SchedulerError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+/// The Firmament scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use firmament_cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
+/// use firmament_core::Firmament;
+/// use firmament_policies::LoadSpreadingPolicy;
+///
+/// let mut state = ClusterState::with_topology(&TopologySpec {
+///     machines: 4,
+///     machines_per_rack: 4,
+///     slots_per_machine: 2,
+/// });
+/// let mut firmament = Firmament::new(LoadSpreadingPolicy::new());
+/// // Register machines.
+/// let machines: Vec<_> = state.machines.values().cloned().collect();
+/// for m in machines {
+///     firmament.handle_event(&state, &ClusterEvent::MachineAdded { machine: m }).unwrap();
+/// }
+/// // Submit a job with two tasks.
+/// let job = Job::new(0, JobClass::Batch, 0, 0);
+/// let tasks = vec![Task::new(0, 0, 0, 1_000_000), Task::new(1, 0, 0, 1_000_000)];
+/// let ev = ClusterEvent::JobSubmitted { job, tasks };
+/// state.apply(&ev);
+/// firmament.handle_event(&state, &ev).unwrap();
+/// // Run a scheduling round.
+/// let outcome = firmament.schedule(&state).unwrap();
+/// assert_eq!(outcome.actions.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Firmament<P: SchedulingPolicy> {
+    policy: P,
+    solver: DualSolver,
+    /// Per-round solver options (budgets apply to each algorithm).
+    pub solve_options: SolveOptions,
+    rounds: u64,
+}
+
+impl<P: SchedulingPolicy> Firmament<P> {
+    /// Creates a scheduler with the default dual-solver configuration.
+    pub fn new(policy: P) -> Self {
+        Self::with_solver(policy, DualConfig::default())
+    }
+
+    /// Creates a scheduler with an explicit solver configuration (e.g.
+    /// `SolverKind::CostScalingOnly` to emulate Quincy).
+    pub fn with_solver(policy: P, config: DualConfig) -> Self {
+        Firmament {
+            policy,
+            solver: DualSolver::new(config),
+            solve_options: SolveOptions::unlimited(),
+            rounds: 0,
+        }
+    }
+
+    /// The policy driving this scheduler.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the policy (for experiment configuration).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Number of completed scheduling rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Feeds a cluster event into the flow network.
+    ///
+    /// `state` must already reflect the event (call
+    /// [`ClusterState::apply`] first). Task completions drain the departing
+    /// task's flow before node removal — the efficient-task-removal
+    /// heuristic (§5.3.2) that keeps the graph balanced for the incremental
+    /// solver.
+    pub fn handle_event(
+        &mut self,
+        state: &ClusterState,
+        event: &ClusterEvent,
+    ) -> Result<(), SchedulerError> {
+        if let ClusterEvent::TaskCompleted { task, .. } = event {
+            if let Some(node) = self.policy.base().task_node(*task) {
+                drain_task_flow(&mut self.policy.base_mut().graph, node);
+            }
+        }
+        self.policy.apply_event(state, event)?;
+        Ok(())
+    }
+
+    /// Runs one scheduling round: refresh costs, solve, extract, diff.
+    pub fn schedule(&mut self, state: &ClusterState) -> Result<RoundOutcome, SchedulerError> {
+        self.policy.refresh_costs(state)?;
+        let outcome: DualOutcome = self
+            .solver
+            .solve(&self.policy.base().graph, &self.solve_options)?;
+        // Adopt the winning flow as the authoritative graph so the next
+        // incremental run starts from it (ids are preserved by cloning).
+        self.policy.base_mut().graph = outcome.graph;
+        let placements = extract_placements(&self.policy.base().graph);
+        let actions = diff_placements(state, &placements);
+        self.rounds += 1;
+        let placed = placements
+            .values()
+            .filter(|p| matches!(p, Placement::OnMachine(_)))
+            .count();
+        Ok(RoundOutcome {
+            actions,
+            algorithm_runtime: outcome.solution.runtime,
+            winner: outcome.winner,
+            objective: outcome.solution.objective,
+            placed_tasks: placed,
+            unscheduled_tasks: placements.len() - placed,
+        })
+    }
+}
+
+/// Diffs extracted placements against current task state, yielding
+/// preemptions (first) and placements/migrations.
+fn diff_placements(
+    state: &ClusterState,
+    placements: &HashMap<u64, Placement>,
+) -> Vec<SchedulingAction> {
+    let mut preemptions = Vec::new();
+    let mut moves = Vec::new();
+    for (&task, placement) in placements {
+        let Some(t) = state.tasks.get(&task) else {
+            continue;
+        };
+        match (t.state, t.machine, placement) {
+            // Waiting task gets a machine: place it.
+            (TaskState::Waiting | TaskState::Preempted, _, Placement::OnMachine(m)) => {
+                moves.push(SchedulingAction::Place { task, machine: *m });
+            }
+            // Running task keeps its machine: no action.
+            (TaskState::Running, Some(cur), Placement::OnMachine(m)) if cur == *m => {}
+            // Running task moved: migration = preempt + place.
+            (TaskState::Running, Some(_), Placement::OnMachine(m)) => {
+                preemptions.push(SchedulingAction::Preempt { task });
+                moves.push(SchedulingAction::Place { task, machine: *m });
+            }
+            // Running task lost its flow: preempt it.
+            (TaskState::Running, Some(_), Placement::Unscheduled) => {
+                preemptions.push(SchedulingAction::Preempt { task });
+            }
+            _ => {}
+        }
+    }
+    // Deterministic order: preemptions first, then placements by task id.
+    preemptions.sort_by_key(|a| match a {
+        SchedulingAction::Preempt { task } => *task,
+        SchedulingAction::Place { task, .. } => *task,
+    });
+    moves.sort_by_key(|a| match a {
+        SchedulingAction::Preempt { task } => *task,
+        SchedulingAction::Place { task, .. } => *task,
+    });
+    preemptions.extend(moves);
+    preemptions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_cluster::{Job, JobClass, Task, TopologySpec};
+    use firmament_policies::LoadSpreadingPolicy;
+
+    fn setup(machines: usize, slots: u32) -> (ClusterState, Firmament<LoadSpreadingPolicy>) {
+        let state = ClusterState::with_topology(&TopologySpec {
+            machines,
+            machines_per_rack: 20,
+            slots_per_machine: slots,
+        });
+        let mut f = Firmament::new(LoadSpreadingPolicy::new());
+        let ms: Vec<_> = state.machines.values().cloned().collect();
+        for m in ms {
+            f.handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
+                .unwrap();
+        }
+        (state, f)
+    }
+
+    fn submit(
+        state: &mut ClusterState,
+        f: &mut Firmament<LoadSpreadingPolicy>,
+        job: u64,
+        n: usize,
+        duration: u64,
+    ) {
+        let j = Job::new(job, JobClass::Batch, 0, state.now);
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| Task::new(job * 1000 + i as u64, job, state.now, duration))
+            .collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        f.handle_event(state, &ev).unwrap();
+    }
+
+    fn apply_actions(
+        state: &mut ClusterState,
+        f: &mut Firmament<LoadSpreadingPolicy>,
+        actions: &[SchedulingAction],
+    ) {
+        for a in actions {
+            let ev = match a {
+                SchedulingAction::Place { task, machine } => ClusterEvent::TaskPlaced {
+                    task: *task,
+                    machine: *machine,
+                    now: state.now,
+                },
+                SchedulingAction::Preempt { task } => ClusterEvent::TaskPreempted {
+                    task: *task,
+                    now: state.now,
+                },
+            };
+            state.apply(&ev);
+            f.handle_event(state, &ev).unwrap();
+        }
+    }
+
+    #[test]
+    fn schedules_all_tasks_when_capacity_exists() {
+        let (mut state, mut f) = setup(4, 2);
+        submit(&mut state, &mut f, 0, 6, 10_000_000);
+        let outcome = f.schedule(&state).unwrap();
+        assert_eq!(outcome.placed_tasks, 6);
+        assert_eq!(outcome.unscheduled_tasks, 0);
+        assert_eq!(outcome.actions.len(), 6);
+        apply_actions(&mut state, &mut f, &outcome.actions.clone());
+        assert_eq!(state.used_slots(), 6);
+    }
+
+    #[test]
+    fn oversubscription_leaves_tasks_unscheduled() {
+        let (mut state, mut f) = setup(2, 1);
+        submit(&mut state, &mut f, 0, 5, 10_000_000);
+        let outcome = f.schedule(&state).unwrap();
+        assert_eq!(outcome.placed_tasks, 2);
+        assert_eq!(outcome.unscheduled_tasks, 3);
+    }
+
+    #[test]
+    fn completion_frees_slot_for_waiting_task() {
+        let (mut state, mut f) = setup(1, 1);
+        submit(&mut state, &mut f, 0, 2, 10_000_000);
+        let o1 = f.schedule(&state).unwrap();
+        assert_eq!(o1.placed_tasks, 1);
+        apply_actions(&mut state, &mut f, &o1.actions.clone());
+        // Complete the running task.
+        let running: Vec<u64> = state.running_tasks().map(|t| t.id).collect();
+        let ev = ClusterEvent::TaskCompleted {
+            task: running[0],
+            now: 1_000,
+        };
+        state.apply(&ev);
+        f.handle_event(&state, &ev).unwrap();
+        let o2 = f.schedule(&state).unwrap();
+        assert_eq!(o2.placed_tasks, 1, "the waiting task takes the slot");
+        assert!(o2
+            .actions
+            .iter()
+            .any(|a| matches!(a, SchedulingAction::Place { .. })));
+    }
+
+    #[test]
+    fn stable_placements_produce_no_actions() {
+        let (mut state, mut f) = setup(3, 2);
+        submit(&mut state, &mut f, 0, 4, 10_000_000);
+        let o1 = f.schedule(&state).unwrap();
+        apply_actions(&mut state, &mut f, &o1.actions.clone());
+        // Rescheduling without any cluster change must not thrash.
+        let o2 = f.schedule(&state).unwrap();
+        assert!(
+            o2.actions.is_empty(),
+            "no changes → no actions, got {:?}",
+            o2.actions
+        );
+    }
+
+    #[test]
+    fn rounds_counter_increments() {
+        let (state, mut f) = setup(2, 1);
+        assert_eq!(f.rounds(), 0);
+        f.schedule(&state).unwrap();
+        f.schedule(&state).unwrap();
+        assert_eq!(f.rounds(), 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! DIMACS min-cost-flow file format support.
+//!
+//! The DIMACS format is the lingua franca of MCMF solver comparisons
+//! (Király & Kovács \[24\]; Lobel \[26\]) and what Quincy's `cs2` solver
+//! consumes. We use it for differential-test fixtures and interop.
+//!
+//! Grammar (lines):
+//! - `c <comment>`
+//! - `p min <nodes> <arcs>`
+//! - `n <id> <supply>` (1-based node ids; omitted nodes have supply 0)
+//! - `a <src> <dst> <low> <cap> <cost>` (lower bounds must be 0)
+
+use crate::graph::FlowGraph;
+use crate::ids::NodeId;
+use crate::node::NodeKind;
+use std::fmt::Write as _;
+
+/// Errors raised while parsing a DIMACS instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// The problem line is missing or malformed.
+    MissingProblemLine,
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        what: String,
+    },
+    /// A node id was outside `1..=n`.
+    NodeOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending id.
+        id: i64,
+    },
+    /// A non-zero lower bound was given (unsupported).
+    NonZeroLowerBound {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::MissingProblemLine => write!(f, "missing `p min N M` problem line"),
+            DimacsError::Malformed { line, what } => write!(f, "line {line}: {what}"),
+            DimacsError::NodeOutOfRange { line, id } => {
+                write!(f, "line {line}: node id {id} out of range")
+            }
+            DimacsError::NonZeroLowerBound { line } => {
+                write!(f, "line {line}: non-zero lower bounds are unsupported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a DIMACS `min` instance into a [`FlowGraph`].
+///
+/// All nodes are created with [`NodeKind::Other`]; ids are assigned densely
+/// in DIMACS order, so DIMACS node `k` becomes raw index `k − 1`.
+///
+/// # Examples
+///
+/// ```
+/// let text = "c tiny\np min 2 1\nn 1 1\nn 2 -1\na 1 2 0 1 5\n";
+/// let g = firmament_flow::dimacs::parse(text).unwrap();
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.arc_count(), 1);
+/// ```
+pub fn parse(text: &str) -> Result<FlowGraph, DimacsError> {
+    let mut graph: Option<FlowGraph> = None;
+    let mut n_nodes = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('c') {
+            continue;
+        }
+        let mut it = l.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                let kind = it.next().ok_or(DimacsError::Malformed {
+                    line,
+                    what: "missing problem kind".into(),
+                })?;
+                if kind != "min" {
+                    return Err(DimacsError::Malformed {
+                        line,
+                        what: format!("unsupported problem kind `{kind}`"),
+                    });
+                }
+                let n: usize = parse_field(it.next(), line, "node count")?;
+                let m: usize = parse_field(it.next(), line, "arc count")?;
+                let mut g = FlowGraph::with_capacity(n, m);
+                for i in 0..n {
+                    g.add_node(NodeKind::Other { tag: i as u64 }, 0);
+                }
+                n_nodes = n;
+                graph = Some(g);
+            }
+            Some("n") => {
+                let g = graph.as_mut().ok_or(DimacsError::MissingProblemLine)?;
+                let id: i64 = parse_field(it.next(), line, "node id")?;
+                let supply: i64 = parse_field(it.next(), line, "supply")?;
+                if id < 1 || id as usize > n_nodes {
+                    return Err(DimacsError::NodeOutOfRange { line, id });
+                }
+                let node = NodeId::from_index(id as usize - 1);
+                g.set_supply(node, supply).expect("node exists");
+            }
+            Some("a") => {
+                let g = graph.as_mut().ok_or(DimacsError::MissingProblemLine)?;
+                let src: i64 = parse_field(it.next(), line, "src")?;
+                let dst: i64 = parse_field(it.next(), line, "dst")?;
+                let low: i64 = parse_field(it.next(), line, "lower bound")?;
+                let cap: i64 = parse_field(it.next(), line, "capacity")?;
+                let cost: i64 = parse_field(it.next(), line, "cost")?;
+                if low != 0 {
+                    return Err(DimacsError::NonZeroLowerBound { line });
+                }
+                for (name, id) in [("src", src), ("dst", dst)] {
+                    if id < 1 || id as usize > n_nodes {
+                        let _ = name;
+                        return Err(DimacsError::NodeOutOfRange { line, id });
+                    }
+                }
+                let s = NodeId::from_index(src as usize - 1);
+                let d = NodeId::from_index(dst as usize - 1);
+                g.add_arc(s, d, cap, cost).map_err(|e| DimacsError::Malformed {
+                    line,
+                    what: e.to_string(),
+                })?;
+            }
+            Some(other) => {
+                return Err(DimacsError::Malformed {
+                    line,
+                    what: format!("unknown record `{other}`"),
+                })
+            }
+            None => {}
+        }
+    }
+    graph.ok_or(DimacsError::MissingProblemLine)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, DimacsError> {
+    field
+        .ok_or_else(|| DimacsError::Malformed {
+            line,
+            what: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| DimacsError::Malformed {
+            line,
+            what: format!("unparseable {what}"),
+        })
+}
+
+/// Serializes a graph to DIMACS `min` format.
+///
+/// Dead slots are compacted away: nodes are renumbered densely in raw-index
+/// order, so round-tripping a graph with holes yields an isomorphic instance
+/// rather than an identical one.
+pub fn serialize(graph: &FlowGraph) -> String {
+    let mut remap = vec![0usize; graph.node_bound()];
+    let mut next = 0usize;
+    for n in graph.node_ids() {
+        next += 1;
+        remap[n.index()] = next; // 1-based DIMACS ids
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "c generated by firmament-flow");
+    let _ = writeln!(out, "p min {} {}", graph.node_count(), graph.arc_count());
+    for n in graph.node_ids() {
+        let s = graph.supply(n);
+        if s != 0 {
+            let _ = writeln!(out, "n {} {}", remap[n.index()], s);
+        }
+    }
+    for a in graph.arc_ids() {
+        let _ = writeln!(
+            out,
+            "a {} {} 0 {} {}",
+            remap[graph.src(a).index()],
+            remap[graph.dst(a).index()],
+            graph.capacity(a),
+            graph.cost(a)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "\
+c example
+p min 4 4
+n 1 2
+n 4 -2
+a 1 2 0 2 1
+a 1 3 0 1 3
+a 2 4 0 2 1
+a 3 4 0 1 1
+";
+
+    #[test]
+    fn parse_tiny() {
+        let g = parse(TINY).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.total_supply(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = parse(TINY).unwrap();
+        let text = serialize(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.arc_count(), g.arc_count());
+        assert_eq!(g2.total_supply(), g.total_supply());
+        assert_eq!(g2.max_cost(), g.max_cost());
+        assert_eq!(g2.max_capacity(), g.max_capacity());
+    }
+
+    #[test]
+    fn rejects_missing_problem_line() {
+        assert!(matches!(
+            parse("n 1 2\n"),
+            Err(DimacsError::MissingProblemLine)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_node_id() {
+        let bad = "p min 2 1\nn 3 1\n";
+        assert!(matches!(
+            parse(bad),
+            Err(DimacsError::NodeOutOfRange { id: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_lower_bounds() {
+        let bad = "p min 2 1\na 1 2 1 2 3\n";
+        assert!(matches!(parse(bad), Err(DimacsError::NonZeroLowerBound { .. })));
+    }
+
+    #[test]
+    fn rejects_max_flow_instances() {
+        assert!(matches!(parse("p max 2 1\n"), Err(DimacsError::Malformed { .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "c hi\n\np min 1 0\nc bye\n";
+        let g = parse(text).unwrap();
+        assert_eq!(g.node_count(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Strongly-typed identifiers for flow-network entities.
+
+use std::fmt;
+
+/// Identifier of a node in a [`FlowGraph`](crate::FlowGraph).
+///
+/// Node ids are dense indices; slots freed by [`FlowGraph::remove_node`](crate::graph::FlowGraph::remove_node) are reused by later insertions, so a
+/// `NodeId` is only meaningful while the node it names is alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// Callers are responsible for only using indices handed out by a
+    /// [`FlowGraph`](crate::FlowGraph).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a *residual* arc in a [`FlowGraph`](crate::FlowGraph).
+///
+/// Arcs are stored in forward/reverse pairs: the partner of arc `a` is
+/// [`ArcId::sister`], obtained by flipping the lowest bit. The forward arc of
+/// a pair always has an even raw index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ArcId(pub(crate) u32);
+
+impl ArcId {
+    /// Returns the raw index of this residual arc.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an `ArcId` from a raw index.
+    ///
+    /// Callers are responsible for only using indices handed out by a
+    /// [`FlowGraph`](crate::FlowGraph).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ArcId(index as u32)
+    }
+
+    /// Returns the paired residual arc (forward ↔ reverse).
+    #[inline]
+    pub fn sister(self) -> ArcId {
+        ArcId(self.0 ^ 1)
+    }
+
+    /// Returns `true` if this is the forward arc of its pair.
+    #[inline]
+    pub fn is_forward(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns the forward arc of this arc's pair.
+    #[inline]
+    pub fn forward(self) -> ArcId {
+        ArcId(self.0 & !1)
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sister_flips_low_bit() {
+        assert_eq!(ArcId(4).sister(), ArcId(5));
+        assert_eq!(ArcId(5).sister(), ArcId(4));
+    }
+
+    #[test]
+    fn forward_detection() {
+        assert!(ArcId(0).is_forward());
+        assert!(!ArcId(1).is_forward());
+        assert_eq!(ArcId(7).forward(), ArcId(6));
+        assert_eq!(ArcId(6).forward(), ArcId(6));
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(format!("{n}"), "n42");
+    }
+}

@@ -1,0 +1,128 @@
+//! Node kinds for scheduling flow networks.
+
+use std::fmt;
+
+/// The role a node plays in the scheduling flow network (§3.2 of the paper).
+///
+/// The MCMF solvers in `firmament-mcmf` never inspect the kind; it exists so
+/// that scheduling policies and the placement-extraction pass (Listing 1)
+/// can interpret the optimal flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeKind {
+    /// A task node `T_{j,i}`: a source of one unit of flow.
+    Task {
+        /// Identifier of the task in the cluster model.
+        task: u64,
+    },
+    /// A machine node `M_m`: flow through it schedules a task on machine `m`.
+    Machine {
+        /// Identifier of the machine in the cluster model.
+        machine: u64,
+    },
+    /// A rack aggregator `R_r` (Quincy policy, Fig 6b).
+    RackAggregator {
+        /// Identifier of the rack.
+        rack: u32,
+    },
+    /// The cluster-wide aggregator `X` (load-spreading and Quincy policies).
+    ClusterAggregator,
+    /// A request aggregator `RA` (network-aware policy, Fig 6c).
+    RequestAggregator {
+        /// Identifier of the request class (e.g. a bandwidth bucket).
+        class: u32,
+    },
+    /// The per-job unscheduled aggregator `U_j`.
+    UnscheduledAggregator {
+        /// Identifier of the job.
+        job: u64,
+    },
+    /// The unique sink node `S`.
+    Sink,
+    /// A policy-defined aggregator that none of the built-in passes need to
+    /// understand.
+    Other {
+        /// Policy-private tag.
+        tag: u64,
+    },
+}
+
+impl NodeKind {
+    /// Returns `true` for task nodes.
+    #[inline]
+    pub fn is_task(&self) -> bool {
+        matches!(self, NodeKind::Task { .. })
+    }
+
+    /// Returns `true` for machine nodes.
+    #[inline]
+    pub fn is_machine(&self) -> bool {
+        matches!(self, NodeKind::Machine { .. })
+    }
+
+    /// Returns `true` for the sink node.
+    #[inline]
+    pub fn is_sink(&self) -> bool {
+        matches!(self, NodeKind::Sink)
+    }
+
+    /// Returns `true` for unscheduled aggregators.
+    #[inline]
+    pub fn is_unscheduled(&self) -> bool {
+        matches!(self, NodeKind::UnscheduledAggregator { .. })
+    }
+
+    /// Returns `true` for any aggregator kind (rack, cluster, request,
+    /// unscheduled, or other).
+    #[inline]
+    pub fn is_aggregator(&self) -> bool {
+        matches!(
+            self,
+            NodeKind::RackAggregator { .. }
+                | NodeKind::ClusterAggregator
+                | NodeKind::RequestAggregator { .. }
+                | NodeKind::UnscheduledAggregator { .. }
+                | NodeKind::Other { .. }
+        )
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Task { task } => write!(f, "T{task}"),
+            NodeKind::Machine { machine } => write!(f, "M{machine}"),
+            NodeKind::RackAggregator { rack } => write!(f, "R{rack}"),
+            NodeKind::ClusterAggregator => write!(f, "X"),
+            NodeKind::RequestAggregator { class } => write!(f, "RA{class}"),
+            NodeKind::UnscheduledAggregator { job } => write!(f, "U{job}"),
+            NodeKind::Sink => write!(f, "S"),
+            NodeKind::Other { tag } => write!(f, "O{tag}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Task { task: 1 }.is_task());
+        assert!(NodeKind::Machine { machine: 2 }.is_machine());
+        assert!(NodeKind::Sink.is_sink());
+        assert!(NodeKind::UnscheduledAggregator { job: 3 }.is_unscheduled());
+        assert!(NodeKind::ClusterAggregator.is_aggregator());
+        assert!(NodeKind::RackAggregator { rack: 0 }.is_aggregator());
+        assert!(!NodeKind::Sink.is_aggregator());
+        assert!(!NodeKind::Task { task: 1 }.is_aggregator());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(NodeKind::Task { task: 7 }.to_string(), "T7");
+        assert_eq!(NodeKind::ClusterAggregator.to_string(), "X");
+        assert_eq!(NodeKind::Sink.to_string(), "S");
+        assert_eq!(NodeKind::RequestAggregator { class: 4 }.to_string(), "RA4");
+    }
+}

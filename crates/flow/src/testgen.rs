@@ -1,0 +1,282 @@
+//! Deterministic random-instance generation for tests and benchmarks.
+//!
+//! Generated instances are *feasible by construction*: every source has a
+//! fallback path to the sink through an "unscheduled"-style aggregator with
+//! ample capacity, mirroring how real scheduling graphs guarantee that every
+//! task can always route its flow (§3.2). A tiny xorshift generator keeps
+//! this module dependency-free and reproducible across platforms.
+
+use crate::graph::FlowGraph;
+use crate::ids::NodeId;
+use crate::node::NodeKind;
+
+/// A small, fast, deterministic PRNG (xorshift64*).
+///
+/// Not cryptographically secure; used only for reproducible test instances.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a non-zero seed (zero is mapped to a fixed
+    /// constant).
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Returns the next pseudo-random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Returns a uniform `i64` in `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + (self.below((hi - lo + 1) as u64) as i64)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Parameters for [`scheduling_instance`].
+#[derive(Debug, Clone)]
+pub struct InstanceSpec {
+    /// Number of task (source) nodes.
+    pub tasks: usize,
+    /// Number of machine nodes.
+    pub machines: usize,
+    /// Slots per machine (capacity of the machine → sink arc).
+    pub slots_per_machine: i64,
+    /// Preference arcs per task (each to a uniformly random machine).
+    pub prefs_per_task: usize,
+    /// Maximum preference-arc cost (cost drawn uniformly from `1..=max`).
+    pub max_cost: i64,
+    /// Cost of leaving a task unscheduled (typically larger than `max_cost`).
+    pub unscheduled_cost: i64,
+    /// Whether tasks also reach machines through a cluster aggregator.
+    pub cluster_aggregator: bool,
+}
+
+impl Default for InstanceSpec {
+    fn default() -> Self {
+        InstanceSpec {
+            tasks: 50,
+            machines: 20,
+            slots_per_machine: 4,
+            prefs_per_task: 3,
+            max_cost: 100,
+            unscheduled_cost: 150,
+            cluster_aggregator: true,
+        }
+    }
+}
+
+/// A generated instance with handles to the interesting nodes.
+#[derive(Debug)]
+pub struct Instance {
+    /// The generated graph (flow cleared).
+    pub graph: FlowGraph,
+    /// Task node ids, in creation order.
+    pub tasks: Vec<NodeId>,
+    /// Machine node ids, in creation order.
+    pub machines: Vec<NodeId>,
+    /// The sink node.
+    pub sink: NodeId,
+    /// The unscheduled aggregator shared by all tasks.
+    pub unscheduled: NodeId,
+}
+
+/// Generates a feasible scheduling-shaped MCMF instance.
+///
+/// # Examples
+///
+/// ```
+/// use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
+///
+/// let inst = scheduling_instance(42, &InstanceSpec::default());
+/// assert_eq!(inst.graph.total_supply(), 50);
+/// ```
+pub fn scheduling_instance(seed: u64, spec: &InstanceSpec) -> Instance {
+    let mut rng = XorShift64::new(seed);
+    let mut g = FlowGraph::with_capacity(
+        spec.tasks + spec.machines + 3,
+        spec.tasks * (spec.prefs_per_task + 2) + spec.machines + 2,
+    );
+    let sink = g.add_node(NodeKind::Sink, -(spec.tasks as i64));
+    let unscheduled = g.add_node(NodeKind::UnscheduledAggregator { job: 0 }, 0);
+    g.add_arc(unscheduled, sink, spec.tasks as i64, 0)
+        .expect("unscheduled-sink arc");
+    let cluster = if spec.cluster_aggregator {
+        Some(g.add_node(NodeKind::ClusterAggregator, 0))
+    } else {
+        None
+    };
+    let mut machines = Vec::with_capacity(spec.machines);
+    for m in 0..spec.machines {
+        let n = g.add_node(NodeKind::Machine { machine: m as u64 }, 0);
+        g.add_arc(n, sink, spec.slots_per_machine, 0)
+            .expect("machine-sink arc");
+        if let Some(x) = cluster {
+            let cost = rng.range_i64(1, spec.max_cost);
+            g.add_arc(x, n, spec.slots_per_machine, cost)
+                .expect("cluster-machine arc");
+        }
+        machines.push(n);
+    }
+    let mut tasks = Vec::with_capacity(spec.tasks);
+    for t in 0..spec.tasks {
+        let n = g.add_node(NodeKind::Task { task: t as u64 }, 1);
+        g.add_arc(n, unscheduled, 1, spec.unscheduled_cost)
+            .expect("task-unscheduled arc");
+        if let Some(x) = cluster {
+            let cost = rng.range_i64(1, spec.max_cost);
+            g.add_arc(n, x, 1, cost).expect("task-cluster arc");
+        }
+        for _ in 0..spec.prefs_per_task.min(spec.machines) {
+            let m = machines[rng.below(spec.machines as u64) as usize];
+            let cost = rng.range_i64(1, spec.max_cost);
+            // Duplicate arcs are fine for MCMF, so no dedup needed.
+            g.add_arc(n, m, 1, cost).expect("preference arc");
+        }
+        tasks.push(n);
+    }
+    Instance {
+        graph: g,
+        tasks,
+        machines,
+        sink,
+        unscheduled,
+    }
+}
+
+/// Generates a layered random DAG instance (sources → layers → sink) with a
+/// fallback arc per source, exercising longer augmenting paths than
+/// [`scheduling_instance`].
+pub fn layered_instance(seed: u64, sources: usize, layers: usize, width: usize) -> FlowGraph {
+    let mut rng = XorShift64::new(seed);
+    let mut g = FlowGraph::new();
+    let sink = g.add_node(NodeKind::Sink, -(sources as i64));
+    let mut prev: Vec<NodeId> = Vec::new();
+    for l in 0..layers {
+        let mut layer = Vec::with_capacity(width);
+        for w in 0..width {
+            let n = g.add_node(
+                NodeKind::Other {
+                    tag: (l * width + w) as u64,
+                },
+                0,
+            );
+            layer.push(n);
+        }
+        if l == 0 {
+            prev = layer;
+            continue;
+        }
+        for &u in &prev {
+            // Two random arcs into the next layer.
+            for _ in 0..2 {
+                let v = layer[rng.below(width as u64) as usize];
+                let cap = rng.range_i64(1, 4);
+                let cost = rng.range_i64(0, 50);
+                g.add_arc(u, v, cap, cost).expect("layer arc");
+            }
+        }
+        prev = layer;
+    }
+    for &u in &prev {
+        g.add_arc(u, sink, sources as i64, rng.range_i64(0, 10))
+            .expect("last-layer arc");
+    }
+    // Sources feed the first layer, with a direct fallback to the sink so
+    // the instance is always feasible.
+    let first: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| matches!(g.kind(n), NodeKind::Other { tag } if (tag as usize) < width))
+        .collect();
+    for s in 0..sources {
+        let n = g.add_node(NodeKind::Task { task: s as u64 }, 1);
+        let v = first[rng.below(first.len() as u64) as usize];
+        g.add_arc(n, v, 1, rng.range_i64(0, 20)).expect("source arc");
+        g.add_arc(n, sink, 1, 500).expect("fallback arc");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = scheduling_instance(7, &InstanceSpec::default());
+        let b = scheduling_instance(7, &InstanceSpec::default());
+        assert_eq!(a.graph.arc_count(), b.graph.arc_count());
+        let costs_a: Vec<i64> = a.graph.arc_ids().map(|x| a.graph.cost(x)).collect();
+        let costs_b: Vec<i64> = b.graph.arc_ids().map(|x| b.graph.cost(x)).collect();
+        assert_eq!(costs_a, costs_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = scheduling_instance(1, &InstanceSpec::default());
+        let b = scheduling_instance(2, &InstanceSpec::default());
+        let costs_a: Vec<i64> = a.graph.arc_ids().map(|x| a.graph.cost(x)).collect();
+        let costs_b: Vec<i64> = b.graph.arc_ids().map(|x| b.graph.cost(x)).collect();
+        assert_ne!(costs_a, costs_b);
+    }
+
+    #[test]
+    fn generated_instance_validates() {
+        let inst = scheduling_instance(3, &InstanceSpec::default());
+        assert!(validate(&inst.graph).is_empty());
+        assert_eq!(inst.tasks.len(), 50);
+        assert_eq!(inst.machines.len(), 20);
+    }
+
+    #[test]
+    fn layered_instance_validates() {
+        let g = layered_instance(5, 10, 3, 4);
+        assert!(validate(&g).is_empty());
+        assert_eq!(g.total_supply(), 10);
+    }
+
+    #[test]
+    fn rng_unit_interval() {
+        let mut rng = XorShift64::new(99);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rng_range_bounds() {
+        let mut rng = XorShift64::new(4);
+        for _ in 0..1000 {
+            let v = rng.range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the flow-graph substrate: arbitrary mutation
+//! sequences must preserve structural invariants, slot reuse must never
+//! leak state, and DIMACS round-trips must preserve instance semantics.
+
+use firmament_flow::dimacs;
+use firmament_flow::validate::validate;
+use firmament_flow::{FlowGraph, NodeId, NodeKind};
+use proptest::prelude::*;
+
+/// A random mutation applied to a growing graph.
+#[derive(Debug, Clone)]
+enum Op {
+    AddNode(i64),
+    AddArc { src: usize, dst: usize, cap: i64, cost: i64 },
+    RemoveNode(usize),
+    RemoveArc(usize),
+    SetCost { arc: usize, cost: i64 },
+    SetCapacity { arc: usize, cap: i64 },
+    Push { arc: usize, frac: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-3i64..3).prop_map(Op::AddNode),
+        (0usize..64, 0usize..64, 0i64..10, -50i64..50)
+            .prop_map(|(src, dst, cap, cost)| Op::AddArc { src, dst, cap, cost }),
+        (0usize..64).prop_map(Op::RemoveNode),
+        (0usize..64).prop_map(Op::RemoveArc),
+        (0usize..64, -50i64..50).prop_map(|(arc, cost)| Op::SetCost { arc, cost }),
+        (0usize..64, 0i64..10).prop_map(|(arc, cap)| Op::SetCapacity { arc, cap }),
+        (0usize..64, 0u8..=100).prop_map(|(arc, frac)| Op::Push { arc, frac }),
+    ]
+}
+
+fn apply(graph: &mut FlowGraph, op: &Op) {
+    let nodes: Vec<NodeId> = graph.node_ids().collect();
+    let arcs: Vec<_> = graph.arc_ids().collect();
+    match op {
+        Op::AddNode(supply) => {
+            graph.add_node(NodeKind::Other { tag: 0 }, *supply);
+        }
+        Op::AddArc { src, dst, cap, cost } => {
+            if nodes.len() >= 2 {
+                let s = nodes[src % nodes.len()];
+                let d = nodes[dst % nodes.len()];
+                if s != d {
+                    graph.add_arc(s, d, *cap, *cost).unwrap();
+                }
+            }
+        }
+        Op::RemoveNode(i) => {
+            if !nodes.is_empty() {
+                graph.remove_node(nodes[i % nodes.len()]).unwrap();
+            }
+        }
+        Op::RemoveArc(i) => {
+            if !arcs.is_empty() {
+                graph.remove_arc(arcs[i % arcs.len()]).unwrap();
+            }
+        }
+        Op::SetCost { arc, cost } => {
+            if !arcs.is_empty() {
+                graph.set_arc_cost(arcs[arc % arcs.len()], *cost).unwrap();
+            }
+        }
+        Op::SetCapacity { arc, cap } => {
+            if !arcs.is_empty() {
+                graph.set_arc_capacity(arcs[arc % arcs.len()], *cap).unwrap();
+            }
+        }
+        Op::Push { arc, frac } => {
+            if !arcs.is_empty() {
+                let a = arcs[arc % arcs.len()];
+                let r = graph.rescap(a);
+                let delta = r * (*frac as i64) / 100;
+                if delta > 0 {
+                    graph.push_flow(a, delta);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary mutation sequences never violate structural invariants.
+    #[test]
+    fn mutations_preserve_invariants(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut g = FlowGraph::new();
+        for op in &ops {
+            apply(&mut g, op);
+            let violations = validate(&g);
+            prop_assert!(violations.is_empty(), "after {op:?}: {violations:?}");
+        }
+        // Counts agree with iteration.
+        prop_assert_eq!(g.node_count(), g.node_ids().count());
+        prop_assert_eq!(g.arc_count(), g.arc_ids().count());
+    }
+
+    /// The change log replays to an equivalent structure: applying the same
+    /// ops with tracking on records one entry per effective mutation.
+    #[test]
+    fn change_log_matches_mutations(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut g = FlowGraph::new();
+        g.set_change_tracking(true);
+        let mut effective = 0usize;
+        for op in &ops {
+            let nodes_before = g.node_count();
+            let arcs_before = g.arc_count();
+            let log_before = g.pending_changes().len();
+            apply(&mut g, op);
+            let log_delta = g.pending_changes().len() - log_before;
+            match op {
+                Op::AddNode(_) => prop_assert_eq!(log_delta, 1),
+                Op::RemoveNode(_) if nodes_before > 0 => {
+                    // Node removal logs the node plus each incident arc.
+                    prop_assert!(log_delta >= 1);
+                }
+                Op::RemoveArc(_) if arcs_before > 0 => prop_assert_eq!(log_delta, 1),
+                Op::Push { .. } => prop_assert_eq!(log_delta, 0, "pushes are not changes"),
+                _ => {}
+            }
+            effective += log_delta;
+        }
+        prop_assert_eq!(g.take_changes().len(), effective);
+    }
+
+    /// DIMACS round-trips preserve node/arc counts, supplies, and the
+    /// multiset of (capacity, cost) pairs.
+    #[test]
+    fn dimacs_roundtrip_preserves_semantics(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut g = FlowGraph::new();
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        let text = dimacs::serialize(&g);
+        let g2 = dimacs::parse(&text).unwrap();
+        prop_assert_eq!(g2.node_count(), g.node_count());
+        prop_assert_eq!(g2.arc_count(), g.arc_count());
+        prop_assert_eq!(g2.total_supply(), g.total_supply());
+        let mut pairs1: Vec<(i64, i64)> =
+            g.arc_ids().map(|a| (g.capacity(a), g.cost(a))).collect();
+        let mut pairs2: Vec<(i64, i64)> =
+            g2.arc_ids().map(|a| (g2.capacity(a), g2.cost(a))).collect();
+        pairs1.sort_unstable();
+        pairs2.sort_unstable();
+        prop_assert_eq!(pairs1, pairs2);
+    }
+
+    /// Objective is bilinear: scaling all costs scales the objective.
+    #[test]
+    fn objective_scales_with_costs(seed in 0u64..1000, factor in 2i64..5) {
+        use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
+        let mut inst = scheduling_instance(seed, &InstanceSpec::default());
+        // Route one unit down the first task's unscheduled path.
+        let t = inst.tasks[0];
+        let g = &mut inst.graph;
+        let arc = g.adj(t).iter().copied().find(|&a| a.is_forward()).unwrap();
+        g.push_flow(arc, 1);
+        let before = g.objective();
+        for a in g.arc_ids().collect::<Vec<_>>() {
+            let c = g.cost(a);
+            g.set_arc_cost(a, c * factor).unwrap();
+        }
+        prop_assert_eq!(g.objective(), before * factor);
+    }
+}

@@ -1,0 +1,172 @@
+//! Approximate min-cost max-flow support (§5.1, Fig 10).
+//!
+//! MCMF algorithms return an optimal solution, but a scheduler might hope an
+//! approximate one suffices. The paper investigates terminating cost scaling
+//! and relaxation early and measuring *task misplacements* — and rejects the
+//! idea, because thousands of tasks remain misplaced until shortly before
+//! the algorithms converge. This module provides the misplacement metric
+//! used by that experiment.
+
+use firmament_flow::{FlowGraph, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Where a task's unit of flow ended up in some (possibly partial) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskAssignment {
+    /// Routed to a machine node (the machine's `machine` id is given).
+    Machine(u64),
+    /// Routed through its unscheduled aggregator (task not placed).
+    Unscheduled,
+    /// Flow not (fully) routed — only possible in early-terminated
+    /// pseudoflows.
+    Unrouted,
+}
+
+/// Extracts each task's effective assignment by tracing its unit of flow
+/// forward until a machine node, an unscheduled aggregator, or a dead end.
+///
+/// This is a *diagnostic* extraction tolerant of infeasible pseudoflows; the
+/// production placement extraction (Listing 1) lives in `firmament-core`.
+pub fn task_assignments(graph: &FlowGraph) -> HashMap<u64, TaskAssignment> {
+    let mut out = HashMap::new();
+    for t in graph.node_ids() {
+        let NodeKind::Task { task } = graph.kind(t) else {
+            continue;
+        };
+        out.insert(task, trace_assignment(graph, t));
+    }
+    out
+}
+
+fn trace_assignment(graph: &FlowGraph, task: NodeId) -> TaskAssignment {
+    let mut u = task;
+    let mut steps = 0usize;
+    let limit = graph.node_count() + 1;
+    loop {
+        match graph.kind(u) {
+            NodeKind::Machine { machine } if u != task => return TaskAssignment::Machine(machine),
+            NodeKind::UnscheduledAggregator { .. } => return TaskAssignment::Unscheduled,
+            NodeKind::Sink => return TaskAssignment::Unrouted,
+            _ => {}
+        }
+        let next = graph
+            .adj(u)
+            .iter()
+            .copied()
+            .find(|&a| a.is_forward() && graph.flow(a) > 0);
+        match next {
+            Some(a) => u = graph.dst(a),
+            None => return TaskAssignment::Unrouted,
+        }
+        steps += 1;
+        if steps > limit {
+            return TaskAssignment::Unrouted;
+        }
+    }
+}
+
+/// Counts misplaced tasks between an approximate assignment and the optimal
+/// one (§5.1): a task is misplaced if it is (i) preempted/unplaced in the
+/// approximate solution but runs in the optimal one, or (ii) scheduled on a
+/// different machine than in the optimal solution.
+pub fn count_misplacements(
+    approximate: &HashMap<u64, TaskAssignment>,
+    optimal: &HashMap<u64, TaskAssignment>,
+) -> usize {
+    let mut misplaced = 0usize;
+    for (task, opt) in optimal {
+        let approx = approximate.get(task).unwrap_or(&TaskAssignment::Unrouted);
+        match (approx, opt) {
+            (TaskAssignment::Machine(a), TaskAssignment::Machine(b)) if a == b => {}
+            (_, TaskAssignment::Machine(_)) => misplaced += 1,
+            // Task unscheduled in the optimal solution: the approximate
+            // solution scheduling it somewhere also counts as misplacement
+            // (it would be erroneously started and then preempted).
+            (TaskAssignment::Machine(_), _) => misplaced += 1,
+            _ => {}
+        }
+    }
+    misplaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::SolveOptions;
+    use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
+
+    #[test]
+    fn assignments_of_optimal_flow_are_routed() {
+        let mut inst = scheduling_instance(1, &InstanceSpec::default());
+        crate::relaxation::solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let assignments = task_assignments(&inst.graph);
+        assert_eq!(assignments.len(), inst.tasks.len());
+        assert!(
+            assignments
+                .values()
+                .all(|a| !matches!(a, TaskAssignment::Unrouted)),
+            "optimal feasible flow routes every task"
+        );
+    }
+
+    #[test]
+    fn optimal_vs_itself_has_zero_misplacements() {
+        let mut inst = scheduling_instance(2, &InstanceSpec::default());
+        crate::relaxation::solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let a = task_assignments(&inst.graph);
+        assert_eq!(count_misplacements(&a, &a), 0);
+    }
+
+    #[test]
+    fn early_terminated_flow_has_misplacements() {
+        let spec = InstanceSpec {
+            tasks: 120,
+            machines: 12,
+            slots_per_machine: 4,
+            prefs_per_task: 4,
+            ..InstanceSpec::default()
+        };
+        let mut partial = scheduling_instance(5, &spec);
+        let opts = SolveOptions {
+            iteration_limit: Some(30),
+            ..Default::default()
+        };
+        let sol = crate::cost_scaling::solve(&mut partial.graph, &opts).unwrap();
+        assert!(sol.terminated_early);
+        let approx = task_assignments(&partial.graph);
+
+        let mut full = scheduling_instance(5, &spec);
+        crate::cost_scaling::solve(&mut full.graph, &SolveOptions::unlimited()).unwrap();
+        let optimal = task_assignments(&full.graph);
+
+        let misplaced = count_misplacements(&approx, &optimal);
+        assert!(
+            misplaced > 0,
+            "a severely truncated run must misplace tasks"
+        );
+    }
+
+    #[test]
+    fn unscheduled_agreement_is_not_misplacement() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        a.insert(1, TaskAssignment::Unscheduled);
+        b.insert(1, TaskAssignment::Unscheduled);
+        a.insert(2, TaskAssignment::Machine(3));
+        b.insert(2, TaskAssignment::Machine(3));
+        assert_eq!(count_misplacements(&a, &b), 0);
+    }
+
+    #[test]
+    fn wrong_machine_counts() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        a.insert(1, TaskAssignment::Machine(0));
+        b.insert(1, TaskAssignment::Machine(4));
+        a.insert(2, TaskAssignment::Unscheduled);
+        b.insert(2, TaskAssignment::Machine(1));
+        a.insert(3, TaskAssignment::Machine(7));
+        b.insert(3, TaskAssignment::Unscheduled);
+        assert_eq!(count_misplacements(&a, &b), 3);
+    }
+}

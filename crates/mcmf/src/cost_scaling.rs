@@ -1,0 +1,458 @@
+//! Cost scaling (Goldberg [17–19]): ε-optimality push/relabel scaling.
+//!
+//! Cost scaling iterates to reduce cost while maintaining feasibility, using
+//! the relaxed complementary slackness condition called ε-optimality (§4):
+//! a flow is ε-optimal if no residual arc has reduced cost below −ε.
+//! Initially ε equals the maximum arc cost; each `refine` phase divides it
+//! by the configurable α-factor until `1/n`-optimality — equivalent to full
+//! optimality for integer costs — is reached.
+//!
+//! This is the algorithm behind Quincy's `cs2` solver; Firmament uses the
+//! *incremental* variant (see [`crate::incremental`]) as its fallback
+//! algorithm and runs it speculatively next to relaxation (§6.1).
+//!
+//! Sign conventions: reduced costs are `c^π(a) = c(a) + π(src) − π(dst)`;
+//! prices only ever *decrease* (as in Goldberg's implementation), and a
+//! residual arc is *admissible* when its reduced cost is negative.
+
+use crate::common::{
+    AlgorithmKind, Budget, BudgetStop, Solution, SolveError, SolveOptions, SolveStats,
+};
+use firmament_flow::{FlowGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Tuning parameters for cost scaling.
+#[derive(Debug, Clone)]
+pub struct CostScalingConfig {
+    /// The scale factor by which ε shrinks between phases. Quincy used the
+    /// default of 2; the paper found α = 9 about 30 % faster on its graphs
+    /// (§7.2, footnote 3).
+    pub alpha: i64,
+}
+
+impl Default for CostScalingConfig {
+    fn default() -> Self {
+        CostScalingConfig { alpha: 2 }
+    }
+}
+
+/// Persistent cost-scaling state, reusable across incremental runs (§5.2).
+#[derive(Debug, Clone, Default)]
+pub struct CostScalingState {
+    /// Node prices in *scaled* cost units, indexed by raw node index.
+    pub potentials: Vec<i64>,
+    /// The internal cost multiplier `F`: all reduced costs are computed on
+    /// `F · c(a)` so that integer ε < 1 certifies optimality when `F > n`.
+    pub scale: i64,
+}
+
+impl CostScalingState {
+    /// Ensures the state covers a graph with `node_bound` raw node slots and
+    /// that the scale exceeds the node count (rescaling prices exactly if
+    /// the graph has grown past the old scale).
+    pub fn fit(&mut self, node_bound: usize) {
+        let needed = next_pow2(node_bound as i64 + 2);
+        if self.scale == 0 {
+            self.scale = needed;
+        } else if needed > self.scale {
+            let ratio = needed / self.scale;
+            for p in &mut self.potentials {
+                *p *= ratio;
+            }
+            self.scale = needed;
+        }
+        if self.potentials.len() < node_bound {
+            self.potentials.resize(node_bound, 0);
+        }
+    }
+}
+
+fn next_pow2(x: i64) -> i64 {
+    let mut p = 1i64;
+    while p < x {
+        p <<= 1;
+    }
+    p
+}
+
+/// Solves min-cost max-flow by cost scaling from scratch.
+///
+/// # Examples
+///
+/// ```
+/// use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
+/// use firmament_mcmf::{cost_scaling, SolveOptions};
+///
+/// let mut inst = scheduling_instance(1, &InstanceSpec::default());
+/// let sol = cost_scaling::solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+/// assert!(firmament_mcmf::verify::is_optimal(&inst.graph));
+/// # let _ = sol;
+/// ```
+pub fn solve(graph: &mut FlowGraph, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    solve_with(graph, opts, &CostScalingConfig::default())
+}
+
+/// Solves from scratch with explicit configuration.
+pub fn solve_with(
+    graph: &mut FlowGraph,
+    opts: &SolveOptions,
+    config: &CostScalingConfig,
+) -> Result<Solution, SolveError> {
+    let mut state = CostScalingState::default();
+    graph.reset_flow();
+    state.fit(graph.node_bound());
+    let eps0 = state.scale * graph.max_cost();
+    let sol = run_phases(graph, opts, config, &mut state, eps0)?;
+    Ok(Solution {
+        algorithm: AlgorithmKind::CostScaling,
+        ..sol
+    })
+}
+
+/// Runs the ε-scaling phase loop starting from `eps0`, reusing `state`'s
+/// prices. The flow currently in the graph is treated as a pseudoflow; on
+/// success the graph holds an optimal feasible flow.
+///
+/// This is the shared engine for both from-scratch and incremental cost
+/// scaling: the only difference is the starting ε and the prices.
+pub fn run_phases(
+    graph: &mut FlowGraph,
+    opts: &SolveOptions,
+    config: &CostScalingConfig,
+    state: &mut CostScalingState,
+    eps0: i64,
+) -> Result<Solution, SolveError> {
+    let mut budget = Budget::new(opts);
+    let mut stats = SolveStats::default();
+    let total: i64 = graph.node_ids().map(|v| graph.supply(v)).sum();
+    if total != 0 {
+        return Err(SolveError::UnbalancedSupply { total });
+    }
+    state.fit(graph.node_bound());
+    let alpha = config.alpha.max(2);
+    let mut eps = eps0.max(1);
+    loop {
+        stats.phases += 1;
+        match refine(graph, state, eps, &mut budget, &mut stats) {
+            Ok(()) => {}
+            Err(RefineStop::Cancelled) => return Err(SolveError::Cancelled),
+            Err(RefineStop::Infeasible) => return Err(SolveError::Infeasible),
+            Err(RefineStop::Exhausted) => {
+                stats.iterations = budget.iterations;
+                return Ok(Solution {
+                    algorithm: AlgorithmKind::CostScaling,
+                    objective: graph.objective(),
+                    terminated_early: true,
+                    runtime: budget.elapsed(),
+                    stats,
+                });
+            }
+        }
+        if eps == 1 {
+            break;
+        }
+        eps = (eps / alpha).max(1);
+    }
+    stats.iterations = budget.iterations;
+    Ok(Solution {
+        algorithm: AlgorithmKind::CostScaling,
+        objective: graph.objective(),
+        terminated_early: false,
+        runtime: budget.elapsed(),
+        stats,
+    })
+}
+
+enum RefineStop {
+    Cancelled,
+    Exhausted,
+    Infeasible,
+}
+
+/// One `refine` phase: converts the current pseudoflow into an ε-optimal
+/// feasible flow by saturating admissible arcs and then discharging active
+/// nodes FIFO with push/relabel.
+fn refine(
+    graph: &mut FlowGraph,
+    state: &mut CostScalingState,
+    eps: i64,
+    budget: &mut Budget,
+    stats: &mut SolveStats,
+) -> Result<(), RefineStop> {
+    let n = graph.node_bound();
+    let scale = state.scale;
+    let pot = &mut state.potentials;
+
+    // Saturate every residual arc with negative reduced cost; afterwards the
+    // pseudoflow is 0-optimal (hence ε-optimal) with respect to `pot`.
+    let nodes: Vec<NodeId> = graph.node_ids().collect();
+    for &u in &nodes {
+        // Collect first: pushing mutates residual capacities, and the push
+        // on arc `a` only affects `a` and its sister, never other arcs of u.
+        let arcs: Vec<_> = graph.adj(u).to_vec();
+        for a in arcs {
+            let r = graph.rescap(a);
+            if r <= 0 {
+                continue;
+            }
+            let v = graph.dst(a);
+            let rc = scale * graph.cost(a) + pot[u.index()] - pot[v.index()];
+            if rc < 0 {
+                graph.push_flow(a, r);
+            }
+        }
+    }
+
+    let mut excess = graph.excesses();
+    let mut active: VecDeque<u32> = VecDeque::new();
+    let mut in_active = vec![false; n];
+    for &u in &nodes {
+        if excess[u.index()] > 0 {
+            active.push_back(u.index() as u32);
+            in_active[u.index()] = true;
+        }
+    }
+    let mut current_arc = vec![0usize; n];
+    // Price floor for infeasibility detection. From-scratch theory bounds
+    // the drop per refine by 3·n·ε, but warm starts add two slack terms:
+    // fresh nodes enter at price 0 above a landscape that sank over many
+    // incremental rounds, and a single relabel may jump by a full scaled
+    // arc cost. Truly unroutable excess sinks forever and still crosses
+    // any finite floor.
+    let min_pot = nodes.iter().map(|u| pot[u.index()]).min().unwrap_or(0);
+    let max_span = nodes
+        .iter()
+        .map(|u| pot[u.index()])
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(min_pot);
+    let slack = scale.saturating_mul(graph.max_cost() + 1);
+    let floor = min_pot
+        .saturating_sub((3 * (n as i64 + 1)).saturating_mul(eps.max(slack)))
+        .saturating_sub(max_span)
+        - 1;
+
+    while let Some(ui) = active.pop_front() {
+        let u = NodeId::from_index(ui as usize);
+        in_active[ui as usize] = false;
+        // Discharge u completely.
+        while excess[ui as usize] > 0 {
+            match budget.tick() {
+                Some(BudgetStop::Cancelled) => return Err(RefineStop::Cancelled),
+                Some(BudgetStop::Exhausted) => return Err(RefineStop::Exhausted),
+                None => {}
+            }
+            let adj = graph.adj(u);
+            if current_arc[ui as usize] < adj.len() {
+                let a = adj[current_arc[ui as usize]];
+                let r = graph.rescap(a);
+                if r > 0 {
+                    let v = graph.dst(a);
+                    let rc = scale * graph.cost(a) + pot[ui as usize] - pot[v.index()];
+                    if rc < 0 {
+                        // Push along the admissible arc.
+                        let delta = excess[ui as usize].min(r);
+                        graph.push_flow(a, delta);
+                        excess[ui as usize] -= delta;
+                        let was = excess[v.index()];
+                        excess[v.index()] += delta;
+                        stats.augmentations += 1;
+                        if was <= 0 && excess[v.index()] > 0 && !in_active[v.index()] {
+                            active.push_back(v.index() as u32);
+                            in_active[v.index()] = true;
+                        }
+                        continue;
+                    }
+                }
+                current_arc[ui as usize] += 1;
+            } else {
+                // Relabel: lower u's price just enough to create an
+                // admissible arc.
+                let mut best = i64::MIN;
+                for &a in graph.adj(u) {
+                    if graph.rescap(a) > 0 {
+                        let v = graph.dst(a);
+                        let candidate = pot[v.index()] - scale * graph.cost(a);
+                        if candidate > best {
+                            best = candidate;
+                        }
+                    }
+                }
+                if best == i64::MIN {
+                    // Excess with no residual out-arc can never be routed.
+                    return Err(RefineStop::Infeasible);
+                }
+                pot[ui as usize] = best - eps;
+                stats.price_updates += 1;
+                current_arc[ui as usize] = 0;
+                if pot[ui as usize] < floor {
+                    return Err(RefineStop::Infeasible);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_eps_optimality, is_optimal};
+    use firmament_flow::builder::figure5;
+    use firmament_flow::testgen::{layered_instance, scheduling_instance, InstanceSpec};
+    use firmament_flow::NodeKind;
+
+    #[test]
+    fn solves_figure5_optimally() {
+        let (mut g, _, _) = figure5();
+        let sol = solve(&mut g, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(sol.objective, 14);
+        assert!(is_optimal(&g));
+    }
+
+    #[test]
+    fn agrees_with_ssp_on_random_instances() {
+        for seed in 0..10 {
+            let spec = InstanceSpec {
+                tasks: 60,
+                machines: 15,
+                slots_per_machine: 3,
+                ..InstanceSpec::default()
+            };
+            let mut a = scheduling_instance(seed, &spec);
+            let mut b = scheduling_instance(seed, &spec);
+            let s1 = solve(&mut a.graph, &SolveOptions::unlimited()).unwrap();
+            let s2 = crate::ssp::solve(&mut b.graph, &SolveOptions::unlimited()).unwrap();
+            assert_eq!(s1.objective, s2.objective, "seed {seed}");
+            assert!(is_optimal(&a.graph), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_layered_graphs() {
+        for seed in 0..5 {
+            let mut a = layered_instance(seed, 15, 5, 6);
+            let mut b = layered_instance(seed, 15, 5, 6);
+            let s1 = solve(&mut a, &SolveOptions::unlimited()).unwrap();
+            let s2 = crate::ssp::solve(&mut b, &SolveOptions::unlimited()).unwrap();
+            assert_eq!(s1.objective, s2.objective, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn alpha_factor_variants_agree() {
+        for alpha in [2, 4, 9, 16] {
+            let mut inst = scheduling_instance(3, &InstanceSpec::default());
+            let cfg = CostScalingConfig { alpha };
+            let sol = solve_with(&mut inst.graph, &SolveOptions::unlimited(), &cfg).unwrap();
+            assert!(is_optimal(&inst.graph), "alpha {alpha}");
+            // All α values must find the same optimal objective.
+            let mut reference = scheduling_instance(3, &InstanceSpec::default());
+            let r = crate::ssp::solve(&mut reference.graph, &SolveOptions::unlimited()).unwrap();
+            assert_eq!(sol.objective, r.objective, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn final_prices_certify_eps_optimality() {
+        let mut inst = scheduling_instance(5, &InstanceSpec::default());
+        let mut state = CostScalingState::default();
+        inst.graph.reset_flow();
+        state.fit(inst.graph.node_bound());
+        let eps0 = state.scale * inst.graph.max_cost();
+        run_phases(
+            &mut inst.graph,
+            &SolveOptions::unlimited(),
+            &CostScalingConfig::default(),
+            &mut state,
+            eps0,
+        )
+        .unwrap();
+        // At termination the flow is 1-optimal in scaled costs.
+        let scaled_costs: Vec<i64> = inst
+            .graph
+            .arc_ids()
+            .map(|a| inst.graph.cost(a) * state.scale)
+            .collect();
+        let _ = scaled_costs;
+        // Check via the unscaled ε: rc_scaled >= -1 ⇒ rc >= -1/scale > -1,
+        // so integer reduced costs are >= 0 after dividing prices by scale.
+        // We verify through the negative-cycle criterion instead.
+        assert!(is_optimal(&inst.graph));
+        // The scaled prices must certify eps=1 optimality on scaled costs.
+        let n = inst.graph.node_bound();
+        let mut ok = true;
+        for u in inst.graph.node_ids() {
+            for &a in inst.graph.adj(u) {
+                if inst.graph.rescap(a) > 0 {
+                    let v = inst.graph.dst(a);
+                    let rc = state.scale * inst.graph.cost(a) + state.potentials[u.index()]
+                        - state.potentials[v.index()];
+                    if rc < -1 {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        assert!(ok, "scaled prices violate 1-optimality");
+        let _ = n;
+        let _ = check_eps_optimality;
+    }
+
+    #[test]
+    fn state_rescaling_is_exact() {
+        let mut s = CostScalingState {
+            potentials: vec![4, -8, 12],
+            scale: 4,
+        };
+        s.fit(30); // needs scale ≥ 32
+        assert_eq!(s.scale, 32);
+        assert_eq!(s.potentials[..3], [32, -64, 96]);
+        assert_eq!(s.potentials.len(), 30);
+    }
+
+    #[test]
+    fn zero_cost_graph_reduces_to_max_flow() {
+        let mut g = FlowGraph::new();
+        let t0 = g.add_node(NodeKind::Task { task: 0 }, 1);
+        let t1 = g.add_node(NodeKind::Task { task: 1 }, 1);
+        let m = g.add_node(NodeKind::Machine { machine: 0 }, 0);
+        let s = g.add_node(NodeKind::Sink, -2);
+        g.add_arc(t0, m, 1, 0).unwrap();
+        g.add_arc(t1, m, 1, 0).unwrap();
+        g.add_arc(m, s, 2, 0).unwrap();
+        let sol = solve(&mut g, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(sol.objective, 0);
+        assert!(firmament_flow::validate::check_feasible(&g).is_empty());
+    }
+
+    #[test]
+    fn infeasible_instance_detected() {
+        let mut g = FlowGraph::new();
+        let t = g.add_node(NodeKind::Task { task: 0 }, 2);
+        let m = g.add_node(NodeKind::Machine { machine: 0 }, 0);
+        let s = g.add_node(NodeKind::Sink, -2);
+        g.add_arc(t, m, 2, 1).unwrap();
+        g.add_arc(m, s, 1, 0).unwrap();
+        assert!(matches!(
+            solve(&mut g, &SolveOptions::unlimited()),
+            Err(SolveError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn early_termination_reports_partial() {
+        let spec = InstanceSpec {
+            tasks: 100,
+            machines: 20,
+            ..InstanceSpec::default()
+        };
+        let mut inst = scheduling_instance(11, &spec);
+        let opts = SolveOptions {
+            iteration_limit: Some(50),
+            ..Default::default()
+        };
+        let sol = solve(&mut inst.graph, &opts).unwrap();
+        assert!(sol.terminated_early);
+    }
+}

@@ -1,0 +1,329 @@
+//! The speculative dual-algorithm executor (§6.1).
+//!
+//! Firmament's MCMF solver always runs relaxation *and* incremental cost
+//! scaling concurrently and picks the solution of whichever finishes first.
+//! In the common case relaxation wins; having cost scaling as well bounds
+//! placement latency in the edge cases where relaxation degenerates (high
+//! utilization, §4.3). Running both is cheap — the algorithms are
+//! single-threaded — and avoids a brittle choice heuristic that would
+//! depend on both scheduling policy and cluster utilization.
+//!
+//! After each round the loser is cancelled cooperatively; if relaxation
+//! won, its solution is handed to incremental cost scaling through price
+//! refine (§6.2) so the *next* incremental run can warm-start.
+
+use crate::common::{AlgorithmKind, CancelToken, Solution, SolveError, SolveOptions};
+use crate::incremental::{IncrementalConfig, IncrementalCostScaling};
+use crate::relaxation::{self, RelaxationConfig};
+use firmament_flow::FlowGraph;
+
+/// Which algorithms the dual solver may run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Both algorithms, first finisher wins (Firmament's default, §6.1).
+    Dual,
+    /// Relaxation only (the "Relaxation only" series of Fig 16/18).
+    RelaxationOnly,
+    /// Cost scaling only — this is the Quincy configuration (§7.1).
+    CostScalingOnly,
+}
+
+/// Configuration for [`DualSolver`].
+#[derive(Debug, Clone)]
+pub struct DualConfig {
+    /// Which algorithm(s) to run.
+    pub kind: SolverKind,
+    /// Relaxation tuning (arc prioritization).
+    pub relaxation: RelaxationConfig,
+    /// Incremental cost scaling tuning (α-factor, price refine on adopt).
+    pub incremental: IncrementalConfig,
+}
+
+impl Default for DualConfig {
+    fn default() -> Self {
+        DualConfig {
+            kind: SolverKind::Dual,
+            relaxation: RelaxationConfig::default(),
+            incremental: IncrementalConfig {
+                price_refine_on_adopt: true,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// The outcome of a dual solve: the winning algorithm's solution and the
+/// graph holding its flow.
+#[derive(Debug)]
+pub struct DualOutcome {
+    /// The winning solution.
+    pub solution: Solution,
+    /// The graph containing the winning flow (adopt this as the new
+    /// authoritative graph; node/arc ids are preserved from the input).
+    pub graph: FlowGraph,
+    /// Which algorithm finished first.
+    pub winner: AlgorithmKind,
+}
+
+/// Firmament's MCMF solver: speculative execution of relaxation and
+/// incremental cost scaling.
+///
+/// The solver owns the cost-scaling warm state across rounds. Each call to
+/// [`solve`](Self::solve) clones the input graph per algorithm, so the
+/// caller's graph is left untouched (and can continue accumulating changes
+/// while the solver runs, as in Fig 2b).
+#[derive(Debug)]
+pub struct DualSolver {
+    config: DualConfig,
+    incremental: IncrementalCostScaling,
+}
+
+impl Default for DualSolver {
+    fn default() -> Self {
+        Self::new(DualConfig::default())
+    }
+}
+
+impl DualSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: DualConfig) -> Self {
+        let incremental = IncrementalCostScaling::new(config.incremental.clone());
+        DualSolver { config, incremental }
+    }
+
+    /// Returns the configured solver kind.
+    pub fn kind(&self) -> SolverKind {
+        self.config.kind
+    }
+
+    /// Solves the scheduling graph, returning the first-finishing solution.
+    ///
+    /// `opts` applies to both algorithms (time/iteration budgets are rarely
+    /// used here; cancellation is managed internally).
+    pub fn solve(&mut self, graph: &FlowGraph, opts: &SolveOptions) -> Result<DualOutcome, SolveError> {
+        match self.config.kind {
+            SolverKind::RelaxationOnly => self.solve_relaxation_only(graph, opts),
+            SolverKind::CostScalingOnly => self.solve_cost_scaling_only(graph, opts),
+            SolverKind::Dual => self.solve_dual(graph, opts),
+        }
+    }
+
+    fn solve_relaxation_only(
+        &mut self,
+        graph: &FlowGraph,
+        opts: &SolveOptions,
+    ) -> Result<DualOutcome, SolveError> {
+        let mut g = graph.clone();
+        let sol = relaxation::solve_with(&mut g, opts, &self.config.relaxation)?;
+        Ok(DualOutcome {
+            winner: sol.algorithm,
+            solution: sol,
+            graph: g,
+        })
+    }
+
+    fn solve_cost_scaling_only(
+        &mut self,
+        graph: &FlowGraph,
+        opts: &SolveOptions,
+    ) -> Result<DualOutcome, SolveError> {
+        let mut g = graph.clone();
+        let sol = self.incremental.solve(&mut g, opts)?;
+        Ok(DualOutcome {
+            winner: sol.algorithm,
+            solution: sol,
+            graph: g,
+        })
+    }
+
+    fn solve_dual(&mut self, graph: &FlowGraph, opts: &SolveOptions) -> Result<DualOutcome, SolveError> {
+        let cancel_relax = CancelToken::new();
+        let cancel_cs = CancelToken::new();
+        let mut relax_opts = opts.clone();
+        relax_opts.cancel = Some(cancel_relax.clone());
+        let mut cs_opts = opts.clone();
+        cs_opts.cancel = Some(cancel_cs.clone());
+
+        let relax_cfg = self.config.relaxation.clone();
+        let incremental = &mut self.incremental;
+
+        let (relax_result, cs_result) = std::thread::scope(|scope| {
+            let mut g_relax = graph.clone();
+            let mut g_cs = graph.clone();
+            let relax_handle = scope.spawn(move || {
+                let r = relaxation::solve_with(&mut g_relax, &relax_opts, &relax_cfg);
+                (r, g_relax)
+            });
+            let cs_handle = scope.spawn(move || {
+                let r = incremental.solve(&mut g_cs, &cs_opts);
+                (r, g_cs)
+            });
+            // Whichever thread finishes first cancels the other — but only
+            // if it actually produced a solution: a failed finisher (e.g.
+            // a spurious infeasibility from a warm start) must not abort
+            // the algorithm that can still succeed. We poll with
+            // `is_finished`; the inner loops check their token every 256
+            // iterations.
+            let mut relax_done: Option<(Result<Solution, SolveError>, FlowGraph)> = None;
+            let mut cs_done: Option<(Result<Solution, SolveError>, FlowGraph)> = None;
+            let mut relax_handle = Some(relax_handle);
+            let mut cs_handle = Some(cs_handle);
+            loop {
+                if relax_done.is_none()
+                    && relax_handle.as_ref().map(|h| h.is_finished()).unwrap_or(false)
+                {
+                    let r = relax_handle.take().unwrap().join().expect("relaxation thread");
+                    if r.0.is_ok() {
+                        cancel_cs.cancel();
+                    }
+                    relax_done = Some(r);
+                }
+                if cs_done.is_none()
+                    && cs_handle.as_ref().map(|h| h.is_finished()).unwrap_or(false)
+                {
+                    let r = cs_handle.take().unwrap().join().expect("cost-scaling thread");
+                    if r.0.is_ok() {
+                        cancel_relax.cancel();
+                    }
+                    cs_done = Some(r);
+                }
+                if relax_done.is_some() && cs_done.is_some() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            (relax_done.unwrap(), cs_done.unwrap())
+        });
+
+        // Prefer whichever produced a real (non-cancelled) solution; if
+        // both finished, take the faster one.
+        let outcome = match (relax_result, cs_result) {
+            ((Ok(rs), rg), (Ok(cs), cg)) => {
+                if rs.runtime <= cs.runtime {
+                    DualOutcome {
+                        winner: rs.algorithm,
+                        solution: rs,
+                        graph: rg,
+                    }
+                } else {
+                    DualOutcome {
+                        winner: cs.algorithm,
+                        solution: cs,
+                        graph: cg,
+                    }
+                }
+            }
+            ((Ok(rs), rg), (Err(_), _)) => DualOutcome {
+                winner: rs.algorithm,
+                solution: rs,
+                graph: rg,
+            },
+            ((Err(_), _), (Ok(cs), cg)) => DualOutcome {
+                winner: cs.algorithm,
+                solution: cs,
+                graph: cg,
+            },
+            ((Err(re), _), (Err(ce), _)) => {
+                // Both failed: propagate the more informative error.
+                let err = match (&re, &ce) {
+                    (SolveError::Cancelled, e) => e.clone(),
+                    (e, _) => e.clone(),
+                };
+                return Err(err);
+            }
+        };
+
+        // Handoff (§6.2): make sure the incremental solver can warm-start
+        // from the winning flow next round.
+        match outcome.winner {
+            AlgorithmKind::Relaxation => {
+                self.incremental.adopt_solution(&outcome.graph);
+            }
+            AlgorithmKind::IncrementalCostScaling | AlgorithmKind::CostScaling => {
+                // The incremental solver already certifies its own solution
+                // — but only the one in *its* clone. Re-adopt to be safe if
+                // it lost the race and was cancelled.
+                if !self.incremental.is_warm() {
+                    self.incremental.adopt_solution(&outcome.graph);
+                }
+            }
+            _ => {}
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_optimal;
+    use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
+
+    #[test]
+    fn dual_solve_is_optimal() {
+        let inst = scheduling_instance(1, &InstanceSpec::default());
+        let mut solver = DualSolver::default();
+        let out = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+        assert!(is_optimal(&out.graph));
+        assert!(!out.solution.terminated_early);
+    }
+
+    #[test]
+    fn all_kinds_agree_on_objective() {
+        let inst = scheduling_instance(2, &InstanceSpec::default());
+        let mut objectives = Vec::new();
+        for kind in [
+            SolverKind::Dual,
+            SolverKind::RelaxationOnly,
+            SolverKind::CostScalingOnly,
+        ] {
+            let mut solver = DualSolver::new(DualConfig {
+                kind,
+                ..Default::default()
+            });
+            let out = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+            objectives.push(out.solution.objective);
+        }
+        assert_eq!(objectives[0], objectives[1]);
+        assert_eq!(objectives[1], objectives[2]);
+    }
+
+    #[test]
+    fn repeated_rounds_with_changes_stay_optimal() {
+        let mut inst = scheduling_instance(3, &InstanceSpec::default());
+        let mut solver = DualSolver::default();
+        for round in 0..4 {
+            let out = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+            assert!(is_optimal(&out.graph), "round {round}");
+            // Adopt the solution and mutate costs for the next round.
+            inst.graph = out.graph;
+            let arcs: Vec<_> = inst.graph.arc_ids().collect();
+            let a = arcs[(round * 7 + 3) % arcs.len()];
+            let c = inst.graph.cost(a);
+            inst.graph.set_arc_cost(a, (c + 13) % 97 + 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn input_graph_is_untouched() {
+        let inst = scheduling_instance(4, &InstanceSpec::default());
+        let before: Vec<i64> = inst.graph.arc_ids().map(|a| inst.graph.flow(a)).collect();
+        let mut solver = DualSolver::default();
+        let _ = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+        let after: Vec<i64> = inst.graph.arc_ids().map(|a| inst.graph.flow(a)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn cost_scaling_only_matches_quincy_semantics() {
+        // Quincy = flow scheduling restricted to (incremental) cost scaling.
+        let inst = scheduling_instance(5, &InstanceSpec::default());
+        let mut solver = DualSolver::new(DualConfig {
+            kind: SolverKind::CostScalingOnly,
+            ..Default::default()
+        });
+        let out = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(out.winner, AlgorithmKind::IncrementalCostScaling);
+        assert!(is_optimal(&out.graph));
+    }
+}

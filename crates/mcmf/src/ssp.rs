@@ -1,0 +1,252 @@
+//! Successive shortest path (Ahuja–Magnanti–Orlin [2, p. 320]).
+//!
+//! The algorithm maintains reduced cost optimality at every step and works
+//! towards feasibility (Table 2): it repeatedly selects a source node with
+//! positive excess and sends flow along a shortest path (in reduced costs)
+//! to a node with deficit, updating node potentials after each Dijkstra.
+
+use crate::common::{
+    AlgorithmKind, Budget, BudgetStop, Solution, SolveError, SolveOptions, SolveStats,
+};
+use firmament_flow::{ArcId, FlowGraph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Solves min-cost max-flow by successive shortest paths, leaving the
+/// optimal flow in the graph.
+///
+/// Negative-cost arcs are handled by saturating them up front, which makes
+/// every remaining residual arc non-negative so that `π = 0` is a valid
+/// initial potential assignment.
+///
+/// # Examples
+///
+/// ```
+/// use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
+/// use firmament_mcmf::{ssp, SolveOptions};
+///
+/// let mut inst = scheduling_instance(1, &InstanceSpec::default());
+/// let sol = ssp::solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+/// assert!(firmament_mcmf::verify::is_optimal(&inst.graph));
+/// # let _ = sol;
+/// ```
+pub fn solve(graph: &mut FlowGraph, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    let mut budget = Budget::new(opts);
+    let mut stats = SolveStats::default();
+    let total: i64 = graph.node_ids().map(|v| graph.supply(v)).sum();
+    if total != 0 {
+        return Err(SolveError::UnbalancedSupply { total });
+    }
+    graph.reset_flow();
+    // Saturate negative arcs so the residual network has no negative costs.
+    for a in graph.arc_ids().collect::<Vec<_>>() {
+        if graph.cost(a) < 0 {
+            let r = graph.rescap(a);
+            if r > 0 {
+                graph.push_flow(a, r);
+            }
+        }
+    }
+    let n = graph.node_bound();
+    let mut pot = vec![0i64; n];
+    let mut excess = graph.excesses();
+    let mut sources: Vec<NodeId> = graph
+        .node_ids()
+        .filter(|&v| excess[v.index()] > 0)
+        .collect();
+
+    // Scratch space reused across Dijkstra runs.
+    let mut dist = vec![i64::MAX; n];
+    let mut pred: Vec<Option<ArcId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut touched: Vec<u32> = Vec::new();
+
+    while let Some(&s) = sources.last() {
+        if excess[s.index()] <= 0 {
+            sources.pop();
+            continue;
+        }
+        match budget.tick() {
+            Some(BudgetStop::Cancelled) => return Err(SolveError::Cancelled),
+            Some(BudgetStop::Exhausted) => {
+                stats.iterations = budget.iterations;
+                return Ok(Solution {
+                    algorithm: AlgorithmKind::SuccessiveShortestPath,
+                    objective: graph.objective(),
+                    terminated_early: true,
+                    runtime: budget.elapsed(),
+                    stats,
+                });
+            }
+            None => {}
+        }
+
+        // Dijkstra over reduced costs from s to the nearest deficit node.
+        for &t in &touched {
+            dist[t as usize] = i64::MAX;
+            pred[t as usize] = None;
+            visited[t as usize] = false;
+        }
+        touched.clear();
+        dist[s.index()] = 0;
+        touched.push(s.index() as u32);
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::new();
+        heap.push(Reverse((0, s.index() as u32)));
+        let mut target: Option<NodeId> = None;
+        while let Some(Reverse((d, ui))) = heap.pop() {
+            let u = NodeId::from_index(ui as usize);
+            if visited[ui as usize] || d > dist[ui as usize] {
+                continue;
+            }
+            visited[ui as usize] = true;
+            if excess[ui as usize] < 0 {
+                target = Some(u);
+                break;
+            }
+            for &a in graph.adj(u) {
+                if graph.rescap(a) <= 0 {
+                    continue;
+                }
+                let v = graph.dst(a);
+                let rc = graph.cost(a) + pot[ui as usize] - pot[v.index()];
+                debug_assert!(rc >= 0, "reduced cost {rc} negative during SSP");
+                let nd = d + rc;
+                if nd < dist[v.index()] {
+                    if dist[v.index()] == i64::MAX {
+                        touched.push(v.index() as u32);
+                    }
+                    dist[v.index()] = nd;
+                    pred[v.index()] = Some(a);
+                    heap.push(Reverse((nd, v.index() as u32)));
+                }
+            }
+        }
+        let Some(t) = target else {
+            return Err(SolveError::Infeasible);
+        };
+        let dt = dist[t.index()];
+        // Potential update preserves reduced cost optimality: every node
+        // moves by Δ(x) = min(d(x), d(t)) — unreached nodes by d(t) — so
+        // that rc'(u,v) = rc(u,v) + Δ(u) − Δ(v) stays non-negative and
+        // turns zero along the shortest path.
+        for v in graph.node_ids() {
+            pot[v.index()] += dist[v.index()].min(dt);
+        }
+        // Augment along the shortest path.
+        let mut bottleneck = excess[s.index()].min(-excess[t.index()]);
+        let mut v = t;
+        while v != s {
+            let a = pred[v.index()].expect("path to source");
+            bottleneck = bottleneck.min(graph.rescap(a));
+            v = graph.src(a);
+        }
+        debug_assert!(bottleneck > 0);
+        let mut v = t;
+        while v != s {
+            let a = pred[v.index()].expect("path to source");
+            graph.push_flow(a, bottleneck);
+            v = graph.src(a);
+        }
+        excess[s.index()] -= bottleneck;
+        excess[t.index()] += bottleneck;
+        stats.augmentations += 1;
+    }
+    stats.iterations = budget.iterations;
+    Ok(Solution {
+        algorithm: AlgorithmKind::SuccessiveShortestPath,
+        objective: graph.objective(),
+        terminated_early: false,
+        runtime: budget.elapsed(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_optimal;
+    use firmament_flow::builder::figure5;
+    use firmament_flow::testgen::{layered_instance, scheduling_instance, InstanceSpec};
+    use firmament_flow::NodeKind;
+
+    #[test]
+    fn solves_figure5_optimally() {
+        let (mut g, _, _) = figure5();
+        let sol = solve(&mut g, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(sol.objective, 14);
+        assert!(is_optimal(&g));
+    }
+
+    #[test]
+    fn agrees_with_cycle_canceling_on_random_instances() {
+        for seed in 0..8 {
+            let spec = InstanceSpec {
+                tasks: 30,
+                machines: 10,
+                ..InstanceSpec::default()
+            };
+            let mut a = scheduling_instance(seed, &spec);
+            let mut b = scheduling_instance(seed, &spec);
+            let s1 = solve(&mut a.graph, &SolveOptions::unlimited()).unwrap();
+            let s2 =
+                crate::cycle_canceling::solve(&mut b.graph, &SolveOptions::unlimited()).unwrap();
+            assert_eq!(s1.objective, s2.objective, "seed {seed}");
+            assert!(is_optimal(&a.graph));
+        }
+    }
+
+    #[test]
+    fn handles_layered_graphs() {
+        for seed in 0..4 {
+            let mut g = layered_instance(seed, 12, 4, 5);
+            let sol = solve(&mut g, &SolveOptions::unlimited()).unwrap();
+            assert!(is_optimal(&g), "seed {seed}");
+            assert!(sol.objective >= 0);
+        }
+    }
+
+    #[test]
+    fn handles_negative_arc_costs() {
+        let mut g = FlowGraph::new();
+        let t = g.add_node(NodeKind::Task { task: 0 }, 1);
+        let m = g.add_node(NodeKind::Machine { machine: 0 }, 0);
+        let m2 = g.add_node(NodeKind::Machine { machine: 1 }, 0);
+        let s = g.add_node(NodeKind::Sink, -1);
+        // A negative-cost arc models a strong preference (e.g. a running
+        // task's accumulated work in the Quincy cost model).
+        g.add_arc(t, m, 1, -5).unwrap();
+        g.add_arc(t, m2, 1, 1).unwrap();
+        g.add_arc(m, s, 1, 2).unwrap();
+        g.add_arc(m2, s, 1, 0).unwrap();
+        let sol = solve(&mut g, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(sol.objective, -3);
+        assert!(is_optimal(&g));
+    }
+
+    #[test]
+    fn multi_unit_supplies() {
+        let mut g = FlowGraph::new();
+        let a = g.add_node(NodeKind::Other { tag: 0 }, 3);
+        let b = g.add_node(NodeKind::Other { tag: 1 }, 2);
+        let s = g.add_node(NodeKind::Sink, -5);
+        g.add_arc(a, s, 3, 2).unwrap();
+        g.add_arc(b, a, 2, 1).unwrap();
+        g.add_arc(b, s, 2, 5).unwrap();
+        // b's cheapest route is via a, but a's sink arc only has 3 slots.
+        let sol = solve(&mut g, &SolveOptions::unlimited()).unwrap();
+        assert!(is_optimal(&g));
+        assert_eq!(sol.objective, 3 * 2 + 2 * 5);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut g = FlowGraph::new();
+        let t = g.add_node(NodeKind::Task { task: 0 }, 2);
+        let s = g.add_node(NodeKind::Sink, -2);
+        g.add_arc(t, s, 1, 1).unwrap();
+        assert!(matches!(
+            solve(&mut g, &SolveOptions::unlimited()),
+            Err(SolveError::Infeasible)
+        ));
+    }
+}

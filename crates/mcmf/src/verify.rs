@@ -1,0 +1,232 @@
+//! Optimality verification for min-cost max-flow solutions.
+//!
+//! Implements the three equivalent optimality conditions of §4: negative
+//! cycle optimality, reduced cost optimality, and complementary slackness
+//! (with its ε-relaxation used by cost scaling).
+
+use firmament_flow::validate::check_feasible;
+use firmament_flow::{ArcId, FlowGraph};
+
+/// Result of [`find_potentials`]: either certifying potentials or a witness
+/// that the flow is not optimal.
+#[derive(Debug, Clone)]
+pub enum OptimalityCheck {
+    /// The flow is optimal; the potentials satisfy reduced-cost optimality
+    /// (no residual arc has negative reduced cost).
+    Optimal {
+        /// Certifying node potentials, indexed by raw node index.
+        potentials: Vec<i64>,
+    },
+    /// A negative-cost cycle exists in the residual network (condition 1
+    /// fails), so the flow is not optimal.
+    NegativeCycle {
+        /// Residual arcs forming the cycle, in order.
+        cycle: Vec<ArcId>,
+    },
+}
+
+/// Runs Bellman–Ford on the residual network to either compute certifying
+/// potentials or find a negative-cost residual cycle.
+///
+/// A virtual source with zero-cost arcs to every node initializes distances,
+/// so disconnected components are handled uniformly.
+pub fn find_potentials(graph: &FlowGraph) -> OptimalityCheck {
+    let n = graph.node_bound();
+    let mut dist = vec![0i64; n];
+    let mut pred: Vec<Option<ArcId>> = vec![None; n];
+    let mut in_queue = vec![false; n];
+    let mut queue: std::collections::VecDeque<u32> = graph
+        .node_ids()
+        .map(|v| {
+            in_queue[v.index()] = true;
+            v.index() as u32
+        })
+        .collect();
+    let mut relaxations = 0u64;
+    // SPFA with a relaxation budget: more than n*m relaxations implies a
+    // negative cycle somewhere along the predecessor chain.
+    let budget = (n as u64 + 1) * (graph.arc_count() as u64 * 2 + 1);
+    while let Some(ui) = queue.pop_front() {
+        in_queue[ui as usize] = false;
+        let u = firmament_flow::NodeId::from_index(ui as usize);
+        if !graph.node_alive(u) {
+            continue;
+        }
+        for &a in graph.adj(u) {
+            if graph.rescap(a) <= 0 {
+                continue;
+            }
+            let v = graph.dst(a);
+            let nd = dist[ui as usize] + graph.cost(a);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(a);
+                relaxations += 1;
+                if relaxations > budget {
+                    return OptimalityCheck::NegativeCycle {
+                        cycle: extract_cycle(graph, &pred, v),
+                    };
+                }
+                if !in_queue[v.index()] {
+                    in_queue[v.index()] = true;
+                    queue.push_back(v.index() as u32);
+                }
+            }
+        }
+    }
+    // Potentials: π(i) = dist(i) gives rc(a) = c(a) + π(u) − π(v)
+    //                           = c(a) + dist(u) − dist(v) ≥ 0
+    // by the shortest-path relaxation property d(v) ≤ d(u) + c(a).
+    OptimalityCheck::Optimal { potentials: dist }
+}
+
+/// Walks predecessor arcs from `start` to extract a residual cycle.
+fn extract_cycle(graph: &FlowGraph, pred: &[Option<ArcId>], start: firmament_flow::NodeId) -> Vec<ArcId> {
+    let n = pred.len();
+    // Walk back n steps to guarantee we are inside the cycle.
+    let mut v = start;
+    for _ in 0..n {
+        if let Some(a) = pred[v.index()] {
+            v = graph.src(a);
+        }
+    }
+    let mut cycle = Vec::new();
+    let anchor = v;
+    loop {
+        let a = pred[v.index()].expect("cycle nodes have predecessors");
+        cycle.push(a);
+        v = graph.src(a);
+        if v == anchor {
+            break;
+        }
+    }
+    cycle.reverse();
+    cycle
+}
+
+/// Returns `true` if the flow currently in the graph is a feasible,
+/// minimum-cost flow.
+pub fn is_optimal(graph: &FlowGraph) -> bool {
+    if !check_feasible(graph).is_empty() {
+        return false;
+    }
+    matches!(find_potentials(graph), OptimalityCheck::Optimal { .. })
+}
+
+/// Checks reduced-cost optimality for given potentials: no residual arc may
+/// have `c^π_ij < 0` (optimality condition 2 of §4).
+pub fn check_reduced_cost_optimality(graph: &FlowGraph, potentials: &[i64]) -> Result<(), ArcId> {
+    check_eps_optimality(graph, potentials, 0)
+}
+
+/// Checks ε-optimality: every residual arc must have `c^π_ij ≥ −ε`
+/// (the relaxed complementary slackness of cost scaling, §4).
+///
+/// Returns the first violating residual arc on failure.
+pub fn check_eps_optimality(graph: &FlowGraph, potentials: &[i64], eps: i64) -> Result<(), ArcId> {
+    for u in graph.node_ids() {
+        for &a in graph.adj(u) {
+            if graph.rescap(a) <= 0 {
+                continue;
+            }
+            let v = graph.dst(a);
+            let rc = graph.cost(a) + potentials[u.index()] - potentials[v.index()];
+            if rc < -eps {
+                return Err(a);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes the reduced cost of a residual arc for given potentials.
+#[inline]
+pub fn reduced_cost(graph: &FlowGraph, potentials: &[i64], arc: ArcId) -> i64 {
+    graph.cost(arc) + potentials[graph.src(arc).index()] - potentials[graph.dst(arc).index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_flow::{FlowGraph, NodeKind};
+
+    /// Two tasks, two machines; optimal assignment is obvious.
+    fn two_by_two() -> (FlowGraph, Vec<ArcId>) {
+        let mut g = FlowGraph::new();
+        let t0 = g.add_node(NodeKind::Task { task: 0 }, 1);
+        let t1 = g.add_node(NodeKind::Task { task: 1 }, 1);
+        let m0 = g.add_node(NodeKind::Machine { machine: 0 }, 0);
+        let m1 = g.add_node(NodeKind::Machine { machine: 1 }, 0);
+        let s = g.add_node(NodeKind::Sink, -2);
+        let a = vec![
+            g.add_arc(t0, m0, 1, 1).unwrap(),
+            g.add_arc(t0, m1, 1, 5).unwrap(),
+            g.add_arc(t1, m0, 1, 6).unwrap(),
+            g.add_arc(t1, m1, 1, 2).unwrap(),
+            g.add_arc(m0, s, 1, 0).unwrap(),
+            g.add_arc(m1, s, 1, 0).unwrap(),
+        ];
+        (g, a)
+    }
+
+    #[test]
+    fn optimal_flow_is_certified() {
+        let (mut g, a) = two_by_two();
+        g.push_flow(a[0], 1);
+        g.push_flow(a[3], 1);
+        g.push_flow(a[4], 1);
+        g.push_flow(a[5], 1);
+        assert!(is_optimal(&g));
+        match find_potentials(&g) {
+            OptimalityCheck::Optimal { potentials } => {
+                assert!(check_reduced_cost_optimality(&g, &potentials).is_ok());
+            }
+            OptimalityCheck::NegativeCycle { .. } => panic!("flow is optimal"),
+        }
+    }
+
+    #[test]
+    fn suboptimal_flow_yields_negative_cycle() {
+        let (mut g, a) = two_by_two();
+        // The bad assignment: t0→m1 (5), t1→m0 (6), total 11 instead of 3.
+        g.push_flow(a[1], 1);
+        g.push_flow(a[2], 1);
+        g.push_flow(a[4], 1);
+        g.push_flow(a[5], 1);
+        match find_potentials(&g) {
+            OptimalityCheck::NegativeCycle { cycle } => {
+                assert!(!cycle.is_empty());
+                // The cycle's total cost must be negative.
+                let total: i64 = cycle.iter().map(|&x| g.cost(x)).sum();
+                assert!(total < 0, "cycle cost {total}");
+            }
+            OptimalityCheck::Optimal { .. } => panic!("flow is suboptimal"),
+        }
+        assert!(!is_optimal(&g));
+    }
+
+    #[test]
+    fn infeasible_flow_is_not_optimal() {
+        let (g, _) = two_by_two();
+        // No flow at all: infeasible, hence not optimal.
+        assert!(!is_optimal(&g));
+    }
+
+    #[test]
+    fn eps_optimality_tolerates_small_violations() {
+        let (mut g, a) = two_by_two();
+        g.push_flow(a[1], 1); // rc of a[1].sister() will be -5 with π = 0
+        let pot = vec![0i64; g.node_bound()];
+        assert!(check_eps_optimality(&g, &pot, 5).is_ok());
+        assert!(check_eps_optimality(&g, &pot, 4).is_err());
+    }
+
+    #[test]
+    fn reduced_cost_formula() {
+        let (g, a) = two_by_two();
+        let mut pot = vec![0i64; g.node_bound()];
+        pot[g.src(a[0]).index()] = 3;
+        pot[g.dst(a[0]).index()] = 1;
+        assert_eq!(reduced_cost(&g, &pot, a[0]), 1 + 3 - 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Scheduling policies: cluster state → flow network (§3.3).
+//!
+//! Firmament generalizes flow-based scheduling over Quincy's single policy
+//! via the [`SchedulingPolicy`] API. This crate ships the paper's three
+//! illustrative policies:
+//!
+//! - [`LoadSpreadingPolicy`] (Fig 6a): balance task counts through a single
+//!   cluster aggregator — deliberately contention-heavy, used to expose
+//!   MCMF edge cases;
+//! - [`QuincyPolicy`] (Fig 6b): Quincy's locality-oriented batch policy
+//!   with rack/cluster aggregators and data-locality preference arcs;
+//! - [`NetworkAwarePolicy`] (Fig 6c): request aggregators and dynamic arcs
+//!   to machines with spare network bandwidth.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmament_cluster::{ClusterEvent, ClusterState, TopologySpec};
+//! use firmament_policies::{LoadSpreadingPolicy, SchedulingPolicy};
+//!
+//! let state = ClusterState::with_topology(&TopologySpec::default());
+//! let mut policy = LoadSpreadingPolicy::new();
+//! for m in state.machines.values() {
+//!     policy
+//!         .apply_event(&state, &ClusterEvent::MachineAdded { machine: m.clone() })
+//!         .unwrap();
+//! }
+//! assert!(policy.base().graph.node_count() > 40);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load_spreading;
+pub mod network_aware;
+pub mod policy;
+pub mod quincy;
+
+pub use load_spreading::LoadSpreadingPolicy;
+pub use network_aware::NetworkAwarePolicy;
+pub use policy::{GraphBase, SchedulingPolicy};
+pub use quincy::{QuincyConfig, QuincyPolicy};
+
+use firmament_cluster::{MachineId, TaskId};
+
+/// Errors raised while translating cluster state into the flow network.
+#[derive(Debug)]
+pub enum PolicyError {
+    /// A task referenced by an event has no node in the graph.
+    UnknownTask(TaskId),
+    /// A machine referenced by an event has no node in the graph.
+    UnknownMachine(MachineId),
+    /// A task was added twice.
+    DuplicateTask(TaskId),
+    /// A machine was added twice.
+    DuplicateMachine(MachineId),
+    /// An underlying graph mutation failed.
+    Graph(firmament_flow::GraphError),
+}
+
+impl From<firmament_flow::GraphError> for PolicyError {
+    fn from(e: firmament_flow::GraphError) -> Self {
+        PolicyError::Graph(e)
+    }
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            PolicyError::UnknownMachine(m) => write!(f, "unknown machine {m}"),
+            PolicyError::DuplicateTask(t) => write!(f, "duplicate task {t}"),
+            PolicyError::DuplicateMachine(m) => write!(f, "duplicate machine {m}"),
+            PolicyError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}

@@ -1,0 +1,323 @@
+//! The network-aware policy (Fig 6c): avoid overcommitting machine links.
+//!
+//! Each task connects to a request aggregator (`RA`) for its network
+//! bandwidth request class. The `RA`s have one arc per machine with
+//! sufficient spare bandwidth, with capacity for as many tasks as fit; the
+//! arcs are dynamically adapted as observed bandwidth use changes, and their
+//! costs — the sum of the request and the machine's current bandwidth use —
+//! incentivize balanced utilization. The paper's local-testbed experiment
+//! (§7.5, Fig 19) uses this policy to cut tail task response times by
+//! 3.4–6.2× versus load-spreading and random placement.
+
+use crate::policy::{GraphBase, SchedulingPolicy};
+use crate::PolicyError;
+use firmament_cluster::{ClusterEvent, ClusterState, TaskState};
+use firmament_flow::{ArcId, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Bandwidth bucket width in Mbit/s for request-aggregator classes.
+const CLASS_WIDTH_MBPS: u64 = 500;
+/// Cost of leaving a task unscheduled.
+const UNSCHEDULED_COST: i64 = 1_000_000;
+/// Cost increment per second of wait.
+const WAIT_COST_PER_SEC: i64 = 1_000;
+
+/// The network-aware scheduling policy.
+#[derive(Debug)]
+pub struct NetworkAwarePolicy {
+    base: GraphBase,
+    /// Request class (bucketed Mbit/s) → aggregator node.
+    request_aggs: HashMap<u32, NodeId>,
+    /// (class, machine) → RA→machine arc.
+    ra_machine_arcs: HashMap<(u32, u64), ArcId>,
+}
+
+impl Default for NetworkAwarePolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkAwarePolicy {
+    /// Creates the policy with an empty flow network.
+    pub fn new() -> Self {
+        NetworkAwarePolicy {
+            base: GraphBase::new(),
+            request_aggs: HashMap::new(),
+            ra_machine_arcs: HashMap::new(),
+        }
+    }
+
+    /// The request class for a bandwidth request in Mbit/s.
+    pub fn class_of(request_mbps: u64) -> u32 {
+        (request_mbps / CLASS_WIDTH_MBPS.max(1)) as u32
+    }
+
+    /// Representative bandwidth request of a class (its upper bound).
+    fn class_request(class: u32) -> u64 {
+        (class as u64 + 1) * CLASS_WIDTH_MBPS
+    }
+
+    fn ensure_request_agg(&mut self, class: u32) -> NodeId {
+        if let Some(&n) = self.request_aggs.get(&class) {
+            return n;
+        }
+        let n = self
+            .base
+            .graph
+            .add_node(NodeKind::RequestAggregator { class }, 0);
+        self.request_aggs.insert(class, n);
+        n
+    }
+
+    /// Current bandwidth use of a machine: background traffic plus the
+    /// requests of all tasks running on it.
+    fn machine_used_mbps(state: &ClusterState, machine: u64) -> u64 {
+        let m = &state.machines[&machine];
+        let task_bw: u64 = m
+            .running
+            .iter()
+            .filter_map(|t| state.tasks.get(t))
+            .map(|t| t.request.net_mbps)
+            .sum();
+        m.background_mbps + task_bw
+    }
+
+    /// Rebuilds the dynamic RA→machine arcs from current bandwidth state
+    /// (the "dynamically adapted" arcs of Fig 6c).
+    fn rebuild_request_arcs(&mut self, state: &ClusterState) -> Result<(), PolicyError> {
+        let classes: Vec<u32> = self.request_aggs.keys().copied().collect();
+        let machines: Vec<u64> = self.base.machine_nodes.keys().copied().collect();
+        for class in classes {
+            let request = Self::class_request(class);
+            let ra = self.request_aggs[&class];
+            for &mid in &machines {
+                let m = &state.machines[&mid];
+                let used = Self::machine_used_mbps(state, mid);
+                let spare = m.link_mbps.saturating_sub(used);
+                let fits_bw = (spare / request.max(1)) as i64;
+                let cap = fits_bw.min(m.free_slots() as i64);
+                let key = (class, mid);
+                let cost = (request + used) as i64 / 10;
+                match self.ra_machine_arcs.get(&key) {
+                    Some(&arc) => {
+                        if cap <= 0 {
+                            self.base.graph.remove_arc(arc)?;
+                            self.ra_machine_arcs.remove(&key);
+                        } else {
+                            self.base.graph.set_arc_capacity(arc, cap)?;
+                            self.base.graph.set_arc_cost(arc, cost)?;
+                        }
+                    }
+                    None => {
+                        if cap > 0 {
+                            let mn = self.base.machine_node(mid).expect("machine node");
+                            let arc = self.base.graph.add_arc(ra, mn, cap, cost)?;
+                            self.ra_machine_arcs.insert(key, arc);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SchedulingPolicy for NetworkAwarePolicy {
+    fn name(&self) -> &'static str {
+        "network-aware"
+    }
+
+    fn base(&self) -> &GraphBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut GraphBase {
+        &mut self.base
+    }
+
+    fn apply_event(
+        &mut self,
+        state: &ClusterState,
+        event: &ClusterEvent,
+    ) -> Result<(), PolicyError> {
+        match event {
+            ClusterEvent::Tick { .. } => {}
+            ClusterEvent::MachineAdded { machine } => {
+                self.base.add_machine(machine.id, machine.slots as i64)?;
+            }
+            ClusterEvent::MachineRemoved { machine, .. } => {
+                self.ra_machine_arcs.retain(|&(_, m), _| m != *machine);
+                self.base.remove_machine(*machine)?;
+                // Displaced tasks need their request-aggregator arc back.
+                let displaced: Vec<(u64, u64)> = state
+                    .waiting_tasks()
+                    .map(|t| (t.id, t.request.net_mbps))
+                    .collect();
+                for (tid, bw) in displaced {
+                    if let Some(n) = self.base.task_node(tid) {
+                        let class = Self::class_of(bw);
+                        let ra = self.ensure_request_agg(class);
+                        if self.base.find_arc(n, ra).is_none() {
+                            self.base.graph.add_arc(n, ra, 1, 1)?;
+                        }
+                    }
+                }
+            }
+            ClusterEvent::JobSubmitted { job, tasks } => {
+                for task in tasks {
+                    let n = self.base.add_task(task.id, job.id, UNSCHEDULED_COST)?;
+                    let class = Self::class_of(task.request.net_mbps);
+                    let ra = self.ensure_request_agg(class);
+                    self.base.graph.add_arc(n, ra, 1, 1)?;
+                }
+            }
+            ClusterEvent::TaskPlaced { task, machine, .. } => {
+                let t = self
+                    .base
+                    .task_node(*task)
+                    .ok_or(PolicyError::UnknownTask(*task))?;
+                let m = self
+                    .base
+                    .machine_node(*machine)
+                    .ok_or(PolicyError::UnknownMachine(*machine))?;
+                let job = state.tasks[task].job;
+                let u = self.base.unsched_nodes[&job];
+                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
+                self.base.graph.add_arc(t, m, 1, 0)?;
+            }
+            ClusterEvent::TaskPreempted { task, .. } => {
+                let t = self
+                    .base
+                    .task_node(*task)
+                    .ok_or(PolicyError::UnknownTask(*task))?;
+                let job = state.tasks[task].job;
+                let u = self.base.unsched_nodes[&job];
+                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
+                let class = Self::class_of(state.tasks[task].request.net_mbps);
+                let ra = self.ensure_request_agg(class);
+                self.base.graph.add_arc(t, ra, 1, 1)?;
+            }
+            ClusterEvent::TaskCompleted { task, .. } => {
+                let job = state.tasks[task].job;
+                self.base.remove_task(*task, job)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn refresh_costs(&mut self, state: &ClusterState) -> Result<(), PolicyError> {
+        self.rebuild_request_arcs(state)?;
+        for t in state.tasks.values() {
+            if matches!(t.state, TaskState::Waiting | TaskState::Preempted) {
+                if let Some(n) = self.base.task_node(t.id) {
+                    if let Some(&u) = self.base.unsched_nodes.get(&t.job) {
+                        if let Some(a) = self.base.find_arc(n, u) {
+                            let wait_sec = (state.now.saturating_sub(t.submit_time)) / 1_000_000;
+                            let cost = UNSCHEDULED_COST + WAIT_COST_PER_SEC * wait_sec as i64;
+                            self.base.graph.set_arc_cost(a, cost)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_cluster::{ClusterState, Job, JobClass, ResourceVector, Task, TopologySpec};
+
+    fn setup() -> (ClusterState, NetworkAwarePolicy) {
+        let state = ClusterState::with_topology(&TopologySpec {
+            machines: 4,
+            machines_per_rack: 4,
+            slots_per_machine: 2,
+        });
+        let mut policy = NetworkAwarePolicy::new();
+        for m in state.machines.values() {
+            policy
+                .apply_event(&state, &ClusterEvent::MachineAdded { machine: m.clone() })
+                .unwrap();
+        }
+        (state, policy)
+    }
+
+    fn submit_task(state: &mut ClusterState, policy: &mut NetworkAwarePolicy, id: u64, bw: u64) {
+        let mut t = Task::new(id, 0, state.now, 5_000_000);
+        t.request = ResourceVector::new(1000, 1024, bw);
+        let ev = ClusterEvent::JobSubmitted {
+            job: Job::new(0, JobClass::Batch, 0, state.now),
+            tasks: vec![t],
+        };
+        state.apply(&ev);
+        policy.apply_event(state, &ev).unwrap();
+    }
+
+    #[test]
+    fn request_classes_bucket_bandwidth() {
+        assert_eq!(NetworkAwarePolicy::class_of(100), 0);
+        assert_eq!(NetworkAwarePolicy::class_of(499), 0);
+        assert_eq!(NetworkAwarePolicy::class_of(500), 1);
+        assert_eq!(NetworkAwarePolicy::class_of(4000), 8);
+    }
+
+    #[test]
+    fn arcs_only_to_machines_with_spare_bandwidth() {
+        let (mut state, mut policy) = setup();
+        // Machine 0 is saturated by background traffic.
+        state.machines.get_mut(&0).unwrap().background_mbps = 10_000;
+        submit_task(&mut state, &mut policy, 1, 4000);
+        policy.refresh_costs(&state).unwrap();
+        let class = NetworkAwarePolicy::class_of(4000);
+        assert!(!policy.ra_machine_arcs.contains_key(&(class, 0)));
+        assert!(policy.ra_machine_arcs.contains_key(&(class, 1)));
+        assert!(policy.ra_machine_arcs.contains_key(&(class, 2)));
+    }
+
+    #[test]
+    fn costs_favor_lightly_loaded_links() {
+        let (mut state, mut policy) = setup();
+        state.machines.get_mut(&0).unwrap().background_mbps = 6_000;
+        state.machines.get_mut(&1).unwrap().background_mbps = 1_000;
+        submit_task(&mut state, &mut policy, 1, 1000);
+        policy.refresh_costs(&state).unwrap();
+        let class = NetworkAwarePolicy::class_of(1000);
+        let g = &policy.base().graph;
+        let c0 = g.cost(policy.ra_machine_arcs[&(class, 0)]);
+        let c1 = g.cost(policy.ra_machine_arcs[&(class, 1)]);
+        assert!(
+            c1 < c0,
+            "machine 1 (1 Gbps used) must be cheaper than machine 0 (6 Gbps used)"
+        );
+    }
+
+    #[test]
+    fn arcs_adapt_when_bandwidth_frees_up() {
+        let (mut state, mut policy) = setup();
+        state.machines.get_mut(&0).unwrap().background_mbps = 10_000;
+        submit_task(&mut state, &mut policy, 1, 2000);
+        policy.refresh_costs(&state).unwrap();
+        let class = NetworkAwarePolicy::class_of(2000);
+        assert!(!policy.ra_machine_arcs.contains_key(&(class, 0)));
+        // Background traffic stops; the arc must reappear.
+        state.machines.get_mut(&0).unwrap().background_mbps = 0;
+        policy.refresh_costs(&state).unwrap();
+        assert!(policy.ra_machine_arcs.contains_key(&(class, 0)));
+    }
+
+    #[test]
+    fn slot_limit_caps_arc_capacity() {
+        let (mut state, mut policy) = setup();
+        submit_task(&mut state, &mut policy, 1, 100);
+        policy.refresh_costs(&state).unwrap();
+        let class = NetworkAwarePolicy::class_of(100);
+        let g = &policy.base().graph;
+        let cap = g.capacity(policy.ra_machine_arcs[&(class, 0)]);
+        // 10 Gbps / 500 Mbps class request would allow 20 tasks, but there
+        // are only 2 slots.
+        assert_eq!(cap, 2);
+    }
+}

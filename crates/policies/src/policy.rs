@@ -1,0 +1,300 @@
+//! The scheduling-policy API (§3.3) and shared graph-management machinery.
+//!
+//! A scheduling policy translates cluster state into the flow network the
+//! MCMF solver optimizes: it decides which aggregator nodes exist, which
+//! arcs connect tasks to them, and what the costs and capacities are.
+//! Firmament generalizes flow-based scheduling over Quincy's single policy
+//! through exactly this API.
+
+use crate::PolicyError;
+use firmament_cluster::{ClusterEvent, ClusterState, JobId, MachineId, TaskId};
+use firmament_flow::{ArcId, FlowGraph, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// A scheduling policy: owns the flow network and keeps it in sync with
+/// cluster state.
+pub trait SchedulingPolicy {
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+
+    /// Shared node bookkeeping and the flow network itself.
+    fn base(&self) -> &GraphBase;
+
+    /// Mutable access to the bookkeeping (used by the scheduler core for
+    /// flow adoption and the task-removal drain).
+    fn base_mut(&mut self) -> &mut GraphBase;
+
+    /// Applies one cluster event to the flow network (node/arc structure).
+    fn apply_event(&mut self, state: &ClusterState, event: &ClusterEvent)
+        -> Result<(), PolicyError>;
+
+    /// Refreshes all state-dependent costs and capacities; called once
+    /// before every solver run (the second traversal of Firmament's
+    /// two-pass update, §6.3).
+    fn refresh_costs(&mut self, state: &ClusterState) -> Result<(), PolicyError>;
+}
+
+impl<T: SchedulingPolicy + ?Sized> SchedulingPolicy for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn base(&self) -> &GraphBase {
+        (**self).base()
+    }
+
+    fn base_mut(&mut self) -> &mut GraphBase {
+        (**self).base_mut()
+    }
+
+    fn apply_event(
+        &mut self,
+        state: &ClusterState,
+        event: &ClusterEvent,
+    ) -> Result<(), PolicyError> {
+        (**self).apply_event(state, event)
+    }
+
+    fn refresh_costs(&mut self, state: &ClusterState) -> Result<(), PolicyError> {
+        (**self).refresh_costs(state)
+    }
+}
+
+/// Node bookkeeping shared by every policy: the sink, per-task and
+/// per-machine nodes, per-job unscheduled aggregators, and the arcs whose
+/// capacities track cluster quantities.
+#[derive(Debug, Default)]
+pub struct GraphBase {
+    /// The flow network.
+    pub graph: FlowGraph,
+    /// The sink node `S`.
+    pub sink: Option<NodeId>,
+    /// Task → node.
+    pub task_nodes: HashMap<TaskId, NodeId>,
+    /// Machine → node.
+    pub machine_nodes: HashMap<MachineId, NodeId>,
+    /// Machine → its arc to the sink (capacity = slots).
+    pub machine_sink_arcs: HashMap<MachineId, ArcId>,
+    /// Job → unscheduled aggregator `U_j`.
+    pub unsched_nodes: HashMap<JobId, NodeId>,
+    /// Job → the `U_j → S` arc (capacity = incomplete tasks of the job).
+    pub unsched_sink_arcs: HashMap<JobId, ArcId>,
+}
+
+impl GraphBase {
+    /// Creates an empty base with a sink node.
+    pub fn new() -> Self {
+        let mut base = GraphBase::default();
+        let sink = base.graph.add_node(NodeKind::Sink, 0);
+        base.sink = Some(sink);
+        base
+    }
+
+    /// The sink node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`GraphBase::new`] created the sink.
+    pub fn sink(&self) -> NodeId {
+        self.sink.expect("GraphBase::new creates the sink")
+    }
+
+    /// Adds a machine node with a `slots`-capacity arc to the sink.
+    pub fn add_machine(&mut self, machine: MachineId, slots: i64) -> Result<NodeId, PolicyError> {
+        if self.machine_nodes.contains_key(&machine) {
+            return Err(PolicyError::DuplicateMachine(machine));
+        }
+        let n = self.graph.add_node(NodeKind::Machine { machine }, 0);
+        let arc = self.graph.add_arc(n, self.sink(), slots, 0)?;
+        self.machine_nodes.insert(machine, n);
+        self.machine_sink_arcs.insert(machine, arc);
+        Ok(n)
+    }
+
+    /// Removes a machine node and its arcs.
+    pub fn remove_machine(&mut self, machine: MachineId) -> Result<(), PolicyError> {
+        let n = self
+            .machine_nodes
+            .remove(&machine)
+            .ok_or(PolicyError::UnknownMachine(machine))?;
+        self.machine_sink_arcs.remove(&machine);
+        self.graph.remove_node(n)?;
+        Ok(())
+    }
+
+    /// Adds a task node with one unit of supply and an arc to its job's
+    /// unscheduled aggregator; grows the sink demand and the `U_j → S`
+    /// capacity accordingly.
+    pub fn add_task(
+        &mut self,
+        task: TaskId,
+        job: JobId,
+        unsched_cost: i64,
+    ) -> Result<NodeId, PolicyError> {
+        if self.task_nodes.contains_key(&task) {
+            return Err(PolicyError::DuplicateTask(task));
+        }
+        let n = self.graph.add_node(NodeKind::Task { task }, 1);
+        let u = self.ensure_unscheduled(job)?;
+        self.graph.add_arc(n, u, 1, unsched_cost)?;
+        self.task_nodes.insert(task, n);
+        let sink = self.sink();
+        let d = self.graph.supply(sink);
+        self.graph.set_supply(sink, d - 1)?;
+        let ua = self.unsched_sink_arcs[&job];
+        let cap = self.graph.capacity(ua);
+        self.graph.set_arc_capacity(ua, cap + 1)?;
+        Ok(n)
+    }
+
+    /// Removes a task node (after completion or failure), shrinking the sink
+    /// demand and the job's unscheduled capacity.
+    ///
+    /// The caller (scheduler core) is responsible for draining the task's
+    /// flow first when it wants the efficient-task-removal heuristic
+    /// (§5.3.2).
+    pub fn remove_task(&mut self, task: TaskId, job: JobId) -> Result<(), PolicyError> {
+        let n = self
+            .task_nodes
+            .remove(&task)
+            .ok_or(PolicyError::UnknownTask(task))?;
+        self.graph.remove_node(n)?;
+        let sink = self.sink();
+        let d = self.graph.supply(sink);
+        self.graph.set_supply(sink, d + 1)?;
+        if let Some(&ua) = self.unsched_sink_arcs.get(&job) {
+            let cap = self.graph.capacity(ua);
+            self.graph.set_arc_capacity(ua, (cap - 1).max(0))?;
+        }
+        Ok(())
+    }
+
+    /// Returns (creating if needed) the unscheduled aggregator for a job.
+    pub fn ensure_unscheduled(&mut self, job: JobId) -> Result<NodeId, PolicyError> {
+        if let Some(&n) = self.unsched_nodes.get(&job) {
+            return Ok(n);
+        }
+        let n = self
+            .graph
+            .add_node(NodeKind::UnscheduledAggregator { job }, 0);
+        let arc = self.graph.add_arc(n, self.sink(), 0, 0)?;
+        self.unsched_nodes.insert(job, n);
+        self.unsched_sink_arcs.insert(job, arc);
+        Ok(n)
+    }
+
+    /// Node for a task, if present.
+    pub fn task_node(&self, task: TaskId) -> Option<NodeId> {
+        self.task_nodes.get(&task).copied()
+    }
+
+    /// Node for a machine, if present.
+    pub fn machine_node(&self, machine: MachineId) -> Option<NodeId> {
+        self.machine_nodes.get(&machine).copied()
+    }
+
+    /// Finds the arc from `src` to `dst` if one exists (forward direction).
+    pub fn find_arc(&self, src: NodeId, dst: NodeId) -> Option<ArcId> {
+        self.graph
+            .adj(src)
+            .iter()
+            .copied()
+            .find(|&a| a.is_forward() && self.graph.dst(a) == dst)
+    }
+
+    /// Removes every outgoing forward arc of `node` except those whose
+    /// destination satisfies `keep`; used when a task transitions between
+    /// waiting and running arc sets.
+    pub fn retain_out_arcs(
+        &mut self,
+        node: NodeId,
+        keep: impl Fn(&FlowGraph, NodeId) -> bool,
+    ) -> Result<(), PolicyError> {
+        let to_remove: Vec<ArcId> = self
+            .graph
+            .adj(node)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward() && !keep(&self.graph, self.graph.dst(a)))
+            .collect();
+        for a in to_remove {
+            self.graph.remove_arc(a)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_bookkeeping_roundtrip() {
+        let mut b = GraphBase::new();
+        let m = b.add_machine(0, 4).unwrap();
+        let t = b.add_task(10, 0, 50).unwrap();
+        assert_eq!(b.graph.supply(b.sink()), -1);
+        assert_eq!(b.machine_node(0), Some(m));
+        assert_eq!(b.task_node(10), Some(t));
+        // Unscheduled agg exists with capacity 1.
+        let ua = b.unsched_sink_arcs[&0];
+        assert_eq!(b.graph.capacity(ua), 1);
+
+        b.remove_task(10, 0).unwrap();
+        assert_eq!(b.graph.supply(b.sink()), 0);
+        assert_eq!(b.graph.capacity(ua), 0);
+        assert!(b.task_node(10).is_none());
+        b.remove_machine(0).unwrap();
+        assert!(b.machine_node(0).is_none());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut b = GraphBase::new();
+        b.add_machine(0, 1).unwrap();
+        assert!(matches!(
+            b.add_machine(0, 1),
+            Err(PolicyError::DuplicateMachine(0))
+        ));
+        b.add_task(5, 0, 10).unwrap();
+        assert!(matches!(
+            b.add_task(5, 0, 10),
+            Err(PolicyError::DuplicateTask(5))
+        ));
+    }
+
+    #[test]
+    fn unscheduled_shared_per_job() {
+        let mut b = GraphBase::new();
+        b.add_task(1, 7, 10).unwrap();
+        b.add_task(2, 7, 10).unwrap();
+        assert_eq!(b.unsched_nodes.len(), 1);
+        let ua = b.unsched_sink_arcs[&7];
+        assert_eq!(b.graph.capacity(ua), 2);
+    }
+
+    #[test]
+    fn retain_out_arcs_filters() {
+        let mut b = GraphBase::new();
+        let m0 = b.add_machine(0, 1).unwrap();
+        let m1 = b.add_machine(1, 1).unwrap();
+        let t = b.add_task(3, 0, 10).unwrap();
+        b.graph.add_arc(t, m0, 1, 5).unwrap();
+        b.graph.add_arc(t, m1, 1, 6).unwrap();
+        // Keep only the arc to m0 and the unscheduled arc.
+        let u = b.unsched_nodes[&0];
+        b.retain_out_arcs(t, move |_, dst| dst == m0 || dst == u)
+            .unwrap();
+        let dsts: Vec<NodeId> = b
+            .graph
+            .adj(t)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward())
+            .map(|a| b.graph.dst(a))
+            .collect();
+        assert_eq!(dsts.len(), 2);
+        assert!(dsts.contains(&m0));
+        assert!(!dsts.contains(&m1));
+    }
+}

@@ -1,0 +1,450 @@
+//! The Quincy policy (Fig 6b): locality-oriented batch scheduling.
+//!
+//! Quincy's original policy [22, §4.2] uses rack aggregators `R_r` and a
+//! cluster aggregator `X` to express data locality: tasks get low-cost
+//! preference arcs to machines and racks holding at least a threshold
+//! fraction of their input data, and fall back to scheduling anywhere via
+//! `X`. Costs approximate the bytes that would have to be fetched remotely;
+//! the unscheduled cost grows with wait time so starving tasks eventually
+//! win contended slots.
+//!
+//! The preference threshold (paper default 14 % of input data local; Fig 15
+//! explores 2 %) controls the number of preference arcs and hence the
+//! graph's size — the knob that separates Firmament from Quincy at scale.
+
+use crate::policy::{GraphBase, SchedulingPolicy};
+use crate::PolicyError;
+use firmament_cluster::{ClusterEvent, ClusterState, RackId, Task, TaskState};
+use firmament_flow::{NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Tuning parameters for the Quincy policy.
+#[derive(Debug, Clone)]
+pub struct QuincyConfig {
+    /// Fraction of a task's input that must be on a machine for it to get a
+    /// machine preference arc (paper: 0.14; Fig 15 also uses 0.02).
+    pub machine_pref_threshold: f64,
+    /// Fraction of input in a rack for a rack preference arc.
+    pub rack_pref_threshold: f64,
+    /// Maximum preference arcs per task (Quincy capped at ~10).
+    pub max_prefs_per_task: usize,
+    /// Cost units per GB fetched across racks.
+    pub cost_per_gb_cross_rack: i64,
+    /// Cost units per GB fetched within a rack.
+    pub cost_per_gb_in_rack: i64,
+    /// Base unscheduled cost and its growth per second of waiting.
+    pub wait_cost_per_sec: i64,
+    /// Cost offset that makes leaving a task unscheduled expensive.
+    pub base_unscheduled_cost: i64,
+}
+
+impl Default for QuincyConfig {
+    fn default() -> Self {
+        QuincyConfig {
+            machine_pref_threshold: 0.14,
+            rack_pref_threshold: 0.14,
+            max_prefs_per_task: 10,
+            cost_per_gb_cross_rack: 100,
+            cost_per_gb_in_rack: 50,
+            wait_cost_per_sec: 50,
+            base_unscheduled_cost: 20_000,
+        }
+    }
+}
+
+/// The Quincy scheduling policy.
+#[derive(Debug)]
+pub struct QuincyPolicy {
+    base: GraphBase,
+    /// Policy tuning; mutable so experiments can sweep the thresholds.
+    pub config: QuincyConfig,
+    cluster_agg: NodeId,
+    rack_nodes: HashMap<RackId, NodeId>,
+}
+
+impl QuincyPolicy {
+    /// Creates the policy with the given configuration.
+    pub fn new(config: QuincyConfig) -> Self {
+        let mut base = GraphBase::new();
+        let cluster_agg = base.graph.add_node(NodeKind::ClusterAggregator, 0);
+        QuincyPolicy {
+            base,
+            config,
+            cluster_agg,
+            rack_nodes: HashMap::new(),
+        }
+    }
+
+    /// The cluster aggregator node `X`.
+    pub fn cluster_aggregator(&self) -> NodeId {
+        self.cluster_agg
+    }
+
+    /// The rack aggregator for `rack`, if it exists.
+    pub fn rack_node(&self, rack: RackId) -> Option<NodeId> {
+        self.rack_nodes.get(&rack).copied()
+    }
+
+    fn ensure_rack(&mut self, rack: RackId) -> Result<NodeId, PolicyError> {
+        if let Some(&n) = self.rack_nodes.get(&rack) {
+            return Ok(n);
+        }
+        let n = self.base.graph.add_node(NodeKind::RackAggregator { rack }, 0);
+        self.rack_nodes.insert(rack, n);
+        Ok(n)
+    }
+
+    /// Cost of running `task` with `local_fraction` of its input on the
+    /// target (cross-rack fetch for the remainder).
+    fn fetch_cost(&self, task: &Task, local_fraction: f64, in_rack: bool) -> i64 {
+        let remote_gb = (1.0 - local_fraction).max(0.0) * task.input_bytes as f64 / 1e9;
+        let per_gb = if in_rack {
+            self.config.cost_per_gb_in_rack
+        } else {
+            self.config.cost_per_gb_cross_rack
+        };
+        (remote_gb * per_gb as f64).round() as i64
+    }
+
+    /// Builds the waiting-task arc set: preference arcs to machines/racks
+    /// above the threshold, a fallback arc to `X`, and the unscheduled arc
+    /// (which [`GraphBase::add_task`] already created).
+    fn add_waiting_arcs(&mut self, state: &ClusterState, task: &Task) -> Result<(), PolicyError> {
+        let t = self
+            .base
+            .task_node(task.id)
+            .ok_or(PolicyError::UnknownTask(task.id))?;
+        // Worst case: everything fetched cross-rack.
+        let x_cost = self.fetch_cost(task, 0.0, false) + 1;
+        self.base.graph.add_arc(t, self.cluster_agg, 1, x_cost)?;
+        let mut budget = self.config.max_prefs_per_task;
+        let machine_prefs = state
+            .blocks
+            .machines_above_threshold(&task.input_blocks, self.config.machine_pref_threshold);
+        for (m, frac) in machine_prefs {
+            if budget == 0 {
+                break;
+            }
+            if let Some(mn) = self.base.machine_node(m) {
+                let cost = self.fetch_cost(task, frac, true);
+                self.base.graph.add_arc(t, mn, 1, cost)?;
+                budget -= 1;
+            }
+        }
+        let rack_prefs = state
+            .blocks
+            .racks_above_threshold(&task.input_blocks, self.config.rack_pref_threshold);
+        for (r, frac) in rack_prefs {
+            if budget == 0 {
+                break;
+            }
+            if let Some(rn) = self.rack_nodes.get(&r).copied() {
+                // The non-rack-local remainder crosses racks; the
+                // rack-local part still pays a cheap in-rack fetch.
+                let cost = self.fetch_cost(task, frac, false)
+                    + self.fetch_cost(task, 1.0 - frac, true) / 2;
+                self.base.graph.add_arc(t, rn, 1, cost.max(1))?;
+                budget -= 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SchedulingPolicy for QuincyPolicy {
+    fn name(&self) -> &'static str {
+        "quincy"
+    }
+
+    fn base(&self) -> &GraphBase {
+        &self.base
+    }
+
+    fn base_mut(&mut self) -> &mut GraphBase {
+        &mut self.base
+    }
+
+    fn apply_event(
+        &mut self,
+        state: &ClusterState,
+        event: &ClusterEvent,
+    ) -> Result<(), PolicyError> {
+        match event {
+            ClusterEvent::Tick { .. } => {}
+            ClusterEvent::MachineAdded { machine } => {
+                let m = self.base.add_machine(machine.id, machine.slots as i64)?;
+                let r = self.ensure_rack(machine.rack)?;
+                self.base.graph.add_arc(r, m, machine.slots as i64, 0)?;
+                self.base
+                    .graph
+                    .add_arc(self.cluster_agg, m, machine.slots as i64, 0)?;
+            }
+            ClusterEvent::MachineRemoved { machine, .. } => {
+                self.base.remove_machine(*machine)?;
+                // Displaced tasks wait again: rebuild their preference and
+                // fallback arcs (their running arc died with the machine).
+                let displaced: Vec<Task> = state
+                    .waiting_tasks()
+                    .filter(|t| {
+                        self.base
+                            .task_node(t.id)
+                            .map(|n| self.base.find_arc(n, self.cluster_agg).is_none())
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                for t in displaced {
+                    self.add_waiting_arcs(state, &t)?;
+                }
+            }
+            ClusterEvent::JobSubmitted { job, tasks } => {
+                for task in tasks {
+                    self.base.add_task(task.id, job.id, self.config.base_unscheduled_cost)?;
+                    self.add_waiting_arcs(state, task)?;
+                }
+            }
+            ClusterEvent::TaskPlaced { task, machine, .. } => {
+                // Quincy keeps exactly two arcs for a running task: the arc
+                // to its machine (cost 0: data already local) and the
+                // preemption arc to U_j.
+                let t = self
+                    .base
+                    .task_node(*task)
+                    .ok_or(PolicyError::UnknownTask(*task))?;
+                let m = self
+                    .base
+                    .machine_node(*machine)
+                    .ok_or(PolicyError::UnknownMachine(*machine))?;
+                let job = state.tasks[task].job;
+                let u = self.base.unsched_nodes[&job];
+                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
+                self.base.graph.add_arc(t, m, 1, 0)?;
+            }
+            ClusterEvent::TaskPreempted { task, .. } => {
+                let t = self
+                    .base
+                    .task_node(*task)
+                    .ok_or(PolicyError::UnknownTask(*task))?;
+                let job = state.tasks[task].job;
+                let u = self.base.unsched_nodes[&job];
+                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
+                let task_data = state.tasks[task].clone();
+                self.add_waiting_arcs(state, &task_data)?;
+            }
+            ClusterEvent::TaskCompleted { task, .. } => {
+                let job = state.tasks[task].job;
+                self.base.remove_task(*task, job)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn refresh_costs(&mut self, state: &ClusterState) -> Result<(), PolicyError> {
+        // Unscheduled costs grow with wait time (the Quincy trade-off
+        // between wait time and data locality).
+        for t in state.tasks.values() {
+            if matches!(t.state, TaskState::Waiting | TaskState::Preempted) {
+                if let Some(n) = self.base.task_node(t.id) {
+                    if let Some(&u) = self.base.unsched_nodes.get(&t.job) {
+                        if let Some(a) = self.base.find_arc(n, u) {
+                            let wait_sec = (state.now.saturating_sub(t.submit_time)) / 1_000_000;
+                            let cost = self.config.base_unscheduled_cost
+                                + self.config.wait_cost_per_sec * wait_sec as i64;
+                            self.base.graph.set_arc_cost(a, cost)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_cluster::{ClusterState, Job, JobClass, Task, TopologySpec};
+
+    fn setup() -> (ClusterState, QuincyPolicy) {
+        let state = ClusterState::with_topology(&TopologySpec {
+            machines: 6,
+            machines_per_rack: 3,
+            slots_per_machine: 2,
+        });
+        let mut policy = QuincyPolicy::new(QuincyConfig::default());
+        for m in state.machines.values() {
+            policy
+                .apply_event(&state, &ClusterEvent::MachineAdded { machine: m.clone() })
+                .unwrap();
+        }
+        (state, policy)
+    }
+
+    fn make_task(state: &mut ClusterState, id: u64, holders: Vec<u64>) -> Task {
+        let mut t = Task::new(id, 0, state.now, 4_000_000);
+        let b = state.blocks.place_block(holders);
+        t.input_blocks = vec![b];
+        t.input_bytes = 2_000_000_000; // 2 GB
+        t
+    }
+
+    fn submit(state: &mut ClusterState, policy: &mut QuincyPolicy, tasks: Vec<Task>) {
+        let job = Job::new(0, JobClass::Batch, 0, state.now);
+        let ev = ClusterEvent::JobSubmitted { job, tasks };
+        state.apply(&ev);
+        policy.apply_event(state, &ev).unwrap();
+    }
+
+    #[test]
+    fn rack_aggregators_created() {
+        let (_, policy) = setup();
+        assert_eq!(policy.rack_nodes.len(), 2);
+        assert!(policy.rack_node(0).is_some());
+        assert!(policy.rack_node(1).is_some());
+    }
+
+    #[test]
+    fn preference_arcs_follow_locality() {
+        let (mut state, mut policy) = setup();
+        let t = make_task(&mut state, 1, vec![0, 1, 4]);
+        submit(&mut state, &mut policy, vec![t]);
+        let tn = policy.base().task_node(1).unwrap();
+        let g = &policy.base().graph;
+        let dsts: Vec<NodeKind> = g
+            .adj(tn)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward())
+            .map(|a| g.kind(g.dst(a)))
+            .collect();
+        // Unscheduled + X + machine prefs (0, 1, 4) + rack prefs (0, 1).
+        assert!(dsts.iter().any(|k| k.is_unscheduled()));
+        assert!(dsts
+            .iter()
+            .any(|k| matches!(k, NodeKind::ClusterAggregator)));
+        let machine_prefs = dsts.iter().filter(|k| k.is_machine()).count();
+        assert_eq!(machine_prefs, 3);
+        let rack_prefs = dsts
+            .iter()
+            .filter(|k| matches!(k, NodeKind::RackAggregator { .. }))
+            .count();
+        assert_eq!(rack_prefs, 2);
+    }
+
+    #[test]
+    fn local_machine_is_cheapest() {
+        let (mut state, mut policy) = setup();
+        let t = make_task(&mut state, 1, vec![2, 2, 2]); // all data on machine 2
+        submit(&mut state, &mut policy, vec![t]);
+        let tn = policy.base().task_node(1).unwrap();
+        let g = &policy.base().graph;
+        let mut machine_cost = None;
+        let mut x_cost = None;
+        for &a in g.adj(tn) {
+            if !a.is_forward() {
+                continue;
+            }
+            match g.kind(g.dst(a)) {
+                NodeKind::Machine { machine: 2 } => machine_cost = Some(g.cost(a)),
+                NodeKind::ClusterAggregator => x_cost = Some(g.cost(a)),
+                _ => {}
+            }
+        }
+        assert_eq!(machine_cost, Some(0), "fully local data costs nothing");
+        assert!(x_cost.unwrap() > 0, "cluster fallback pays full fetch");
+    }
+
+    #[test]
+    fn pref_arc_budget_respected() {
+        let (mut state, mut policy) = setup();
+        policy.config.max_prefs_per_task = 2;
+        let t = make_task(&mut state, 1, vec![0, 1, 2]);
+        submit(&mut state, &mut policy, vec![t]);
+        let tn = policy.base().task_node(1).unwrap();
+        let g = &policy.base().graph;
+        let prefs = g
+            .adj(tn)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward())
+            .filter(|&a| {
+                matches!(
+                    g.kind(g.dst(a)),
+                    NodeKind::Machine { .. } | NodeKind::RackAggregator { .. }
+                )
+            })
+            .count();
+        assert!(prefs <= 2);
+    }
+
+    #[test]
+    fn lower_threshold_creates_more_arcs() {
+        let count_arcs = |threshold: f64| {
+            let (mut state, mut policy) = setup();
+            policy.config.machine_pref_threshold = threshold;
+            policy.config.rack_pref_threshold = threshold;
+            policy.config.max_prefs_per_task = 100;
+            // Input spread thinly across many machines.
+            let mut t = Task::new(1, 0, 0, 1_000_000);
+            for m in 0..6u64 {
+                let b = state.blocks.place_block(vec![m]);
+                t.input_blocks.push(b);
+            }
+            t.input_bytes = 6_000_000_000;
+            submit(&mut state, &mut policy, vec![t]);
+            policy.base().graph.arc_count()
+        };
+        // Each machine holds 1/6 ≈ 0.167 of the input.
+        let high = count_arcs(0.5); // no machine qualifies
+        let low = count_arcs(0.02); // every machine qualifies
+        assert!(
+            low > high,
+            "2% threshold must create more arcs than 50% ({low} vs {high})"
+        );
+    }
+
+    #[test]
+    fn running_task_keeps_two_arcs() {
+        let (mut state, mut policy) = setup();
+        let t = make_task(&mut state, 1, vec![0]);
+        submit(&mut state, &mut policy, vec![t]);
+        let ev = ClusterEvent::TaskPlaced {
+            task: 1,
+            machine: 0,
+            now: 50,
+        };
+        state.apply(&ev);
+        policy.apply_event(&state, &ev).unwrap();
+        let tn = policy.base().task_node(1).unwrap();
+        let g = &policy.base().graph;
+        let out = g
+            .adj(tn)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward())
+            .count();
+        assert_eq!(out, 2);
+    }
+
+    #[test]
+    fn wait_time_raises_unscheduled_cost() {
+        let (mut state, mut policy) = setup();
+        let t = make_task(&mut state, 1, vec![0]);
+        submit(&mut state, &mut policy, vec![t]);
+        policy.refresh_costs(&state).unwrap();
+        let tn = policy.base().task_node(1).unwrap();
+        let u = policy.base().unsched_nodes[&0];
+        let a = policy.base().find_arc(tn, u).unwrap();
+        let before = policy.base().graph.cost(a);
+        state.apply(&ClusterEvent::Tick {
+            now: 30 * 1_000_000,
+        });
+        policy.refresh_costs(&state).unwrap();
+        let after = policy.base().graph.cost(a);
+        assert!(after > before, "waiting must raise the unscheduled cost");
+        assert_eq!(
+            after - before,
+            30 * QuincyConfig::default().wait_cost_per_sec
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Sampling distributions for synthetic workload generation.
+//!
+//! Implemented in-crate on top of the deterministic
+//! [`XorShift64`] generator so traces
+//! are reproducible across platforms without extra dependencies.
+
+use firmament_flow::testgen::XorShift64;
+
+/// Samples an exponential distribution with the given mean.
+pub fn exponential(rng: &mut XorShift64, mean: f64) -> f64 {
+    let u = rng.unit_f64().max(1e-12);
+    -mean * u.ln()
+}
+
+/// Samples a log-normal distribution parameterized by its *median*
+/// (`exp(μ)`) and shape `sigma`, via the Box–Muller transform.
+pub fn log_normal(rng: &mut XorShift64, median: f64, sigma: f64) -> f64 {
+    let z = standard_normal(rng);
+    median * (sigma * z).exp()
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut XorShift64) -> f64 {
+    let u1 = rng.unit_f64().max(1e-12);
+    let u2 = rng.unit_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a bounded Pareto distribution on `[lo, hi]` with tail index
+/// `alpha`, via inverse-CDF.
+pub fn bounded_pareto(rng: &mut XorShift64, alpha: f64, lo: f64, hi: f64) -> f64 {
+    let u = rng.unit_f64();
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    ((-(u * (ha - la) - ha) / (ha * la)).powf(-1.0 / alpha)).clamp(lo, hi)
+}
+
+/// Samples a uniform value in `[lo, hi)`.
+pub fn uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.unit_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> XorShift64 {
+        XorShift64::new(20260608)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_median_converges() {
+        let mut r = rng();
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 420.0, 1.68)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[n / 2];
+        assert!(
+            (median / 420.0 - 1.0).abs() < 0.1,
+            "median {median} (expected ≈420)"
+        );
+        // Heavy tail: p99 must far exceed the median.
+        let p99 = xs[(n as f64 * 0.99) as usize];
+        assert!(p99 > 10.0 * median, "p99 {p99} vs median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_within_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut r, 1.1, 1.0, 20_000.0);
+            assert!((1.0..=20_000.0).contains(&x), "out of bounds: {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        // For α = 0.7 on [1, 20000], P(X > 1000) ≈ 0.8% analytically.
+        let mut r = rng();
+        let n = 50_000;
+        let big = (0..n)
+            .filter(|_| bounded_pareto(&mut r, 0.7, 1.0, 20_000.0) > 1000.0)
+            .count();
+        let frac = big as f64 / n as f64;
+        assert!(
+            (0.004..0.02).contains(&frac),
+            "tail fraction {frac}, expected ≈0.008"
+        );
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = uniform(&mut r, 3.0, 7.0);
+            assert!((3.0..7.0).contains(&x));
+        }
+    }
+}

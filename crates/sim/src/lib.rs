@@ -1,0 +1,28 @@
+//! Discrete-event cluster simulation for Firmament experiments (§7.1).
+//!
+//! Three pieces:
+//!
+//! - [`trace`]: a synthetic Google-trace workload generator (heavy-tailed
+//!   job sizes, log-normal durations, service/batch classes, block
+//!   placement for locality) with a speedup knob (Fig 18);
+//! - [`driver`]: the "Fauxmaster"-style simulator that runs Firmament's
+//!   real scheduling code against simulated machines, charging measured
+//!   solver runtime to the virtual clock (Fig 2b semantics) — and drives
+//!   queue-based baselines task-by-task (Fig 2a);
+//! - [`testbed`]: a flow-level network-contention model of the paper's
+//!   40-machine local cluster for the placement-quality experiment
+//!   (Fig 19).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod driver;
+pub mod metrics;
+pub mod testbed;
+pub mod trace;
+
+pub use driver::{run_flow_sim, run_queue_sim, SimConfig, SimReport};
+pub use metrics::Samples;
+pub use testbed::{run_testbed, TestbedConfig, TestbedScheduler};
+pub use trace::{GoogleTraceGenerator, JobArrival, TraceSpec};

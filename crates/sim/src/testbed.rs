@@ -1,0 +1,533 @@
+//! Network-contention testbed simulator (§7.5, Fig 19 substitution).
+//!
+//! The paper's placement-quality experiment ran on a 40-machine cluster
+//! with 10 Gbps full-bisection Ethernet: short batch analytics tasks read
+//! 4–8 GB inputs from HDFS while background iperf and nginx traffic loads
+//! the network. Task response time is dominated by network contention —
+//! which is precisely what the network-aware policy avoids.
+//!
+//! We reproduce that environment with a flow-level network model: every
+//! remote input read is a flow crossing its source's egress link and its
+//! destination's ingress link; flows share links max–min fairly
+//! (waterfilling), while background traffic occupies a fixed, higher-
+//! priority share (the JUMP-style service class of \[20\]). Full-bisection
+//! bandwidth means only edge links contend, exactly as on the testbed.
+
+use crate::distributions::{exponential, uniform};
+use crate::metrics::Samples;
+use firmament_baselines::QueueScheduler;
+use firmament_cluster::{
+    ClusterEvent, ClusterState, Job, JobClass, MachineId, ResourceVector, Task, TaskId, Time,
+    TopologySpec,
+};
+use firmament_core::{Firmament, SchedulingAction};
+use firmament_flow::testgen::XorShift64;
+use firmament_policies::NetworkAwarePolicy;
+use std::collections::HashMap;
+
+/// One gigabyte, in bytes.
+pub const GB: f64 = 1e9;
+
+/// Which scheduler drives the testbed.
+pub enum TestbedScheduler {
+    /// Firmament with the network-aware policy (the real scheduler code).
+    Firmament,
+    /// A queue-based baseline.
+    Baseline(Box<dyn QueueScheduler>),
+    /// Ideal isolation: every task gets the full link (the "Idle" line).
+    Idle,
+}
+
+/// Testbed configuration.
+pub struct TestbedConfig {
+    /// Number of machines (paper: 40).
+    pub machines: usize,
+    /// Concurrent task slots per machine.
+    pub slots_per_machine: u32,
+    /// Link speed in Mbit/s (paper: 10 Gbps).
+    pub link_mbps: u64,
+    /// Number of short batch tasks to run.
+    pub tasks: usize,
+    /// Mean task interarrival time in seconds.
+    pub mean_interarrival_s: f64,
+    /// Input size range in GB (paper: 4–8 GB).
+    pub input_gb: (f64, f64),
+    /// Pure compute time range in seconds (paper: tasks take 3.5–5 s on an
+    /// idle cluster).
+    pub compute_s: (f64, f64),
+    /// Enables the Fig 19b background workload: 14 iperf clients at 4 Gbps
+    /// and 7 HTTP clients against 3 nginx servers.
+    pub background: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            machines: 40,
+            slots_per_machine: 4,
+            link_mbps: 10_000,
+            tasks: 200,
+            mean_interarrival_s: 0.35,
+            input_gb: (4.0, 8.0),
+            compute_s: (3.5, 5.0),
+            background: false,
+            seed: 1,
+        }
+    }
+}
+
+/// A running transfer: `remaining_mb` megabits from `src`'s egress to
+/// `dst`'s ingress.
+#[derive(Debug, Clone)]
+struct NetFlow {
+    task: TaskId,
+    src: MachineId,
+    dst: MachineId,
+    remaining_mbit: f64,
+    rate_mbps: f64,
+}
+
+/// Runs the testbed experiment and returns task response time samples in
+/// seconds.
+pub fn run_testbed(config: &TestbedConfig, scheduler: TestbedScheduler) -> Samples {
+    let mut rng = XorShift64::new(config.seed);
+    let mut state = ClusterState::with_topology(&TopologySpec {
+        machines: config.machines,
+        machines_per_rack: 20,
+        slots_per_machine: config.slots_per_machine,
+    });
+    // Background reservations (Fig 19b): iperf clients 0..14 stream 4 Gbps
+    // each to servers 14..21 (two clients per server); 7 HTTP clients pull
+    // 500 Mbps from 3 nginx servers 21..24.
+    let mut egress_reserved = vec![0f64; config.machines];
+    let mut ingress_reserved = vec![0f64; config.machines];
+    if config.background {
+        for c in 0..14usize.min(config.machines) {
+            let server = 14 + (c / 2);
+            if server < config.machines {
+                egress_reserved[c] += 4_000.0;
+                ingress_reserved[server] += 4_000.0;
+            }
+        }
+        for c in 0..7usize {
+            let client = (24 + c) % config.machines;
+            let server = 21 + (c % 3);
+            if server < config.machines {
+                egress_reserved[server] += 500.0;
+                ingress_reserved[client] += 500.0;
+            }
+        }
+        // Make the load visible to the schedulers (monitoring data).
+        for (m, machine) in state.machines.iter_mut() {
+            machine.background_mbps =
+                (egress_reserved[*m as usize] + ingress_reserved[*m as usize]) as u64;
+        }
+    }
+
+    let idle = matches!(scheduler, TestbedScheduler::Idle);
+    let (mut firmament, mut baseline) = match scheduler {
+        TestbedScheduler::Firmament => {
+            let mut f = Firmament::new(NetworkAwarePolicy::new());
+            let machines: Vec<_> = state.machines.values().cloned().collect();
+            for m in machines {
+                f.handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
+                    .expect("machine registration");
+            }
+            (Some(f), None)
+        }
+        TestbedScheduler::Baseline(b) => (None, Some(b)),
+        TestbedScheduler::Idle => (None, None),
+    };
+
+    let mut responses = Samples::new();
+    let mut flows: Vec<NetFlow> = Vec::new();
+    // task → (submit_s, compute_end_s, transfer_done).
+    let mut running: HashMap<TaskId, (f64, f64, bool)> = HashMap::new();
+    let mut now_s = 0.0f64;
+    let mut next_arrival_s = 0.0f64;
+    let mut submitted = 0usize;
+    let mut waiting: Vec<Task> = Vec::new();
+
+    loop {
+        // Next event: arrival, flow completion, or compute completion.
+        let next_flow_s = flows
+            .iter()
+            .filter(|f| f.rate_mbps > 0.0)
+            .map(|f| now_s + f.remaining_mbit / f.rate_mbps)
+            .fold(f64::INFINITY, f64::min);
+        let next_compute_s = running
+            .iter()
+            .filter(|(_, (_, _, transfer_done))| *transfer_done)
+            .map(|(_, (_, end, _))| *end)
+            .filter(|&e| e > now_s)
+            .fold(f64::INFINITY, f64::min);
+        let next_arrival = if submitted < config.tasks {
+            next_arrival_s
+        } else {
+            f64::INFINITY
+        };
+        let next = next_arrival.min(next_flow_s).min(next_compute_s);
+        if !next.is_finite() {
+            break;
+        }
+        // Progress all flows to `next`.
+        let dt = (next - now_s).max(0.0);
+        for f in &mut flows {
+            f.remaining_mbit = (f.remaining_mbit - f.rate_mbps * dt).max(0.0);
+        }
+        now_s = next;
+        state.now = (now_s * 1e6) as Time;
+
+        // Handle flow completions.
+        let done: Vec<TaskId> = flows
+            .iter()
+            .filter(|f| f.remaining_mbit <= 1e-6)
+            .map(|f| f.task)
+            .collect();
+        flows.retain(|f| f.remaining_mbit > 1e-6);
+        for task in done {
+            let finished_now = if let Some((_, compute_end, transfer_done)) =
+                running.get_mut(&task)
+            {
+                *transfer_done = true;
+                *compute_end <= now_s
+            } else {
+                false
+            };
+            if finished_now {
+                // Compute already finished; the task is done now.
+                let submit = running[&task].0;
+                finish_task(
+                    &mut state,
+                    &mut firmament,
+                    &mut responses,
+                    &mut running,
+                    task,
+                    submit,
+                    now_s,
+                );
+            }
+        }
+        // Handle compute completions (transfer already done).
+        let compute_done: Vec<TaskId> = running
+            .iter()
+            .filter(|(_, (_, end, td))| *td && *end <= now_s + 1e-9)
+            .map(|(t, _)| *t)
+            .collect();
+        for task in compute_done {
+            let (submit, _, _) = running[&task];
+            finish_task(
+                &mut state,
+                &mut firmament,
+                &mut responses,
+                &mut running,
+                task,
+                submit,
+                now_s,
+            );
+        }
+
+        // Handle arrival.
+        if submitted < config.tasks && (now_s - next_arrival_s).abs() < 1e-9 {
+            let id = submitted as TaskId;
+            let compute = uniform(&mut rng, config.compute_s.0, config.compute_s.1);
+            let input_bytes = uniform(&mut rng, config.input_gb.0, config.input_gb.1) * GB;
+            let mut t = Task::new(id, id, state.now, (compute * 1e6) as Time);
+            t.request = ResourceVector::new(2000, 4096, 2_500);
+            t.input_bytes = input_bytes as u64;
+            // Three HDFS replicas.
+            let mut holders = Vec::new();
+            while holders.len() < 3 {
+                let m = rng.below(config.machines as u64);
+                if !holders.contains(&m) {
+                    holders.push(m);
+                }
+            }
+            t.input_blocks = vec![state.blocks.place_block(holders)];
+            let ev = ClusterEvent::JobSubmitted {
+                job: Job::new(id, JobClass::Batch, 0, state.now),
+                tasks: vec![t.clone()],
+            };
+            state.apply(&ev);
+            if let Some(f) = firmament.as_mut() {
+                f.handle_event(&state, &ev).expect("policy event");
+            }
+            waiting.push(t);
+            submitted += 1;
+            next_arrival_s = now_s + exponential(&mut rng, config.mean_interarrival_s);
+        }
+
+        // Try to place waiting tasks.
+        let mut still_waiting = Vec::new();
+        for t in waiting.drain(..) {
+            let machine = if idle {
+                // Isolation: any machine with a free slot (no contention in
+                // this mode anyway).
+                state
+                    .machines
+                    .values()
+                    .filter(|m| m.has_free_slot())
+                    .map(|m| m.id)
+                    .min()
+            } else if let Some(f) = firmament.as_mut() {
+                let outcome = f.schedule(&state).expect("solver");
+                outcome.actions.iter().find_map(|a| match a {
+                    SchedulingAction::Place { task, machine } if *task == t.id => Some(*machine),
+                    _ => None,
+                })
+            } else {
+                baseline.as_mut().expect("baseline").place(&state, &t)
+            };
+            match machine {
+                Some(m) => {
+                    let ev = ClusterEvent::TaskPlaced {
+                        task: t.id,
+                        machine: m,
+                        now: state.now,
+                    };
+                    state.apply(&ev);
+                    if let Some(f) = firmament.as_mut() {
+                        f.handle_event(&state, &ev).expect("policy event");
+                    }
+                    let compute_end = now_s + state.tasks[&t.id].duration as f64 / 1e6;
+                    let holders = state.blocks.holders(t.input_blocks[0]).to_vec();
+                    let local = holders.contains(&m);
+                    if local || idle {
+                        // Local read (or isolation): response is bounded by
+                        // max(compute, full-rate transfer).
+                        let rate = if idle {
+                            config.link_mbps as f64
+                        } else {
+                            f64::INFINITY
+                        };
+                        let transfer_s = t.input_bytes as f64 * 8.0 / 1e6 / rate;
+                        let end = compute_end.max(now_s + transfer_s);
+                        running.insert(t.id, (t.submit_time as f64 / 1e6, end, true));
+                    } else {
+                        // Remote read: pick the least-loaded replica holder
+                        // as the source.
+                        let src = holders
+                            .iter()
+                            .copied()
+                            .min_by_key(|h| {
+                                flows.iter().filter(|f| f.src == *h).count()
+                            })
+                            .expect("replicas exist");
+                        flows.push(NetFlow {
+                            task: t.id,
+                            src,
+                            dst: m,
+                            remaining_mbit: t.input_bytes as f64 * 8.0 / 1e6,
+                            rate_mbps: 0.0,
+                        });
+                        running.insert(t.id, (t.submit_time as f64 / 1e6, compute_end, false));
+                    }
+                }
+                None => still_waiting.push(t),
+            }
+        }
+        waiting = still_waiting;
+
+        // Recompute max–min fair rates (waterfilling over edge links).
+        waterfill(
+            &mut flows,
+            config.machines,
+            config.link_mbps as f64,
+            &egress_reserved,
+            &ingress_reserved,
+        );
+    }
+    responses
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_task(
+    state: &mut ClusterState,
+    firmament: &mut Option<Firmament<NetworkAwarePolicy>>,
+    responses: &mut Samples,
+    running: &mut HashMap<TaskId, (f64, f64, bool)>,
+    task: TaskId,
+    submit_s: f64,
+    now_s: f64,
+) {
+    running.remove(&task);
+    let ev = ClusterEvent::TaskCompleted {
+        task,
+        now: (now_s * 1e6) as Time,
+    };
+    state.apply(&ev);
+    if let Some(f) = firmament.as_mut() {
+        f.handle_event(state, &ev).expect("policy event");
+    }
+    responses.push(now_s - submit_s);
+}
+
+/// Max–min fair rate allocation: repeatedly saturate the most contended
+/// link and freeze the flows crossing it at its fair share.
+fn waterfill(
+    flows: &mut [NetFlow],
+    machines: usize,
+    link_mbps: f64,
+    egress_reserved: &[f64],
+    ingress_reserved: &[f64],
+) {
+    let n = flows.len();
+    let mut fixed = vec![false; n];
+    let mut egress_cap: Vec<f64> = (0..machines)
+        .map(|m| (link_mbps - egress_reserved[m]).max(0.0))
+        .collect();
+    let mut ingress_cap: Vec<f64> = (0..machines)
+        .map(|m| (link_mbps - ingress_reserved[m]).max(0.0))
+        .collect();
+    loop {
+        // Count unfixed flows per link.
+        let mut egress_count = vec![0usize; machines];
+        let mut ingress_count = vec![0usize; machines];
+        for (i, f) in flows.iter().enumerate() {
+            if !fixed[i] {
+                egress_count[f.src as usize] += 1;
+                ingress_count[f.dst as usize] += 1;
+            }
+        }
+        // The bottleneck link has the smallest per-flow share.
+        let mut best_share = f64::INFINITY;
+        for m in 0..machines {
+            if egress_count[m] > 0 {
+                best_share = best_share.min(egress_cap[m] / egress_count[m] as f64);
+            }
+            if ingress_count[m] > 0 {
+                best_share = best_share.min(ingress_cap[m] / ingress_count[m] as f64);
+            }
+        }
+        if !best_share.is_finite() {
+            break;
+        }
+        // Freeze flows crossing any bottleneck link at `best_share`.
+        let mut froze = false;
+        for m in 0..machines {
+            let egress_bn = egress_count[m] > 0
+                && (egress_cap[m] / egress_count[m] as f64 - best_share).abs() < 1e-9;
+            let ingress_bn = ingress_count[m] > 0
+                && (ingress_cap[m] / ingress_count[m] as f64 - best_share).abs() < 1e-9;
+            if !egress_bn && !ingress_bn {
+                continue;
+            }
+            for (i, f) in flows.iter_mut().enumerate() {
+                if fixed[i] {
+                    continue;
+                }
+                if (egress_bn && f.src as usize == m) || (ingress_bn && f.dst as usize == m) {
+                    f.rate_mbps = best_share;
+                    fixed[i] = true;
+                    froze = true;
+                    egress_cap[f.src as usize] = (egress_cap[f.src as usize] - best_share).max(0.0);
+                    ingress_cap[f.dst as usize] =
+                        (ingress_cap[f.dst as usize] - best_share).max(0.0);
+                }
+            }
+        }
+        if !froze {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_baselines::{SparrowScheduler, SwarmKitScheduler};
+
+    fn quick_config(background: bool) -> TestbedConfig {
+        TestbedConfig {
+            tasks: 40,
+            mean_interarrival_s: 0.3,
+            background,
+            seed: 9,
+            ..TestbedConfig::default()
+        }
+    }
+
+    #[test]
+    fn waterfill_single_bottleneck() {
+        let mut flows = vec![
+            NetFlow {
+                task: 0,
+                src: 0,
+                dst: 1,
+                remaining_mbit: 100.0,
+                rate_mbps: 0.0,
+            },
+            NetFlow {
+                task: 1,
+                src: 0,
+                dst: 2,
+                remaining_mbit: 100.0,
+                rate_mbps: 0.0,
+            },
+        ];
+        waterfill(&mut flows, 3, 10_000.0, &[0.0; 3], &[0.0; 3]);
+        // Both flows share machine 0's egress.
+        assert!((flows[0].rate_mbps - 5_000.0).abs() < 1.0);
+        assert!((flows[1].rate_mbps - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn waterfill_respects_reservations() {
+        let mut flows = vec![NetFlow {
+            task: 0,
+            src: 0,
+            dst: 1,
+            remaining_mbit: 100.0,
+            rate_mbps: 0.0,
+        }];
+        let mut egress = vec![0.0; 2];
+        egress[0] = 8_000.0; // background eats 8 of 10 Gbps
+        waterfill(&mut flows, 2, 10_000.0, &egress, &[0.0; 2]);
+        assert!((flows[0].rate_mbps - 2_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn idle_baseline_fastest() {
+        let cfg = quick_config(false);
+        let mut idle = run_testbed(&cfg, TestbedScheduler::Idle);
+        let mut sparrow = run_testbed(
+            &cfg,
+            TestbedScheduler::Baseline(Box::new(SparrowScheduler::new(3))),
+        );
+        assert_eq!(idle.len(), cfg.tasks);
+        assert_eq!(sparrow.len(), cfg.tasks);
+        assert!(
+            idle.percentile(99.0) <= sparrow.percentile(99.0) + 1e-9,
+            "isolation must not be slower than contended random placement"
+        );
+    }
+
+    #[test]
+    fn firmament_improves_tail_under_background_load() {
+        let cfg = quick_config(true);
+        let mut firm = run_testbed(&cfg, TestbedScheduler::Firmament);
+        let mut swarm = run_testbed(
+            &cfg,
+            TestbedScheduler::Baseline(Box::new(SwarmKitScheduler)),
+        );
+        let f99 = firm.percentile(99.0);
+        let s99 = swarm.percentile(99.0);
+        assert!(
+            f99 <= s99,
+            "network-aware p99 ({f99:.1}s) must beat SwarmKit ({s99:.1}s)"
+        );
+    }
+
+    #[test]
+    fn all_tasks_eventually_finish() {
+        let cfg = quick_config(true);
+        let mut r = run_testbed(
+            &cfg,
+            TestbedScheduler::Baseline(Box::new(SwarmKitScheduler)),
+        );
+        assert_eq!(r.len(), cfg.tasks);
+        assert!(r.min() > 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Batch analytics with data locality: the Quincy policy.
+//!
+//! Reproduces the paper's motivating scenario: batch jobs reading
+//! HDFS-style replicated inputs, scheduled with locality preference arcs.
+//! Shows how the preference threshold (Fig 15) trades graph size against
+//! input data locality.
+//!
+//! Run with: `cargo run --release --example batch_analytics`
+
+use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
+use firmament::core::{extract_placements, Firmament, Placement};
+use firmament::policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+
+fn run(threshold: f64) -> (usize, f64) {
+    let mut state = ClusterState::with_topology(&TopologySpec {
+        machines: 60,
+        machines_per_rack: 20,
+        slots_per_machine: 4,
+    });
+    let mut cfg = QuincyConfig::default();
+    cfg.machine_pref_threshold = threshold;
+    cfg.rack_pref_threshold = threshold;
+    cfg.max_prefs_per_task = 32;
+    let mut scheduler = Firmament::new(QuincyPolicy::new(cfg));
+    let machines: Vec<_> = state.machines.values().cloned().collect();
+    for m in machines {
+        scheduler
+            .handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
+            .expect("register machine");
+    }
+
+    // 40 analytics tasks, each reading three 128 MiB blocks.
+    let job = Job::new(0, JobClass::Batch, 2, 0);
+    let machine_ids: Vec<u64> = state.machines.keys().copied().collect();
+    let mut tasks = Vec::new();
+    for i in 0..40u64 {
+        let mut t = Task::new(i, 0, 0, 30_000_000);
+        t.input_bytes = 3 * 128 * 1024 * 1024;
+        for b in 0..3u64 {
+            let holders: Vec<u64> = (0..3)
+                .map(|r| machine_ids[((i * 7 + b * 13 + r * 17) % 60) as usize])
+                .collect();
+            t.input_blocks.push(state.blocks.place_block(holders));
+        }
+        tasks.push(t);
+    }
+    let ev = ClusterEvent::JobSubmitted { job, tasks };
+    state.apply(&ev);
+    scheduler.handle_event(&state, &ev).expect("submit");
+
+    let outcome = scheduler.schedule(&state).expect("round");
+    let placements = extract_placements(&scheduler.policy().base().graph);
+    let mut local = 0.0f64;
+    let mut total = 0.0f64;
+    for (task, p) in &placements {
+        if let (Placement::OnMachine(m), Some(t)) = (p, state.tasks.get(task)) {
+            total += t.input_bytes as f64;
+            local += t.input_bytes as f64 * state.blocks.machine_locality(&t.input_blocks, *m);
+        }
+    }
+    let arcs = scheduler.policy().base().graph.arc_count();
+    let _ = outcome;
+    (arcs, if total > 0.0 { local / total } else { 0.0 })
+}
+
+fn main() {
+    println!("threshold  graph_arcs  machine_local_input");
+    for threshold in [0.5, 0.14, 0.02] {
+        let (arcs, locality) = run(threshold);
+        println!("{threshold:>9}  {arcs:>10}  {:>18.1}%", locality * 100.0);
+    }
+    println!("\nLower thresholds add preference arcs and raise data locality —");
+    println!("the Fig 15 trade-off Firmament's fast solver makes affordable.");
+}

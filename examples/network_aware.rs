@@ -1,0 +1,42 @@
+//! Network-aware scheduling on the simulated 40-machine testbed (Fig 19).
+//!
+//! Short batch tasks read 4–8 GB inputs over a shared 10 Gbps network with
+//! background iperf/nginx traffic. Compares Firmament's network-aware
+//! policy against SwarmKit-style load spreading and Sparrow-style random
+//! placement.
+//!
+//! Run with: `cargo run --release --example network_aware`
+
+use firmament::baselines::{SparrowScheduler, SwarmKitScheduler};
+use firmament::sim::{run_testbed, TestbedConfig, TestbedScheduler};
+
+fn main() {
+    let config = TestbedConfig {
+        tasks: 120,
+        background: true,
+        seed: 7,
+        ..TestbedConfig::default()
+    };
+    println!("scheduler   p50      p80      p99   (task response, seconds)");
+    for (name, sched) in [
+        ("idle", TestbedScheduler::Idle),
+        ("firmament", TestbedScheduler::Firmament),
+        (
+            "swarmkit",
+            TestbedScheduler::Baseline(Box::new(SwarmKitScheduler)),
+        ),
+        (
+            "sparrow",
+            TestbedScheduler::Baseline(Box::new(SparrowScheduler::new(7))),
+        ),
+    ] {
+        let mut samples = run_testbed(&config, sched);
+        println!(
+            "{name:<10} {:>6.2}s {:>7.2}s {:>7.2}s",
+            samples.percentile(50.0),
+            samples.percentile(80.0),
+            samples.percentile(99.0),
+        );
+    }
+    println!("\nFirmament avoids overloaded links, cutting the tail (paper: 3.4-6.2x at p99).");
+}

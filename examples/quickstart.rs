@@ -1,0 +1,65 @@
+//! Quickstart: schedule a small batch workload with Firmament.
+//!
+//! Builds a 8-machine cluster, submits two jobs, runs one scheduling round,
+//! and prints the placements the min-cost max-flow solver chose.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
+use firmament::core::{Firmament, SchedulingAction};
+use firmament::policies::LoadSpreadingPolicy;
+
+fn main() {
+    let mut state = ClusterState::with_topology(&TopologySpec {
+        machines: 8,
+        machines_per_rack: 4,
+        slots_per_machine: 2,
+    });
+    let mut scheduler = Firmament::new(LoadSpreadingPolicy::new());
+
+    // Register the cluster's machines with the scheduler.
+    let machines: Vec<_> = state.machines.values().cloned().collect();
+    for m in machines {
+        scheduler
+            .handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
+            .expect("register machine");
+    }
+
+    // Submit two jobs: five short tasks and three longer ones.
+    for (job_id, n_tasks, duration_s) in [(0u64, 5usize, 10.0f64), (1, 3, 60.0)] {
+        let job = Job::new(job_id, JobClass::Batch, 2, state.now);
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|i| {
+                Task::new(
+                    job_id * 100 + i as u64,
+                    job_id,
+                    state.now,
+                    (duration_s * 1e6) as u64,
+                )
+            })
+            .collect();
+        let ev = ClusterEvent::JobSubmitted { job, tasks };
+        state.apply(&ev);
+        scheduler.handle_event(&state, &ev).expect("submit job");
+    }
+
+    // One scheduling round: the solver reschedules the whole workload.
+    let outcome = scheduler.schedule(&state).expect("scheduling round");
+    println!(
+        "solver: {} finished in {:?}, objective {}",
+        outcome.winner, outcome.algorithm_runtime, outcome.objective
+    );
+    for action in &outcome.actions {
+        match action {
+            SchedulingAction::Place { task, machine } => {
+                println!("  place task {task} on machine {machine}");
+            }
+            SchedulingAction::Preempt { task } => println!("  preempt task {task}"),
+        }
+    }
+    println!(
+        "{} placed, {} unscheduled",
+        outcome.placed_tasks, outcome.unscheduled_tasks
+    );
+    assert_eq!(outcome.placed_tasks, 8, "all eight tasks fit the cluster");
+}

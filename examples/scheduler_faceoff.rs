@@ -1,0 +1,70 @@
+//! Scheduler face-off: Firmament vs every baseline on one workload.
+//!
+//! Runs the same trace through Firmament (flow-based, rescheduling the
+//! whole workload each round) and the four queue-based baselines, then
+//! compares placement latency and task response times.
+//!
+//! Run with: `cargo run --release --example scheduler_faceoff`
+
+use firmament::baselines::{
+    KubernetesScheduler, MesosScheduler, QueueScheduler, SparrowScheduler, SwarmKitScheduler,
+};
+use firmament::cluster::TopologySpec;
+use firmament::core::Firmament;
+use firmament::policies::LoadSpreadingPolicy;
+use firmament::sim::{run_flow_sim, run_queue_sim, SimConfig, TraceSpec};
+
+fn config() -> SimConfig {
+    let machines = 60;
+    SimConfig {
+        topology: TopologySpec {
+            machines,
+            machines_per_rack: 20,
+            slots_per_machine: 6,
+        },
+        trace: TraceSpec {
+            machines,
+            slots_per_machine: 6,
+            target_utilization: 0.7,
+            service_job_fraction: 0.0,
+            median_task_duration_s: 8.0,
+            duration_sigma: 0.8,
+            seed: 12,
+            ..TraceSpec::default()
+        },
+        duration_s: 30.0,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    println!("scheduler    placed  completed  p50_response  p99_response");
+    let mut report = run_flow_sim(&config(), Firmament::new(LoadSpreadingPolicy::new()));
+    print_row("firmament", &mut report);
+    let baselines: Vec<Box<dyn QueueScheduler>> = vec![
+        Box::new(SwarmKitScheduler),
+        Box::new(KubernetesScheduler),
+        Box::new(MesosScheduler::new()),
+        Box::new(SparrowScheduler::new(3)),
+    ];
+    for b in baselines {
+        let name = b.name();
+        let mut report = run_queue_sim(&config(), b);
+        print_row(name, &mut report);
+    }
+}
+
+fn print_row(name: &str, report: &mut firmament::sim::SimReport) {
+    let (p50, p99) = if report.task_response.is_empty() {
+        (f64::NAN, f64::NAN)
+    } else {
+        (
+            report.task_response.percentile(50.0),
+            report.task_response.percentile(99.0),
+        )
+    };
+    println!(
+        "{name:<12} {:>6}  {:>9}  {p50:>11.2}s  {p99:>11.2}s",
+        report.placed_tasks, report.completed_tasks,
+    );
+}

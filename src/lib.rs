@@ -1,0 +1,50 @@
+//! Firmament: fast, centralized cluster scheduling at scale.
+//!
+//! A Rust reproduction of *Gog, Schwarzkopf, Gleave, Watson, Hand —
+//! "Firmament: Fast, Centralized Cluster Scheduling at Scale" (OSDI 2016)*.
+//! This façade crate re-exports the workspace's public API:
+//!
+//! - [`flow`]: the flow-network substrate;
+//! - [`mcmf`]: the four MCMF algorithms, incremental variants, and the
+//!   speculative dual solver;
+//! - [`cluster`]: machines, jobs, tasks, and the block store;
+//! - [`policies`]: load-spreading, Quincy, and network-aware policies;
+//! - [`core`]: the scheduler service and placement extraction;
+//! - [`sim`]: the discrete-event simulator, trace generator, and testbed;
+//! - [`baselines`]: Sparrow/SwarmKit/Kubernetes/Mesos placement logic.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
+//! use firmament::core::Firmament;
+//! use firmament::policies::LoadSpreadingPolicy;
+//!
+//! let mut state = ClusterState::with_topology(&TopologySpec::default());
+//! let mut scheduler = Firmament::new(LoadSpreadingPolicy::new());
+//! let machines: Vec<_> = state.machines.values().cloned().collect();
+//! for m in machines {
+//!     scheduler
+//!         .handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
+//!         .unwrap();
+//! }
+//! let ev = ClusterEvent::JobSubmitted {
+//!     job: Job::new(0, JobClass::Batch, 0, 0),
+//!     tasks: vec![Task::new(0, 0, 0, 5_000_000)],
+//! };
+//! state.apply(&ev);
+//! scheduler.handle_event(&state, &ev).unwrap();
+//! let outcome = scheduler.schedule(&state).unwrap();
+//! assert_eq!(outcome.placed_tasks, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use firmament_baselines as baselines;
+pub use firmament_cluster as cluster;
+pub use firmament_core as core;
+pub use firmament_flow as flow;
+pub use firmament_mcmf as mcmf;
+pub use firmament_policies as policies;
+pub use firmament_sim as sim;

@@ -1,0 +1,118 @@
+//! Integration tests spanning flow, mcmf, and core: placement extraction
+//! agrees with the flow for every solver, and the Table 3 change analysis
+//! predicts incremental-solver behaviour.
+
+use firmament::core::{extract_placements, Placement};
+use firmament::flow::changes::{arc_change_effect, ArcChangeAnalysis, ReoptEffect};
+use firmament::flow::testgen::{scheduling_instance, InstanceSpec};
+use firmament::mcmf::{cost_scaling, relaxation, ssp, verify, SolveOptions};
+use proptest::prelude::*;
+
+#[test]
+fn extraction_identical_across_solvers() {
+    // Different optimal solutions may exist, but the per-machine placement
+    // counts implied by any optimal flow of the same graph must cost the
+    // same; here we check extraction consistency per solver.
+    let spec = InstanceSpec {
+        tasks: 40,
+        machines: 10,
+        slots_per_machine: 4,
+        ..InstanceSpec::default()
+    };
+    for (name, solve) in [
+        (
+            "ssp",
+            &(|g: &mut firmament::flow::FlowGraph| {
+                ssp::solve(g, &SolveOptions::unlimited()).unwrap();
+            }) as &dyn Fn(&mut firmament::flow::FlowGraph),
+        ),
+        ("relaxation", &|g| {
+            relaxation::solve(g, &SolveOptions::unlimited()).unwrap();
+        }),
+        ("cost_scaling", &|g| {
+            cost_scaling::solve(g, &SolveOptions::unlimited()).unwrap();
+        }),
+    ] {
+        let mut inst = scheduling_instance(3, &spec);
+        solve(&mut inst.graph);
+        let placements = extract_placements(&inst.graph);
+        assert_eq!(placements.len(), 40, "{name}");
+        let placed = placements
+            .values()
+            .filter(|p| matches!(p, Placement::OnMachine(_)))
+            .count();
+        // 10 machines × 4 slots = 40 slots ≥ 40 tasks, and placing is far
+        // cheaper than the unscheduled cost, so everything places.
+        assert_eq!(placed, 40, "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Table 3 analysis matches observed behaviour: applying a change the
+    /// analysis calls "green" must leave the solved flow optimal.
+    #[test]
+    fn prop_green_changes_preserve_optimality(
+        seed in 0u64..2000,
+        arc_pick in 0usize..500,
+        delta in 1i64..60,
+        increase in proptest::bool::ANY,
+    ) {
+        let spec = InstanceSpec { tasks: 25, machines: 8, ..InstanceSpec::default() };
+        let mut inst = scheduling_instance(seed, &spec);
+        relaxation::solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let potentials = match verify::find_potentials(&inst.graph) {
+            verify::OptimalityCheck::Optimal { potentials } => potentials,
+            _ => panic!("solved flow must be optimal"),
+        };
+        let arcs: Vec<_> = inst.graph.arc_ids().collect();
+        let a = arcs[arc_pick % arcs.len()];
+        let rc = verify::reduced_cost(&inst.graph, &potentials, a);
+        let old_cost = inst.graph.cost(a);
+        let new_cost = if increase { old_cost + delta } else { (old_cost - delta).max(0) };
+        let analysis = ArcChangeAnalysis {
+            reduced_cost_before: rc,
+            reduced_cost_after: rc + (new_cost - old_cost),
+            flow: inst.graph.flow(a),
+            capacity_before: inst.graph.capacity(a),
+            capacity_after: inst.graph.capacity(a),
+        };
+        let effect = arc_change_effect(&analysis);
+        inst.graph.set_arc_cost(a, new_cost).unwrap();
+        if effect == ReoptEffect::StaysValid {
+            prop_assert!(
+                verify::is_optimal(&inst.graph),
+                "green change broke optimality (rc={rc}, Δ={})",
+                new_cost - old_cost
+            );
+        }
+    }
+
+    /// Extraction accounts for exactly the machine→sink flow.
+    #[test]
+    fn prop_extraction_matches_flow(seed in 0u64..3000) {
+        let spec = InstanceSpec { tasks: 30, machines: 8, ..InstanceSpec::default() };
+        let mut inst = scheduling_instance(seed, &spec);
+        cost_scaling::solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let placements = extract_placements(&inst.graph);
+        let placed = placements
+            .values()
+            .filter(|p| matches!(p, Placement::OnMachine(_)))
+            .count() as i64;
+        let machine_outflow: i64 = inst
+            .machines
+            .iter()
+            .map(|&m| {
+                inst.graph
+                    .adj(m)
+                    .iter()
+                    .copied()
+                    .filter(|&a| a.is_forward())
+                    .map(|a| inst.graph.flow(a))
+                    .sum::<i64>()
+            })
+            .sum();
+        prop_assert_eq!(placed, machine_outflow);
+    }
+}

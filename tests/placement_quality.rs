@@ -1,0 +1,52 @@
+//! Integration test for the paper's headline quality claim: flow-based
+//! scheduling with the network-aware policy beats task-by-task baselines
+//! on tail response time under network contention (Fig 19).
+
+use firmament::baselines::{SparrowScheduler, SwarmKitScheduler};
+use firmament::sim::{run_testbed, TestbedConfig, TestbedScheduler};
+
+fn config() -> TestbedConfig {
+    TestbedConfig {
+        tasks: 60,
+        background: true,
+        seed: 33,
+        ..TestbedConfig::default()
+    }
+}
+
+#[test]
+fn firmament_beats_baselines_in_the_tail() {
+    let mut firmament = run_testbed(&config(), TestbedScheduler::Firmament);
+    let mut swarmkit = run_testbed(
+        &config(),
+        TestbedScheduler::Baseline(Box::new(SwarmKitScheduler)),
+    );
+    let mut sparrow = run_testbed(
+        &config(),
+        TestbedScheduler::Baseline(Box::new(SparrowScheduler::new(33))),
+    );
+    let f = firmament.percentile(99.0);
+    let sw = swarmkit.percentile(99.0);
+    let sp = sparrow.percentile(99.0);
+    assert!(f <= sw, "firmament p99 {f:.1}s vs swarmkit {sw:.1}s");
+    assert!(f <= sp, "firmament p99 {f:.1}s vs sparrow {sp:.1}s");
+}
+
+#[test]
+fn isolation_is_the_lower_bound() {
+    let mut idle = run_testbed(&config(), TestbedScheduler::Idle);
+    let mut firmament = run_testbed(&config(), TestbedScheduler::Firmament);
+    assert!(idle.percentile(50.0) <= firmament.percentile(50.0) + 1e-9);
+}
+
+#[test]
+fn all_schedulers_finish_every_task() {
+    for sched in [
+        TestbedScheduler::Idle,
+        TestbedScheduler::Firmament,
+        TestbedScheduler::Baseline(Box::new(SwarmKitScheduler)),
+    ] {
+        let samples = run_testbed(&config(), sched);
+        assert_eq!(samples.len(), config().tasks);
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end scheduler tests across policies and solver configurations.
+
+use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
+use firmament::core::{Firmament, SchedulingAction};
+use firmament::mcmf::{DualConfig, SolverKind};
+use firmament::policies::{
+    LoadSpreadingPolicy, NetworkAwarePolicy, QuincyConfig, QuincyPolicy, SchedulingPolicy,
+};
+
+fn cluster(machines: usize, slots: u32) -> ClusterState {
+    ClusterState::with_topology(&TopologySpec {
+        machines,
+        machines_per_rack: 20,
+        slots_per_machine: slots,
+    })
+}
+
+fn register<P: SchedulingPolicy>(state: &ClusterState, f: &mut Firmament<P>) {
+    let machines: Vec<_> = state.machines.values().cloned().collect();
+    for m in machines {
+        f.handle_event(state, &ClusterEvent::MachineAdded { machine: m })
+            .unwrap();
+    }
+}
+
+fn submit<P: SchedulingPolicy>(
+    state: &mut ClusterState,
+    f: &mut Firmament<P>,
+    job: u64,
+    n: usize,
+) {
+    let j = Job::new(job, JobClass::Batch, 2, state.now);
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| Task::new(job * 1000 + i as u64, job, state.now, 60_000_000))
+        .collect();
+    let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+    state.apply(&ev);
+    f.handle_event(state, &ev).unwrap();
+}
+
+fn apply<P: SchedulingPolicy>(
+    state: &mut ClusterState,
+    f: &mut Firmament<P>,
+    actions: &[SchedulingAction],
+) {
+    for a in actions {
+        let ev = match a {
+            SchedulingAction::Place { task, machine } => ClusterEvent::TaskPlaced {
+                task: *task,
+                machine: *machine,
+                now: state.now,
+            },
+            SchedulingAction::Preempt { task } => ClusterEvent::TaskPreempted {
+                task: *task,
+                now: state.now,
+            },
+        };
+        state.apply(&ev);
+        f.handle_event(state, &ev).unwrap();
+    }
+}
+
+#[test]
+fn every_policy_schedules_a_full_workload() {
+    // Load-spreading policy.
+    {
+        let mut state = cluster(10, 4);
+        let mut f = Firmament::new(LoadSpreadingPolicy::new());
+        register(&state, &mut f);
+        submit(&mut state, &mut f, 0, 30);
+        let o = f.schedule(&state).unwrap();
+        assert_eq!(o.placed_tasks, 30, "load-spreading");
+    }
+    // Quincy policy.
+    {
+        let mut state = cluster(10, 4);
+        let mut f = Firmament::new(QuincyPolicy::new(QuincyConfig::default()));
+        register(&state, &mut f);
+        submit(&mut state, &mut f, 0, 30);
+        let o = f.schedule(&state).unwrap();
+        assert_eq!(o.placed_tasks, 30, "quincy");
+    }
+    // Network-aware policy.
+    {
+        let mut state = cluster(10, 4);
+        let mut f = Firmament::new(NetworkAwarePolicy::new());
+        register(&state, &mut f);
+        submit(&mut state, &mut f, 0, 30);
+        let o = f.schedule(&state).unwrap();
+        assert_eq!(o.placed_tasks, 30, "network-aware");
+    }
+}
+
+#[test]
+fn solver_kinds_produce_identical_objectives() {
+    let mut objectives = Vec::new();
+    for kind in [
+        SolverKind::Dual,
+        SolverKind::RelaxationOnly,
+        SolverKind::CostScalingOnly,
+    ] {
+        let mut state = cluster(8, 3);
+        let mut f = Firmament::with_solver(
+            LoadSpreadingPolicy::new(),
+            DualConfig {
+                kind,
+                ..Default::default()
+            },
+        );
+        register(&state, &mut f);
+        submit(&mut state, &mut f, 0, 20);
+        let o = f.schedule(&state).unwrap();
+        objectives.push(o.objective);
+    }
+    assert_eq!(objectives[0], objectives[1]);
+    assert_eq!(objectives[1], objectives[2]);
+}
+
+#[test]
+fn continuous_rescheduling_with_churn_stays_consistent() {
+    let mut state = cluster(6, 3);
+    let mut f = Firmament::new(LoadSpreadingPolicy::new());
+    register(&state, &mut f);
+    let mut next_job = 0u64;
+    for round in 0..8 {
+        submit(&mut state, &mut f, next_job, 4);
+        next_job += 1;
+        let o = f.schedule(&state).unwrap();
+        apply(&mut state, &mut f, &o.actions);
+        // Complete one running task per round.
+        if let Some(t) = state.running_tasks().map(|t| t.id).min() {
+            let ev = ClusterEvent::TaskCompleted {
+                task: t,
+                now: state.now + 1 + round,
+            };
+            state.apply(&ev);
+            f.handle_event(&state, &ev).unwrap();
+        }
+        // Invariant: machine slot accounting never overcommits.
+        for m in state.machines.values() {
+            assert!(m.running.len() as u32 <= m.slots);
+        }
+    }
+    assert!(f.rounds() == 8);
+}
+
+#[test]
+fn machine_failure_requeues_and_reschedules() {
+    let mut state = cluster(4, 2);
+    let mut f = Firmament::new(LoadSpreadingPolicy::new());
+    register(&state, &mut f);
+    submit(&mut state, &mut f, 0, 6);
+    let o = f.schedule(&state).unwrap();
+    apply(&mut state, &mut f, &o.actions);
+    assert_eq!(state.used_slots(), 6);
+    // Fail a machine hosting tasks.
+    let victim = state
+        .machines
+        .values()
+        .find(|m| !m.running.is_empty())
+        .map(|m| m.id)
+        .unwrap();
+    let ev = ClusterEvent::MachineRemoved {
+        machine: victim,
+        now: state.now + 5,
+    };
+    state.apply(&ev);
+    f.handle_event(&state, &ev).unwrap();
+    // The displaced tasks reschedule onto the remaining machines.
+    let o = f.schedule(&state).unwrap();
+    apply(&mut state, &mut f, &o.actions);
+    assert_eq!(state.used_slots(), 6, "all tasks rescheduled after failure");
+}
+
+#[test]
+fn oversubscribed_cluster_prefers_waiting_over_overcommit() {
+    let mut state = cluster(2, 2);
+    let mut f = Firmament::new(LoadSpreadingPolicy::new());
+    register(&state, &mut f);
+    submit(&mut state, &mut f, 0, 10);
+    let o = f.schedule(&state).unwrap();
+    assert_eq!(o.placed_tasks, 4);
+    assert_eq!(o.unscheduled_tasks, 6);
+    apply(&mut state, &mut f, &o.actions);
+    for m in state.machines.values() {
+        assert_eq!(m.running.len(), 2);
+    }
+}

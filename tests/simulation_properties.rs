@@ -1,0 +1,84 @@
+//! Integration tests for the simulator: conservation laws and baseline
+//! comparisons hold across schedulers.
+
+use firmament::baselines::{
+    KubernetesScheduler, MesosScheduler, QueueScheduler, SparrowScheduler, SwarmKitScheduler,
+};
+use firmament::cluster::TopologySpec;
+use firmament::core::Firmament;
+use firmament::policies::LoadSpreadingPolicy;
+use firmament::sim::{run_flow_sim, run_queue_sim, SimConfig, TraceSpec};
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig {
+        topology: TopologySpec {
+            machines: 15,
+            machines_per_rack: 15,
+            slots_per_machine: 4,
+        },
+        trace: TraceSpec {
+            machines: 15,
+            slots_per_machine: 4,
+            target_utilization: 0.5,
+            service_job_fraction: 0.0,
+            median_task_duration_s: 2.0,
+            duration_sigma: 0.5,
+            seed,
+            ..TraceSpec::default()
+        },
+        duration_s: 10.0,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn flow_sim_conservation_laws() {
+    let report = run_flow_sim(&config(1), Firmament::new(LoadSpreadingPolicy::new()));
+    // Every completed task was placed at least once.
+    assert!(report.completed_tasks <= report.placed_tasks);
+    // Placement latency samples = first placements only.
+    assert!(report.placement_latency.len() as u64 <= report.placed_tasks);
+    assert!(report.final_utilization <= 1.0);
+}
+
+#[test]
+fn every_baseline_completes_work() {
+    let baselines: Vec<Box<dyn QueueScheduler>> = vec![
+        Box::new(SwarmKitScheduler),
+        Box::new(KubernetesScheduler),
+        Box::new(MesosScheduler::new()),
+        Box::new(SparrowScheduler::new(5)),
+    ];
+    for b in baselines {
+        let name = b.name();
+        let report = run_queue_sim(&config(2), b);
+        assert!(report.placed_tasks > 0, "{name} placed nothing");
+        assert!(report.completed_tasks > 0, "{name} completed nothing");
+        assert!(
+            report.completed_tasks <= report.placed_tasks,
+            "{name} completed more than it placed"
+        );
+    }
+}
+
+#[test]
+fn queue_latency_includes_decision_cost() {
+    let mut cfg = config(3);
+    cfg.queue_task_latency_us = 50_000; // 50 ms per decision
+    cfg.warmup = false;
+    let mut report = run_queue_sim(&cfg, Box::new(SwarmKitScheduler));
+    if !report.placement_latency.is_empty() {
+        assert!(
+            report.placement_latency.min() >= 0.05,
+            "decision latency must be charged"
+        );
+    }
+}
+
+#[test]
+fn flow_sim_charges_solver_runtime_to_placements() {
+    let report = run_flow_sim(&config(4), Firmament::new(LoadSpreadingPolicy::new()));
+    // The solver ran and recorded its runtime in the timeline.
+    assert_eq!(report.rounds as usize, report.runtime_timeline.len());
+    assert!(report.rounds > 0);
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration tests: all MCMF algorithms agree on optimal
+//! objectives for policy-generated graphs, and property-based invariants
+//! hold on random instances.
+
+use firmament::flow::testgen::{layered_instance, scheduling_instance, InstanceSpec};
+use firmament::flow::validate::check_feasible;
+use firmament::mcmf::{
+    cost_scaling, cycle_canceling, relaxation, ssp, verify, DualSolver, SolveOptions,
+};
+use proptest::prelude::*;
+
+#[test]
+fn all_four_algorithms_agree_on_scheduling_graphs() {
+    for seed in 0..6 {
+        let spec = InstanceSpec {
+            tasks: 50,
+            machines: 12,
+            slots_per_machine: 3,
+            prefs_per_task: 3,
+            ..InstanceSpec::default()
+        };
+        let objective = |f: &dyn Fn(&mut firmament::flow::FlowGraph) -> i64| {
+            let mut inst = scheduling_instance(seed, &spec);
+            f(&mut inst.graph)
+        };
+        let opts = SolveOptions::unlimited();
+        let a = objective(&|g| cycle_canceling::solve(g, &opts).unwrap().objective);
+        let b = objective(&|g| ssp::solve(g, &opts).unwrap().objective);
+        let c = objective(&|g| cost_scaling::solve(g, &opts).unwrap().objective);
+        let d = objective(&|g| relaxation::solve(g, &opts).unwrap().objective);
+        assert_eq!(a, b, "seed {seed}: cycle canceling vs ssp");
+        assert_eq!(b, c, "seed {seed}: ssp vs cost scaling");
+        assert_eq!(c, d, "seed {seed}: cost scaling vs relaxation");
+    }
+}
+
+#[test]
+fn dual_solver_matches_single_algorithms() {
+    let inst = scheduling_instance(11, &InstanceSpec::default());
+    let mut dual = DualSolver::default();
+    let out = dual.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+    let mut g = inst.graph.clone();
+    let reference = ssp::solve(&mut g, &SolveOptions::unlimited()).unwrap();
+    assert_eq!(out.solution.objective, reference.objective);
+    assert!(verify::is_optimal(&out.graph));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated scheduling instance solves to a feasible, optimal flow
+    /// whose objective matches across two independent algorithms.
+    #[test]
+    fn prop_solutions_feasible_and_agreeing(
+        seed in 0u64..5000,
+        tasks in 5usize..60,
+        machines in 2usize..15,
+        slots in 1i64..5,
+        prefs in 1usize..5,
+    ) {
+        let spec = InstanceSpec {
+            tasks,
+            machines,
+            slots_per_machine: slots,
+            prefs_per_task: prefs,
+            ..InstanceSpec::default()
+        };
+        let mut a = scheduling_instance(seed, &spec);
+        let mut b = scheduling_instance(seed, &spec);
+        let opts = SolveOptions::unlimited();
+        let s1 = relaxation::solve(&mut a.graph, &opts).unwrap();
+        let s2 = cost_scaling::solve(&mut b.graph, &opts).unwrap();
+        prop_assert_eq!(s1.objective, s2.objective);
+        prop_assert!(check_feasible(&a.graph).is_empty());
+        prop_assert!(check_feasible(&b.graph).is_empty());
+        prop_assert!(verify::is_optimal(&a.graph));
+    }
+
+    /// Layered DAG instances (longer augmenting paths) also agree.
+    #[test]
+    fn prop_layered_instances_agree(
+        seed in 0u64..5000,
+        sources in 3usize..20,
+        layers in 2usize..5,
+        width in 2usize..6,
+    ) {
+        let mut a = layered_instance(seed, sources, layers, width);
+        let mut b = a.clone();
+        let opts = SolveOptions::unlimited();
+        let s1 = relaxation::solve(&mut a, &opts).unwrap();
+        let s2 = ssp::solve(&mut b, &opts).unwrap();
+        prop_assert_eq!(s1.objective, s2.objective);
+    }
+
+    /// Incremental cost scaling after random cost perturbations matches a
+    /// from-scratch solve of the mutated graph.
+    #[test]
+    fn prop_incremental_matches_scratch(
+        seed in 0u64..1000,
+        perturbations in proptest::collection::vec((0usize..200, 1i64..150), 1..12),
+    ) {
+        let spec = InstanceSpec { tasks: 30, machines: 8, ..InstanceSpec::default() };
+        let mut inst = scheduling_instance(seed, &spec);
+        let mut inc = firmament::mcmf::incremental::IncrementalCostScaling::default();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let arcs: Vec<_> = inst.graph.arc_ids().collect();
+        for (idx, cost) in perturbations {
+            let a = arcs[idx % arcs.len()];
+            inst.graph.set_arc_cost(a, cost).unwrap();
+        }
+        let warm = inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let mut fresh = inst.graph.clone();
+        let scratch = cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
+        prop_assert_eq!(warm.objective, scratch.objective);
+    }
+}
