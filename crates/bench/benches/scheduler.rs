@@ -1,55 +1,67 @@
-//! Criterion benchmarks for the end-to-end scheduler path: graph update,
-//! solve, and placement extraction (§6.3).
+//! Benchmarks for the end-to-end scheduler path: graph update, solve, and
+//! placement extraction (§6.3). Self-contained harness (`bench_case`); run
+//! with `cargo bench --bench scheduler`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use firmament_bench::warmed_cluster;
+use firmament_bench::{bench_case, bench_header, warmed_cluster};
 use firmament_core::{extract_placements, Firmament};
 use firmament_mcmf::{relaxation, SolveOptions};
-use firmament_policies::{LoadSpreadingPolicy, QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_policies::{LoadSpreadingCostModel, QuincyConfig, QuincyCostModel};
 
-fn bench_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduling_round");
-    group.bench_function("quincy_policy_200_machines", |b| {
+const SAMPLES: usize = 10;
+
+fn bench_round() {
+    {
         let (state, mut firmament, _) = warmed_cluster(
             200,
             12,
             0.8,
             5,
-            Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+            Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
         );
-        b.iter(|| firmament.schedule(&state).unwrap())
-    });
-    group.bench_function("load_spreading_200_machines", |b| {
+        bench_case(
+            "scheduling_round/quincy_200_machines",
+            SAMPLES,
+            || (),
+            |()| firmament.schedule(&state).unwrap(),
+        );
+    }
+    {
         let (state, mut firmament, _) = warmed_cluster(
             200,
             12,
             0.8,
             5,
-            Firmament::new(LoadSpreadingPolicy::new()),
+            Firmament::new(LoadSpreadingCostModel::new()),
         );
-        b.iter(|| firmament.schedule(&state).unwrap())
-    });
-    group.finish();
+        bench_case(
+            "scheduling_round/load_spreading_200_machines",
+            SAMPLES,
+            || (),
+            |()| firmament.schedule(&state).unwrap(),
+        );
+    }
 }
 
-fn bench_extraction(c: &mut Criterion) {
+fn bench_extraction() {
     let (_state, firmament, _) = warmed_cluster(
         200,
         12,
         0.8,
         5,
-        Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+        Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
     );
-    let mut g = firmament.policy().base().graph.clone();
+    let mut g = firmament.graph().clone();
     relaxation::solve(&mut g, &SolveOptions::unlimited()).unwrap();
-    c.bench_function("extract_placements_200_machines", |b| {
-        b.iter(|| extract_placements(&g))
-    });
+    bench_case(
+        "extract_placements/200_machines",
+        SAMPLES,
+        || (),
+        |()| extract_placements(&g),
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_round, bench_extraction
+fn main() {
+    bench_header();
+    bench_round();
+    bench_extraction();
 }
-criterion_main!(benches);

@@ -1,11 +1,14 @@
-//! Criterion micro-benchmarks for the MCMF solver suite, including the
-//! α-factor ablation DESIGN.md calls out.
+//! Micro-benchmarks for the MCMF solver suite, including the α-factor
+//! ablation DESIGN.md calls out. Self-contained harness (`bench_case`);
+//! run with `cargo bench --bench solvers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use firmament_bench::{bench_case, bench_header};
 use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
 use firmament_mcmf::cost_scaling::{self, CostScalingConfig};
 use firmament_mcmf::incremental::IncrementalCostScaling;
 use firmament_mcmf::{relaxation, ssp, SolveOptions};
+
+const SAMPLES: usize = 10;
 
 fn instance(tasks: usize) -> InstanceSpec {
     InstanceSpec {
@@ -17,98 +20,91 @@ fn instance(tasks: usize) -> InstanceSpec {
     }
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve");
+fn bench_algorithms() {
     for tasks in [200usize, 1000] {
         let spec = instance(tasks);
-        group.bench_with_input(BenchmarkId::new("relaxation", tasks), &spec, |b, s| {
-            b.iter_batched(
-                || scheduling_instance(1, s).graph,
-                |mut g| relaxation::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("cost_scaling", tasks), &spec, |b, s| {
-            b.iter_batched(
-                || scheduling_instance(1, s).graph,
-                |mut g| cost_scaling::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("ssp", tasks), &spec, |b, s| {
-            b.iter_batched(
-                || scheduling_instance(1, s).graph,
-                |mut g| ssp::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        bench_case(
+            &format!("solve/relaxation/{tasks}"),
+            SAMPLES,
+            || scheduling_instance(1, &spec).graph,
+            |mut g| relaxation::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+        );
+        bench_case(
+            &format!("solve/cost_scaling/{tasks}"),
+            SAMPLES,
+            || scheduling_instance(1, &spec).graph,
+            |mut g| cost_scaling::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+        );
+        bench_case(
+            &format!("solve/ssp/{tasks}"),
+            SAMPLES,
+            || scheduling_instance(1, &spec).graph,
+            |mut g| ssp::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+        );
     }
-    group.finish();
 }
 
-fn bench_alpha_factor(c: &mut Criterion) {
+fn bench_alpha_factor() {
     // Ablation: the paper found α = 9 ≈30% faster than the default 2.
-    let mut group = c.benchmark_group("alpha_factor");
     let spec = instance(1000);
     for alpha in [2i64, 4, 9, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
-            b.iter_batched(
-                || scheduling_instance(1, &spec).graph,
-                |mut g| {
-                    cost_scaling::solve_with(
-                        &mut g,
-                        &SolveOptions::unlimited(),
-                        &CostScalingConfig { alpha: a },
-                    )
-                    .unwrap()
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        bench_case(
+            &format!("alpha_factor/{alpha}"),
+            SAMPLES,
+            || scheduling_instance(1, &spec).graph,
+            |mut g| {
+                cost_scaling::solve_with(
+                    &mut g,
+                    &SolveOptions::unlimited(),
+                    &CostScalingConfig { alpha },
+                )
+                .unwrap()
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_incremental(c: &mut Criterion) {
-    let mut group = c.benchmark_group("incremental_vs_scratch");
+fn bench_incremental() {
     let spec = instance(1000);
-    group.bench_function("from_scratch", |b| {
-        b.iter_batched(
-            || {
-                let mut inst = scheduling_instance(2, &spec);
-                // Perturb a few costs.
-                let arcs: Vec<_> = inst.graph.arc_ids().collect();
-                for k in 0..20 {
-                    inst.graph.set_arc_cost(arcs[k * 7], (k as i64) + 1).unwrap();
-                }
+    bench_case(
+        "incremental_vs_scratch/from_scratch",
+        SAMPLES,
+        || {
+            let mut inst = scheduling_instance(2, &spec);
+            // Perturb a few costs.
+            let arcs: Vec<_> = inst.graph.arc_ids().collect();
+            for k in 0..20 {
                 inst.graph
-            },
-            |mut g| cost_scaling::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("incremental", |b| {
-        b.iter_batched(
-            || {
-                let mut inst = scheduling_instance(2, &spec);
-                let mut inc = IncrementalCostScaling::default();
-                inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
-                let arcs: Vec<_> = inst.graph.arc_ids().collect();
-                for k in 0..20 {
-                    inst.graph.set_arc_cost(arcs[k * 7], (k as i64) + 1).unwrap();
-                }
-                (inst.graph, inc)
-            },
-            |(mut g, mut inc)| inc.solve(&mut g, &SolveOptions::unlimited()).unwrap(),
-            criterion::BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+                    .set_arc_cost(arcs[k * 7], (k as i64) + 1)
+                    .unwrap();
+            }
+            inst.graph
+        },
+        |mut g| cost_scaling::solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+    );
+    bench_case(
+        "incremental_vs_scratch/incremental",
+        SAMPLES,
+        || {
+            let mut inst = scheduling_instance(2, &spec);
+            let mut inc = IncrementalCostScaling::default();
+            inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+                .unwrap();
+            let arcs: Vec<_> = inst.graph.arc_ids().collect();
+            for k in 0..20 {
+                inst.graph
+                    .set_arc_cost(arcs[k * 7], (k as i64) + 1)
+                    .unwrap();
+            }
+            (inst.graph, inc)
+        },
+        |(mut g, mut inc)| inc.solve(&mut g, &SolveOptions::unlimited()).unwrap(),
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_algorithms, bench_alpha_factor, bench_incremental
+fn main() {
+    bench_header();
+    bench_algorithms();
+    bench_alpha_factor();
+    bench_incremental();
 }
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
 use firmament_core::Firmament;
 use firmament_mcmf::{cost_scaling, SolveOptions};
-use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 use firmament_sim::Samples;
 
 fn main() {
@@ -26,9 +26,9 @@ fn main() {
                 12,
                 0.5,
                 1000 + rep,
-                Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+                Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
             );
-            let mut g = firmament.policy().base().graph.clone();
+            let mut g = firmament.graph().clone();
             let sol = cost_scaling::solve(&mut g, &SolveOptions::unlimited()).expect("solve");
             samples.push(sol.runtime.as_secs_f64());
         }

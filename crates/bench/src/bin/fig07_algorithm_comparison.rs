@@ -7,7 +7,7 @@
 use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
 use firmament_core::Firmament;
 use firmament_mcmf::{cost_scaling, cycle_canceling, relaxation, ssp, SolveOptions};
-use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 use std::time::Duration;
 
 fn main() {
@@ -18,7 +18,13 @@ fn main() {
         time_limit: Some(Duration::from_secs(20)),
         ..Default::default()
     };
-    header(&["machines", "cycle_canceling_s", "ssp_s", "cost_scaling_s", "relaxation_s"]);
+    header(&[
+        "machines",
+        "cycle_canceling_s",
+        "ssp_s",
+        "cost_scaling_s",
+        "relaxation_s",
+    ]);
     let mut last = (0.0f64, 0.0f64);
     for &paper_size in &sizes {
         let machines = scale.machines(paper_size);
@@ -27,9 +33,9 @@ fn main() {
             12,
             0.5,
             7,
-            Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+            Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
         );
-        let graph = firmament.policy().base().graph.clone();
+        let graph = firmament.graph().clone();
         let run = |f: &dyn Fn(&mut firmament_flow::FlowGraph) -> f64| -> f64 {
             let mut g = graph.clone();
             f(&mut g)
@@ -37,17 +43,35 @@ fn main() {
         let cc = if machines <= scale.machines(1250) {
             run(&|g| {
                 let s = cycle_canceling::solve(g, &opts).expect("cc");
-                if s.terminated_early { f64::NAN } else { s.runtime.as_secs_f64() }
+                if s.terminated_early {
+                    f64::NAN
+                } else {
+                    s.runtime.as_secs_f64()
+                }
             })
         } else {
             f64::NAN // too slow to be worth the wall time, as in the paper
         };
         let sp = run(&|g| {
             let s = ssp::solve(g, &opts).expect("ssp");
-            if s.terminated_early { f64::NAN } else { s.runtime.as_secs_f64() }
+            if s.terminated_early {
+                f64::NAN
+            } else {
+                s.runtime.as_secs_f64()
+            }
         });
-        let cs = run(&|g| cost_scaling::solve(g, &opts).expect("cs").runtime.as_secs_f64());
-        let rx = run(&|g| relaxation::solve(g, &opts).expect("rx").runtime.as_secs_f64());
+        let cs = run(&|g| {
+            cost_scaling::solve(g, &opts)
+                .expect("cs")
+                .runtime
+                .as_secs_f64()
+        });
+        let rx = run(&|g| {
+            relaxation::solve(g, &opts)
+                .expect("rx")
+                .runtime
+                .as_secs_f64()
+        });
         row(&[
             machines.to_string(),
             format!("{cc:.4}"),

@@ -9,7 +9,7 @@ use firmament_cluster::{ClusterEvent, Job, JobClass, Task};
 use firmament_core::Firmament;
 use firmament_mcmf::relaxation::RelaxationConfig;
 use firmament_mcmf::{cost_scaling, relaxation, SolveOptions};
-use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 
 fn main() {
     let scale = Scale::from_args();
@@ -26,7 +26,7 @@ fn main() {
             12,
             0.90,
             42,
-            Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+            Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
         );
         // Submit one large job that pushes utilization to the target.
         let total = state.total_slots() as i64;
@@ -38,11 +38,8 @@ fn main() {
         let ev = ClusterEvent::JobSubmitted { job, tasks };
         state.apply(&ev);
         firmament.handle_event(&state, &ev).expect("submit");
-        firmament
-            .policy_mut()
-            .refresh_costs(&state)
-            .expect("refresh");
-        let graph = firmament.policy().base().graph.clone();
+        firmament.refresh(&state).expect("refresh");
+        let graph = firmament.graph().clone();
 
         // Plain relaxation: Fig 8 predates the arc-prioritization
         // heuristic that Fig 12a later introduces.

@@ -9,7 +9,7 @@ use firmament_cluster::{ClusterEvent, Job, JobClass, Task};
 use firmament_core::Firmament;
 use firmament_mcmf::relaxation::RelaxationConfig;
 use firmament_mcmf::{cost_scaling, relaxation, SolveOptions};
-use firmament_policies::{LoadSpreadingPolicy, SchedulingPolicy};
+use firmament_policies::LoadSpreadingCostModel;
 
 fn main() {
     let scale = Scale::from_args();
@@ -28,7 +28,7 @@ fn main() {
             12,
             0.0,
             5,
-            Firmament::new(LoadSpreadingPolicy::new()),
+            Firmament::new(LoadSpreadingCostModel::new()),
         );
         let job = Job::new(9_999_999, JobClass::Batch, 2, state.now);
         let tasks: Vec<Task> = (0..tasks_n)
@@ -37,11 +37,8 @@ fn main() {
         let ev = ClusterEvent::JobSubmitted { job, tasks };
         state.apply(&ev);
         firmament.handle_event(&state, &ev).expect("submit");
-        firmament
-            .policy_mut()
-            .refresh_costs(&state)
-            .expect("refresh");
-        let graph = firmament.policy().base().graph.clone();
+        firmament.refresh(&state).expect("refresh");
+        let graph = firmament.graph().clone();
         // Plain relaxation (no arc prioritization): Fig 9 predates the
         // heuristic that Fig 12a later adds.
         let mut g = graph.clone();
@@ -60,11 +57,7 @@ fn main() {
             .expect("cost scaling")
             .runtime
             .as_secs_f64();
-        row(&[
-            tasks_n.to_string(),
-            format!("{rx:.4}"),
-            format!("{cs:.4}"),
-        ]);
+        row(&[tasks_n.to_string(), format!("{rx:.4}"), format!("{cs:.4}")]);
         if rx > cs {
             crossed = true;
         }

@@ -9,7 +9,7 @@ use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
 use firmament_core::Firmament;
 use firmament_mcmf::approx::{count_misplacements, task_assignments};
 use firmament_mcmf::{cost_scaling, relaxation, SolveOptions};
-use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 
 fn main() {
     let scale = Scale::from_args();
@@ -19,9 +19,9 @@ fn main() {
         12,
         0.95,
         13,
-        Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+        Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
     );
-    let graph = firmament.policy().base().graph.clone();
+    let graph = firmament.graph().clone();
 
     // Reference: full solves.
     let mut g_opt = graph.clone();
@@ -30,7 +30,13 @@ fn main() {
     let mut g_rx = graph.clone();
     let full_rx = relaxation::solve(&mut g_rx, &SolveOptions::unlimited()).expect("rx");
 
-    header(&["budget_fraction_pct", "cs_misplaced", "cs_runtime_s", "rx_misplaced", "rx_runtime_s"]);
+    header(&[
+        "budget_fraction_pct",
+        "cs_misplaced",
+        "cs_runtime_s",
+        "rx_misplaced",
+        "rx_runtime_s",
+    ]);
     let mut early_bad = false;
     for pct in [10u64, 25, 50, 75, 90, 99, 100] {
         let cs_budget = (full_cs.stats.iterations * pct / 100).max(1);

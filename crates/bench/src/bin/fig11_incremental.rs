@@ -7,12 +7,9 @@ use firmament_cluster::{ClusterEvent, Job, JobClass, Task, TaskState};
 use firmament_core::Firmament;
 use firmament_mcmf::incremental::IncrementalCostScaling;
 use firmament_mcmf::{cost_scaling, SolveOptions};
-use firmament_policies::{LoadSpreadingPolicy, QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_policies::{CostModel, LoadSpreadingCostModel, QuincyConfig, QuincyCostModel};
 
-fn bench_policy<P: SchedulingPolicy>(
-    scale: &Scale,
-    firmament: Firmament<P>,
-) -> (f64, f64) {
+fn bench_policy<C: CostModel>(scale: &Scale, firmament: Firmament<C>) -> (f64, f64) {
     let machines = scale.machines(12_500);
     let (mut state, mut firmament, _) = {
         let (s, f, g) = warmed_cluster(machines, 12, 0.8, 21, firmament);
@@ -20,8 +17,9 @@ fn bench_policy<P: SchedulingPolicy>(
     };
     // Establish warm incremental state on the current graph.
     let mut inc = IncrementalCostScaling::default();
-    let mut g_inc = firmament.policy().base().graph.clone();
-    inc.solve(&mut g_inc, &SolveOptions::unlimited()).expect("warmup solve");
+    let mut g_inc = firmament.graph().clone();
+    inc.solve(&mut g_inc, &SolveOptions::unlimited())
+        .expect("warmup solve");
 
     // A batch of changes: one job arrives, some tasks complete.
     let job = Job::new(7_777_777, JobClass::Batch, 2, state.now);
@@ -46,11 +44,11 @@ fn bench_policy<P: SchedulingPolicy>(
         state.apply(&ev);
         firmament.handle_event(&state, &ev).expect("complete");
     }
-    firmament.policy_mut().refresh_costs(&state).expect("refresh");
+    firmament.refresh(&state).expect("refresh");
 
     // Mirror the changes onto the warm incremental graph by re-deriving it
     // from the policy graph (flow preserved where arcs survived).
-    let changed = firmament.policy().base().graph.clone();
+    let changed = firmament.graph().clone();
     let mut scratch_graph = changed.clone();
     let scratch = cost_scaling::solve(&mut scratch_graph, &SolveOptions::unlimited())
         .expect("scratch")
@@ -76,7 +74,7 @@ fn main() {
     header(&["policy", "from_scratch_s", "incremental_s", "speedup_pct"]);
     let (q_scratch, q_inc) = bench_policy(
         &scale,
-        Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+        Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
     );
     row(&[
         "quincy".into(),
@@ -84,7 +82,7 @@ fn main() {
         format!("{q_inc:.4}"),
         format!("{:.0}", (1.0 - q_inc / q_scratch) * 100.0),
     ]);
-    let (l_scratch, l_inc) = bench_policy(&scale, Firmament::new(LoadSpreadingPolicy::new()));
+    let (l_scratch, l_inc) = bench_policy(&scale, Firmament::new(LoadSpreadingCostModel::new()));
     row(&[
         "load-spreading".into(),
         format!("{l_scratch:.4}"),

@@ -10,7 +10,7 @@ use firmament_core::Firmament;
 use firmament_mcmf::incremental::{drain_task_flow, IncrementalCostScaling};
 use firmament_mcmf::relaxation::{self, RelaxationConfig};
 use firmament_mcmf::SolveOptions;
-use firmament_policies::{LoadSpreadingPolicy, SchedulingPolicy};
+use firmament_policies::LoadSpreadingCostModel;
 
 fn main() {
     let scale = Scale::from_args();
@@ -22,7 +22,7 @@ fn main() {
         12,
         0.5,
         3,
-        Firmament::new(LoadSpreadingPolicy::new()),
+        Firmament::new(LoadSpreadingCostModel::new()),
     );
     let job = Job::new(7_777_777, JobClass::Batch, 2, state.now);
     let tasks: Vec<Task> = (0..(machines * 2))
@@ -31,8 +31,8 @@ fn main() {
     let ev = ClusterEvent::JobSubmitted { job, tasks };
     state.apply(&ev);
     firmament.handle_event(&state, &ev).expect("submit");
-    firmament.policy_mut().refresh_costs(&state).expect("refresh");
-    let graph = firmament.policy().base().graph.clone();
+    firmament.refresh(&state).expect("refresh");
+    let graph = firmament.graph().clone();
 
     let mut g = graph.clone();
     let no_ap = relaxation::solve_with(
@@ -60,7 +60,8 @@ fn main() {
     // (b) Task-removal-heavy incremental round.
     let mut inc = IncrementalCostScaling::default();
     let mut base_graph = graph.clone();
-    inc.solve(&mut base_graph, &SolveOptions::unlimited()).expect("base solve");
+    inc.solve(&mut base_graph, &SolveOptions::unlimited())
+        .expect("base solve");
     // Complete 20% of running tasks — with and without the drain heuristic.
     let victims: Vec<u64> = state
         .tasks
@@ -71,23 +72,21 @@ fn main() {
         .collect();
     let run_removal = |use_drain: bool| -> f64 {
         let mut g = base_graph.clone();
-        let mut inc = IncrementalCostScaling::new(
-            firmament_mcmf::incremental::IncrementalConfig {
-                price_refine_on_adopt: true,
-                ..Default::default()
-            },
-        );
+        let mut inc = IncrementalCostScaling::new(firmament_mcmf::incremental::IncrementalConfig {
+            price_refine_on_adopt: true,
+            ..Default::default()
+        });
         inc.adopt_solution(&g);
-        let policy_base = firmament.policy().base();
+        let manager = firmament.manager();
         for v in &victims {
-            if let Some(node) = policy_base.task_node(*v) {
+            if let Some(node) = manager.task_node(*v) {
                 if use_drain {
                     drain_task_flow(&mut g, node);
                 }
                 if g.node_alive(node) {
                     g.remove_node(node).expect("remove");
                     // Shrink sink demand like the policy would.
-                    let sink = policy_base.sink();
+                    let sink = manager.sink();
                     let d = g.supply(sink);
                     g.set_supply(sink, d + 1).expect("sink");
                 }

@@ -5,7 +5,7 @@ use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
 use firmament_core::Firmament;
 use firmament_mcmf::incremental::{IncrementalConfig, IncrementalCostScaling};
 use firmament_mcmf::{relaxation, SolveOptions};
-use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 use firmament_sim::Samples;
 
 fn main() {
@@ -20,10 +20,10 @@ fn main() {
             12,
             0.85,
             100 + round,
-            Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+            Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
         );
         // Relaxation produces the previous round's solution.
-        let mut solved = firmament.policy().base().graph.clone();
+        let mut solved = firmament.graph().clone();
         relaxation::solve(&mut solved, &SolveOptions::unlimited()).expect("relaxation");
         // Apply some cost changes (the next round's cluster changes).
         let arcs: Vec<_> = solved.arc_ids().collect();

@@ -2,11 +2,11 @@
 //! utilization, with identical (optimal) placement quality.
 
 use firmament_bench::{header, row, verdict, Scale};
+use firmament_cluster::TopologySpec;
 use firmament_core::Firmament;
 use firmament_mcmf::{DualConfig, SolverKind};
-use firmament_policies::{QuincyConfig, QuincyPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 use firmament_sim::{run_flow_sim, SimConfig, TraceSpec};
-use firmament_cluster::TopologySpec;
 
 fn run(kind: SolverKind, machines: usize, runtime_scale: f64) -> firmament_sim::SimReport {
     let config = SimConfig {
@@ -33,7 +33,7 @@ fn run(kind: SolverKind, machines: usize, runtime_scale: f64) -> firmament_sim::
         ..SimConfig::default()
     };
     let firmament = Firmament::with_solver(
-        QuincyPolicy::new(QuincyConfig::default()),
+        QuincyCostModel::new(QuincyConfig::default()),
         DualConfig {
             kind,
             ..Default::default()

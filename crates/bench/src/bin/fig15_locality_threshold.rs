@@ -5,26 +5,34 @@
 use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
 use firmament_core::{extract_placements, Firmament, Placement};
 use firmament_mcmf::{cost_scaling, relaxation, SolveOptions};
-use firmament_policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 
 fn main() {
     let scale = Scale::from_args();
     let machines = scale.machines(12_500);
-    header(&["threshold_pct", "relaxation_s", "cost_scaling_s", "arcs", "locality_pct"]);
+    header(&[
+        "threshold_pct",
+        "relaxation_s",
+        "cost_scaling_s",
+        "arcs",
+        "locality_pct",
+    ]);
     let mut results = Vec::new();
     for threshold in [0.14f64, 0.02] {
-        let mut cfg = QuincyConfig::default();
-        cfg.machine_pref_threshold = threshold;
-        cfg.rack_pref_threshold = threshold;
-        cfg.max_prefs_per_task = if threshold < 0.1 { 64 } else { 10 };
+        let cfg = QuincyConfig {
+            machine_pref_threshold: threshold,
+            rack_pref_threshold: threshold,
+            max_prefs_per_task: if threshold < 0.1 { 64 } else { 10 },
+            ..QuincyConfig::default()
+        };
         let (state, firmament, _) = warmed_cluster(
             machines,
             12,
             0.9,
             77,
-            Firmament::new(QuincyPolicy::new(cfg)),
+            Firmament::new(QuincyCostModel::new(cfg)),
         );
-        let graph = firmament.policy().base().graph.clone();
+        let graph = firmament.graph().clone();
         let arcs = graph.arc_count();
         let mut g = graph.clone();
         let rx = relaxation::solve(&mut g, &SolveOptions::unlimited())

@@ -6,7 +6,7 @@ use firmament_bench::{header, row, verdict, Scale};
 use firmament_cluster::TopologySpec;
 use firmament_core::Firmament;
 use firmament_mcmf::{DualConfig, SolverKind};
-use firmament_policies::{QuincyConfig, QuincyPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 use firmament_sim::{run_flow_sim, SimConfig, TraceSpec};
 
 fn run(kind: SolverKind, machines: usize, runtime_scale: f64) -> firmament_sim::SimReport {
@@ -32,7 +32,7 @@ fn run(kind: SolverKind, machines: usize, runtime_scale: f64) -> firmament_sim::
     run_flow_sim(
         &config,
         Firmament::with_solver(
-            QuincyPolicy::new(QuincyConfig::default()),
+            QuincyCostModel::new(QuincyConfig::default()),
             DualConfig {
                 kind,
                 ..Default::default()

@@ -7,13 +7,18 @@
 use firmament_bench::{header, row, verdict, Scale};
 use firmament_cluster::TopologySpec;
 use firmament_core::Firmament;
-use firmament_policies::LoadSpreadingPolicy;
+use firmament_policies::LoadSpreadingCostModel;
 use firmament_sim::trace::FixedWorkload;
 use firmament_sim::{run_flow_sim, SimConfig, TraceSpec};
 
 fn main() {
     let scale = Scale::from_args();
-    header(&["machines", "task_duration_ms", "median_job_response_ms", "overhead_ratio"]);
+    header(&[
+        "machines",
+        "task_duration_ms",
+        "median_job_response_ms",
+        "overhead_ratio",
+    ]);
     let mut ok = true;
     for paper_machines in [100usize, 1000] {
         let machines = scale.machines(paper_machines);
@@ -40,8 +45,7 @@ fn main() {
                 warmup: false,
                 ..SimConfig::default()
             };
-            let mut report =
-                run_flow_sim(&config, Firmament::new(LoadSpreadingPolicy::new()));
+            let mut report = run_flow_sim(&config, Firmament::new(LoadSpreadingCostModel::new()));
             if report.job_response.is_empty() {
                 continue;
             }

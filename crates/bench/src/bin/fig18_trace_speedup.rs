@@ -5,10 +5,15 @@ use firmament_bench::{header, row, verdict, Scale};
 use firmament_cluster::TopologySpec;
 use firmament_core::Firmament;
 use firmament_mcmf::{DualConfig, SolverKind};
-use firmament_policies::{QuincyConfig, QuincyPolicy};
+use firmament_policies::{QuincyConfig, QuincyCostModel};
 use firmament_sim::{run_flow_sim, SimConfig, TraceSpec};
 
-fn run(kind: SolverKind, machines: usize, speedup: f64, runtime_scale: f64) -> firmament_sim::SimReport {
+fn run(
+    kind: SolverKind,
+    machines: usize,
+    speedup: f64,
+    runtime_scale: f64,
+) -> firmament_sim::SimReport {
     let config = SimConfig {
         topology: TopologySpec {
             machines,
@@ -31,7 +36,7 @@ fn run(kind: SolverKind, machines: usize, speedup: f64, runtime_scale: f64) -> f
     run_flow_sim(
         &config,
         Firmament::with_solver(
-            QuincyPolicy::new(QuincyConfig::default()),
+            QuincyCostModel::new(QuincyConfig::default()),
             DualConfig {
                 kind,
                 ..Default::default()

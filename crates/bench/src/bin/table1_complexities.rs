@@ -45,7 +45,10 @@ fn main() {
     }
     // The paper's point: worst-case order does not predict practice —
     // relaxation (worst bound) is fastest on scheduling graphs.
-    let relax = rows.iter().find(|r| r.0 == AlgorithmKind::Relaxation).unwrap();
+    let relax = rows
+        .iter()
+        .find(|r| r.0 == AlgorithmKind::Relaxation)
+        .unwrap();
     let fastest = rows.iter().all(|r| relax.2 <= r.2 * 1.5);
     verdict(
         "table1",

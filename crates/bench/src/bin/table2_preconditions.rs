@@ -6,7 +6,12 @@ use firmament_mcmf::invariants::invariants;
 use firmament_mcmf::AlgorithmKind;
 
 fn main() {
-    header(&["algorithm", "feasibility", "reduced_cost_optimality", "eps_optimality"]);
+    header(&[
+        "algorithm",
+        "feasibility",
+        "reduced_cost_optimality",
+        "eps_optimality",
+    ]);
     let mark = |b: bool| if b { "yes" } else { "-" }.to_string();
     for kind in [
         AlgorithmKind::Relaxation,

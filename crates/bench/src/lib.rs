@@ -10,7 +10,7 @@
 
 use firmament_cluster::{ClusterEvent, ClusterState, TopologySpec};
 use firmament_core::Firmament;
-use firmament_policies::SchedulingPolicy;
+use firmament_policies::CostModel;
 use firmament_sim::trace::{GoogleTraceGenerator, TraceSpec};
 use std::time::{Duration, Instant};
 
@@ -51,19 +51,20 @@ impl Scale {
 ///
 /// Returns the state and scheduler ready for measurement; the initial
 /// workload has been *submitted and placed* (one warm scheduling round).
-pub fn warmed_cluster<P: SchedulingPolicy>(
+pub fn warmed_cluster<C: CostModel>(
     machines: usize,
     slots: u32,
     utilization: f64,
     seed: u64,
-    mut firmament: Firmament<P>,
-) -> (ClusterState, Firmament<P>, GoogleTraceGenerator) {
+    mut firmament: Firmament<C>,
+) -> (ClusterState, Firmament<C>, GoogleTraceGenerator) {
     let mut state = ClusterState::with_topology(&TopologySpec {
         machines,
         machines_per_rack: 40,
         slots_per_machine: slots,
     });
-    let ms: Vec<_> = state.machines.values().cloned().collect();
+    let mut ms: Vec<_> = state.machines.values().cloned().collect();
+    ms.sort_by_key(|m| m.id);
     for m in ms {
         firmament
             .handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
@@ -109,6 +110,37 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
+/// Minimal benchmark runner for the `benches/` targets (self-contained:
+/// no external harness): runs `setup` once per sample, times `routine` on
+/// the fresh input, and prints min/median/max seconds as a TSV row.
+pub fn bench_case<T, R>(
+    name: &str,
+    samples: usize,
+    mut setup: impl FnMut() -> T,
+    mut routine: impl FnMut(T) -> R,
+) {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        times.push(start.elapsed().as_secs_f64());
+        std::hint::black_box(out);
+    }
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    println!(
+        "{name}\t{:.6}\t{median:.6}\t{:.6}",
+        times[0],
+        times[times.len() - 1]
+    );
+}
+
+/// Prints the TSV header matching [`bench_case`] rows.
+pub fn bench_header() {
+    header(&["benchmark", "min_s", "median_s", "max_s"]);
+}
+
 /// Prints a TSV header row.
 pub fn header(cols: &[&str]) {
     println!("{}", cols.join("\t"));
@@ -128,14 +160,18 @@ pub fn secs(d: Duration) -> String {
 pub fn verdict(experiment: &str, holds: bool, detail: &str) {
     println!(
         "# VERDICT {experiment}: {} — {detail}",
-        if holds { "SHAPE HOLDS" } else { "SHAPE DEVIATES" }
+        if holds {
+            "SHAPE HOLDS"
+        } else {
+            "SHAPE DEVIATES"
+        }
     );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use firmament_policies::LoadSpreadingPolicy;
+    use firmament_policies::LoadSpreadingCostModel;
 
     #[test]
     fn scale_preset_floors_at_ten() {
@@ -146,14 +182,13 @@ mod tests {
 
     #[test]
     fn warmed_cluster_reaches_utilization() {
-        let (state, firmament, _) = warmed_cluster(
-            20,
-            8,
-            0.5,
-            7,
-            Firmament::new(LoadSpreadingPolicy::new()),
+        let (state, firmament, _) =
+            warmed_cluster(20, 8, 0.5, 7, Firmament::new(LoadSpreadingCostModel::new()));
+        assert!(
+            state.slot_utilization() >= 0.4,
+            "{}",
+            state.slot_utilization()
         );
-        assert!(state.slot_utilization() >= 0.4, "{}", state.slot_utilization());
         assert!(state.slot_utilization() <= 1.0);
         assert!(firmament.rounds() >= 1);
     }

@@ -66,8 +66,8 @@ impl ResourceVector {
             (self.ram_mb, used.ram_mb),
             (self.net_mbps, used.net_mbps),
         ] {
-            if cap > 0 {
-                best = best.max(u * 1_000_000 / cap);
+            if let Some(share) = (u * 1_000_000).checked_div(cap) {
+                best = best.max(share);
             }
         }
         best

@@ -179,7 +179,10 @@ mod tests {
         });
         assert_eq!(s.used_slots(), 1);
         assert_eq!(s.slot_utilization(), 0.5);
-        s.apply(&ClusterEvent::TaskCompleted { task: 100, now: 5_010 });
+        s.apply(&ClusterEvent::TaskCompleted {
+            task: 100,
+            now: 5_010,
+        });
         assert_eq!(s.used_slots(), 0);
         assert_eq!(s.tasks[&100].state, TaskState::Completed);
     }
@@ -220,8 +223,11 @@ mod tests {
             machine: 0,
             now: 10,
         });
-        s.apply(&ClusterEvent::MachineRemoved { machine: 0, now: 20 });
-        assert!(s.machines.get(&0).is_none());
+        s.apply(&ClusterEvent::MachineRemoved {
+            machine: 0,
+            now: 20,
+        });
+        assert!(!s.machines.contains_key(&0));
         assert_eq!(s.tasks[&1].state, TaskState::Waiting);
         assert_eq!(s.waiting_tasks().count(), 1);
     }

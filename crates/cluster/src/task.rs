@@ -108,7 +108,11 @@ impl Task {
     ///
     /// Panics if the task is not running.
     pub fn preempt(&mut self, now: Time) {
-        assert_eq!(self.state, TaskState::Running, "preempting non-running task");
+        assert_eq!(
+            self.state,
+            TaskState::Running,
+            "preempting non-running task"
+        );
         let started = self.placed_at.expect("running task has placement time");
         self.executed += now.saturating_sub(started);
         self.state = TaskState::Preempted;
@@ -122,7 +126,11 @@ impl Task {
     ///
     /// Panics if the task is not running.
     pub fn complete(&mut self, now: Time) {
-        assert_eq!(self.state, TaskState::Running, "completing non-running task");
+        assert_eq!(
+            self.state,
+            TaskState::Running,
+            "completing non-running task"
+        );
         let started = self.placed_at.expect("running task has placement time");
         self.executed += now.saturating_sub(started);
         self.state = TaskState::Completed;

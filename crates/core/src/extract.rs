@@ -10,7 +10,7 @@
 //! graph.
 
 use firmament_flow::{ArcId, FlowGraph, NodeId, NodeKind};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// The extracted placement for one task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +27,10 @@ pub enum Placement {
 /// whose machine lists fill up incrementally are revisited until all flow
 /// is accounted for. Tasks whose flow routed through an unscheduled
 /// aggregator are reported as [`Placement::Unscheduled`].
+///
+/// The result is a `BTreeMap` keyed by task id, so iteration order — and
+/// everything derived from it, like the scheduler's action list — is
+/// deterministic by construction rather than by post-hoc sorting.
 ///
 /// # Examples
 ///
@@ -45,8 +49,8 @@ pub enum Placement {
 ///     .count();
 /// assert_eq!(placed, 4); // Fig 5: all tasks but one are scheduled
 /// ```
-pub fn extract_placements(graph: &FlowGraph) -> HashMap<u64, Placement> {
-    let mut mappings: HashMap<u64, Placement> = HashMap::new();
+pub fn extract_placements(graph: &FlowGraph) -> BTreeMap<u64, Placement> {
+    let mut mappings: BTreeMap<u64, Placement> = BTreeMap::new();
     // Machines each node has sent flow to (with multiplicity).
     let mut destinations: HashMap<NodeId, Vec<u64>> = HashMap::new();
     // Machines already propagated along each arc.

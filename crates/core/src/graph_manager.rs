@@ -1,0 +1,992 @@
+//! The flow-graph manager: the *imperative* half of the policy split.
+//!
+//! A [`CostModel`] declares costs and arc structure as pure functions of
+//! [`ClusterState`]; the [`FlowGraphManager`] owns the flow network and
+//! does everything stateful — it translates [`ClusterEvent`]s into graph
+//! deltas, materializes the aggregator nodes a model refers to, runs the
+//! two-pass cost update of §6.3 (collect dirty nodes, then re-query the
+//! model for exactly those), and enforces gang constraints through the
+//! `U_j → S` capacities. No other component mutates the graph: the
+//! scheduler core borrows it for solving and hands the winning flow back
+//! via [`FlowGraphManager::adopt_graph`].
+//!
+//! This mirrors real Firmament's `FlowGraphManager`/`CostModelInterface`
+//! split, which is what makes new policies cheap: the ~300 lines of node
+//! bookkeeping below are written once instead of once per policy.
+
+use firmament_cluster::{ClusterEvent, ClusterState, JobId, MachineId, TaskId, Time};
+use firmament_flow::{ArcId, FlowGraph, NodeId, NodeKind};
+use firmament_mcmf::incremental::drain_task_flow;
+use firmament_policies::{AggregateId, ArcTarget, CostModel, PolicyError};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Node bookkeeping shared by every policy: the sink, per-task and
+/// per-machine nodes, per-job unscheduled aggregators, and the arcs whose
+/// capacities track cluster quantities.
+#[derive(Debug, Default)]
+pub struct GraphBase {
+    /// The flow network.
+    pub graph: FlowGraph,
+    /// The sink node `S`.
+    pub sink: Option<NodeId>,
+    /// Task → node.
+    pub task_nodes: HashMap<TaskId, NodeId>,
+    /// Machine → node.
+    pub machine_nodes: HashMap<MachineId, NodeId>,
+    /// Machine → its arc to the sink (capacity = slots).
+    pub machine_sink_arcs: HashMap<MachineId, ArcId>,
+    /// Job → unscheduled aggregator `U_j`.
+    pub unsched_nodes: HashMap<JobId, NodeId>,
+    /// Job → the `U_j → S` arc (capacity = incomplete tasks of the job).
+    pub unsched_sink_arcs: HashMap<JobId, ArcId>,
+}
+
+impl GraphBase {
+    /// Creates an empty base with a sink node.
+    pub fn new() -> Self {
+        let mut base = GraphBase::default();
+        let sink = base.graph.add_node(NodeKind::Sink, 0);
+        base.sink = Some(sink);
+        base
+    }
+
+    /// The sink node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`GraphBase::new`] created the sink.
+    pub fn sink(&self) -> NodeId {
+        self.sink.expect("GraphBase::new creates the sink")
+    }
+
+    /// Adds a machine node with a `slots`-capacity arc to the sink.
+    pub fn add_machine(&mut self, machine: MachineId, slots: i64) -> Result<NodeId, PolicyError> {
+        if self.machine_nodes.contains_key(&machine) {
+            return Err(PolicyError::DuplicateMachine(machine));
+        }
+        let n = self.graph.add_node(NodeKind::Machine { machine }, 0);
+        let arc = self.graph.add_arc(n, self.sink(), slots, 0)?;
+        self.machine_nodes.insert(machine, n);
+        self.machine_sink_arcs.insert(machine, arc);
+        Ok(n)
+    }
+
+    /// Removes a machine node and its arcs.
+    pub fn remove_machine(&mut self, machine: MachineId) -> Result<(), PolicyError> {
+        let n = self
+            .machine_nodes
+            .remove(&machine)
+            .ok_or(PolicyError::UnknownMachine(machine))?;
+        self.machine_sink_arcs.remove(&machine);
+        self.graph.remove_node(n)?;
+        Ok(())
+    }
+
+    /// Adds a task node with one unit of supply and an arc to its job's
+    /// unscheduled aggregator; grows the sink demand and the `U_j → S`
+    /// capacity accordingly.
+    pub fn add_task(
+        &mut self,
+        task: TaskId,
+        job: JobId,
+        unsched_cost: i64,
+    ) -> Result<NodeId, PolicyError> {
+        if self.task_nodes.contains_key(&task) {
+            return Err(PolicyError::DuplicateTask(task));
+        }
+        let n = self.graph.add_node(NodeKind::Task { task }, 1);
+        let u = self.ensure_unscheduled(job)?;
+        self.graph.add_arc(n, u, 1, unsched_cost)?;
+        self.task_nodes.insert(task, n);
+        let sink = self.sink();
+        let d = self.graph.supply(sink);
+        self.graph.set_supply(sink, d - 1)?;
+        let ua = self.unsched_sink_arcs[&job];
+        let cap = self.graph.capacity(ua);
+        self.graph.set_arc_capacity(ua, cap + 1)?;
+        Ok(n)
+    }
+
+    /// Removes a task node (after completion or failure), shrinking the sink
+    /// demand and the job's unscheduled capacity.
+    ///
+    /// The caller is responsible for draining the task's flow first when it
+    /// wants the efficient-task-removal heuristic (§5.3.2);
+    /// [`FlowGraphManager::apply_event`] does so for task completions.
+    pub fn remove_task(&mut self, task: TaskId, job: JobId) -> Result<(), PolicyError> {
+        let n = self
+            .task_nodes
+            .remove(&task)
+            .ok_or(PolicyError::UnknownTask(task))?;
+        self.graph.remove_node(n)?;
+        let sink = self.sink();
+        let d = self.graph.supply(sink);
+        self.graph.set_supply(sink, d + 1)?;
+        if let Some(&ua) = self.unsched_sink_arcs.get(&job) {
+            let cap = self.graph.capacity(ua);
+            self.graph.set_arc_capacity(ua, (cap - 1).max(0))?;
+        }
+        Ok(())
+    }
+
+    /// Returns (creating if needed) the unscheduled aggregator for a job.
+    pub fn ensure_unscheduled(&mut self, job: JobId) -> Result<NodeId, PolicyError> {
+        if let Some(&n) = self.unsched_nodes.get(&job) {
+            return Ok(n);
+        }
+        let n = self
+            .graph
+            .add_node(NodeKind::UnscheduledAggregator { job }, 0);
+        let arc = self.graph.add_arc(n, self.sink(), 0, 0)?;
+        self.unsched_nodes.insert(job, n);
+        self.unsched_sink_arcs.insert(job, arc);
+        Ok(n)
+    }
+
+    /// Node for a task, if present.
+    pub fn task_node(&self, task: TaskId) -> Option<NodeId> {
+        self.task_nodes.get(&task).copied()
+    }
+
+    /// Node for a machine, if present.
+    pub fn machine_node(&self, machine: MachineId) -> Option<NodeId> {
+        self.machine_nodes.get(&machine).copied()
+    }
+
+    /// Finds the arc from `src` to `dst` if one exists (forward direction).
+    pub fn find_arc(&self, src: NodeId, dst: NodeId) -> Option<ArcId> {
+        self.graph
+            .adj(src)
+            .iter()
+            .copied()
+            .find(|&a| a.is_forward() && self.graph.dst(a) == dst)
+    }
+
+    /// Removes every outgoing forward arc of `node` except those whose
+    /// destination satisfies `keep`; used when a task transitions between
+    /// waiting and running arc sets.
+    pub fn retain_out_arcs(
+        &mut self,
+        node: NodeId,
+        keep: impl Fn(&FlowGraph, NodeId) -> bool,
+    ) -> Result<(), PolicyError> {
+        let to_remove: Vec<ArcId> = self
+            .graph
+            .adj(node)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward() && !keep(&self.graph, self.graph.dst(a)))
+            .collect();
+        for a in to_remove {
+            self.graph.remove_arc(a)?;
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing what the two-pass refresh actually touched —
+/// exposed so tests (and curious operators) can verify that quiescent
+/// rounds skip the graph entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RefreshStats {
+    /// Completed refresh passes.
+    pub rounds: u64,
+    /// Machines whose aggregate arcs were re-evaluated, cumulative.
+    pub machines_touched: u64,
+    /// Tasks whose unscheduled cost was re-evaluated, cumulative.
+    pub tasks_touched: u64,
+    /// Machines touched by the most recent refresh.
+    pub last_machines_touched: usize,
+    /// Tasks touched by the most recent refresh.
+    pub last_tasks_touched: usize,
+}
+
+/// Owns the scheduling flow network and keeps it in sync with cluster
+/// state by querying a [`CostModel`] for the policy-specific numbers.
+///
+/// See the [module documentation](self) for the division of labor.
+#[derive(Debug, Default)]
+pub struct FlowGraphManager {
+    base: GraphBase,
+    /// Aggregate id → node.
+    agg_nodes: HashMap<AggregateId, NodeId>,
+    /// Machine → its aggregate arcs (aggregate → arc, sorted). Machine-
+    /// major so a dirty machine's refresh touches only its own arcs.
+    machine_agg_arcs: HashMap<MachineId, BTreeMap<AggregateId, ArcId>>,
+    /// Where each running task sits (so preemption/completion events can
+    /// dirty the right machine without consulting stale cluster state).
+    running_on: HashMap<TaskId, MachineId>,
+    /// Machines touched by events since the last refresh.
+    dirty_machines: HashSet<MachineId>,
+    /// Tasks touched by events since the last refresh.
+    dirty_tasks: HashSet<TaskId>,
+    /// Job → number of its tasks still in the graph; keeps the gang pass
+    /// proportional to *live* jobs instead of every job ever submitted.
+    live_job_tasks: HashMap<JobId, i64>,
+    /// Virtual time of the last refresh; when unchanged, waiting-task
+    /// costs cannot have drifted and are skipped.
+    last_refresh_now: Option<Time>,
+    stats: RefreshStats,
+}
+
+impl FlowGraphManager {
+    /// Creates a manager with an empty network (sink only).
+    pub fn new() -> Self {
+        FlowGraphManager {
+            base: GraphBase::new(),
+            ..Default::default()
+        }
+    }
+
+    /// The flow network (read-only; solvers clone or take it via the
+    /// scheduler core).
+    pub fn graph(&self) -> &FlowGraph {
+        &self.base.graph
+    }
+
+    /// The shared node bookkeeping.
+    pub fn base(&self) -> &GraphBase {
+        &self.base
+    }
+
+    /// The sink node.
+    pub fn sink(&self) -> NodeId {
+        self.base.sink()
+    }
+
+    /// Node for a task, if present.
+    pub fn task_node(&self, task: TaskId) -> Option<NodeId> {
+        self.base.task_node(task)
+    }
+
+    /// Node for a machine, if present.
+    pub fn machine_node(&self, machine: MachineId) -> Option<NodeId> {
+        self.base.machine_node(machine)
+    }
+
+    /// Node for a policy-defined aggregate, if it has been materialized.
+    pub fn aggregate_node(&self, aggregate: AggregateId) -> Option<NodeId> {
+        self.agg_nodes.get(&aggregate).copied()
+    }
+
+    /// What the refresh passes have touched so far.
+    pub fn stats(&self) -> RefreshStats {
+        self.stats
+    }
+
+    /// Takes the graph out of the manager for an owned (zero-copy) solve.
+    /// The caller **must** return it — or the solver's derived copy, which
+    /// preserves node/arc ids — via [`adopt_graph`](Self::adopt_graph)
+    /// before the next event or refresh.
+    pub fn take_graph(&mut self) -> FlowGraph {
+        std::mem::take(&mut self.base.graph)
+    }
+
+    /// Installs `graph` as the authoritative network. `graph` must be the
+    /// one obtained from [`take_graph`](Self::take_graph) or a solver
+    /// output derived from it (ids preserved); adopting the winning flow
+    /// lets the next incremental solve warm-start from it.
+    pub fn adopt_graph(&mut self, graph: FlowGraph) {
+        self.base.graph = graph;
+    }
+
+    /// Applies one cluster event to the flow network, querying `model` for
+    /// any newly required costs or arcs. `state` must already reflect the
+    /// event (call [`ClusterState::apply`] first).
+    pub fn apply_event<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+        event: &ClusterEvent,
+    ) -> Result<(), PolicyError> {
+        match event {
+            ClusterEvent::Tick { .. } => {}
+            ClusterEvent::MachineAdded { machine } => {
+                let n = self.base.add_machine(machine.id, machine.slots as i64)?;
+                let dynamic = model.dynamic_aggregate_arcs();
+                let mut aggs: Vec<AggregateId> = self.agg_nodes.keys().copied().collect();
+                aggs.sort_unstable();
+                for agg in aggs {
+                    let an = self.agg_nodes[&agg];
+                    if let Some(spec) = model.aggregate_arc(state, agg, machine) {
+                        // Static-structure models keep zero-capacity arcs
+                        // alive so later refreshes can revive them;
+                        // dynamic models add/remove arcs each round.
+                        if dynamic && spec.capacity <= 0 {
+                            continue;
+                        }
+                        let arc =
+                            self.base
+                                .graph
+                                .add_arc(an, n, spec.capacity.max(0), spec.cost)?;
+                        self.machine_agg_arcs
+                            .entry(machine.id)
+                            .or_default()
+                            .insert(agg, arc);
+                    }
+                }
+                self.dirty_machines.insert(machine.id);
+            }
+            ClusterEvent::MachineRemoved { machine, .. } => {
+                self.machine_agg_arcs.remove(machine);
+                self.running_on.retain(|_, m| *m != *machine);
+                self.dirty_machines.remove(machine);
+                self.base.remove_machine(*machine)?;
+                // Tasks displaced by the failure are back in the waiting
+                // pool; their running arc vanished with the machine node,
+                // so rebuild their waiting arc set from the model.
+                let mut displaced: Vec<TaskId> = state
+                    .waiting_tasks()
+                    .filter(|t| {
+                        self.base
+                            .task_node(t.id)
+                            .map(|n| self.waiting_arc_count(n) == 0)
+                            .unwrap_or(false)
+                    })
+                    .map(|t| t.id)
+                    .collect();
+                displaced.sort_unstable();
+                for tid in displaced {
+                    let task = state.tasks[&tid].clone();
+                    self.add_waiting_arcs(model, state, &task)?;
+                    self.dirty_tasks.insert(tid);
+                }
+            }
+            ClusterEvent::JobSubmitted { job, tasks } => {
+                for task in tasks {
+                    self.base.add_task(
+                        task.id,
+                        job.id,
+                        model.task_unscheduled_cost(state, task),
+                    )?;
+                    self.add_waiting_arcs(model, state, task)?;
+                    self.dirty_tasks.insert(task.id);
+                    *self.live_job_tasks.entry(job.id).or_insert(0) += 1;
+                }
+            }
+            ClusterEvent::TaskPlaced { task, machine, .. } => {
+                let t = self
+                    .base
+                    .task_node(*task)
+                    .ok_or(PolicyError::UnknownTask(*task))?;
+                let m = self
+                    .base
+                    .machine_node(*machine)
+                    .ok_or(PolicyError::UnknownMachine(*machine))?;
+                let task_data = state
+                    .tasks
+                    .get(task)
+                    .ok_or(PolicyError::UnknownTask(*task))?;
+                let u = self.base.ensure_unscheduled(task_data.job)?;
+                // A running task keeps exactly two arcs: the zero-ish-cost
+                // arc to its machine and the preemption arc to U_j, so
+                // migrations always go through explicit preemption.
+                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
+                let cost = model.running_arc_cost(state, task_data, *machine);
+                self.base.graph.add_arc(t, m, 1, cost)?;
+                self.running_on.insert(*task, *machine);
+                self.dirty_machines.insert(*machine);
+            }
+            ClusterEvent::TaskPreempted { task, .. } => {
+                let t = self
+                    .base
+                    .task_node(*task)
+                    .ok_or(PolicyError::UnknownTask(*task))?;
+                let task_data = state
+                    .tasks
+                    .get(task)
+                    .ok_or(PolicyError::UnknownTask(*task))?
+                    .clone();
+                let u = self.base.ensure_unscheduled(task_data.job)?;
+                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
+                self.add_waiting_arcs(model, state, &task_data)?;
+                if let Some(m) = self.running_on.remove(task) {
+                    self.dirty_machines.insert(m);
+                }
+                self.dirty_tasks.insert(*task);
+            }
+            ClusterEvent::TaskCompleted { task, .. } => {
+                // Efficient task removal (§5.3.2): drain the departing
+                // task's flow before deleting the node so the graph stays
+                // balanced for the incremental solver.
+                if let Some(node) = self.base.task_node(*task) {
+                    drain_task_flow(&mut self.base.graph, node);
+                }
+                let job = state
+                    .tasks
+                    .get(task)
+                    .ok_or(PolicyError::UnknownTask(*task))?
+                    .job;
+                self.base.remove_task(*task, job)?;
+                if let Some(n) = self.live_job_tasks.get_mut(&job) {
+                    *n -= 1;
+                    if *n <= 0 {
+                        self.live_job_tasks.remove(&job);
+                    }
+                }
+                self.dirty_tasks.remove(task);
+                if let Some(m) = self.running_on.remove(task) {
+                    self.dirty_machines.insert(m);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The two-pass cost update (§6.3): pass 1 collects the dirty node
+    /// sets (machines touched by events — or all of them for models with
+    /// dynamic arcs — plus waiting tasks whose wait-time cost drifted);
+    /// pass 2 re-queries the model for exactly those and applies the
+    /// deltas. A quiescent round (no events, clock unchanged) touches
+    /// nothing.
+    pub fn refresh<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+    ) -> Result<(), PolicyError> {
+        // Pass 1: dirty-set collection.
+        let mut machines: Vec<MachineId> = if model.dynamic_aggregate_arcs() {
+            state.machines.keys().copied().collect()
+        } else {
+            self.dirty_machines
+                .iter()
+                .copied()
+                .filter(|m| state.machines.contains_key(m))
+                .collect()
+        };
+        machines.sort_unstable();
+        let time_advanced = self.last_refresh_now != Some(state.now);
+        let mut tasks: Vec<TaskId> = if time_advanced {
+            state.waiting_tasks().map(|t| t.id).collect()
+        } else {
+            self.dirty_tasks.iter().copied().collect()
+        };
+        tasks.sort_unstable();
+
+        // Pass 2: apply cost/capacity deltas for the dirty nodes only.
+        // Static-structure models (the common case) re-price exactly the
+        // arcs a dirty machine already has; dynamic models (Fig 6c) get
+        // the full (aggregate × machine) scan, since their arc *set*
+        // reacts to monitored state.
+        if model.dynamic_aggregate_arcs() {
+            let mut aggs: Vec<AggregateId> = self.agg_nodes.keys().copied().collect();
+            aggs.sort_unstable();
+            for &mid in &machines {
+                let machine = &state.machines[&mid];
+                let Some(mn) = self.base.machine_node(mid) else {
+                    continue;
+                };
+                let arcs = self.machine_agg_arcs.entry(mid).or_default();
+                for &agg in &aggs {
+                    let spec = model
+                        .aggregate_arc(state, agg, machine)
+                        .filter(|s| s.capacity > 0);
+                    match (arcs.get(&agg).copied(), spec) {
+                        (Some(arc), Some(spec)) => {
+                            self.base.graph.set_arc_capacity(arc, spec.capacity)?;
+                            self.base.graph.set_arc_cost(arc, spec.cost)?;
+                        }
+                        (Some(arc), None) => {
+                            self.base.graph.remove_arc(arc)?;
+                            arcs.remove(&agg);
+                        }
+                        (None, Some(spec)) => {
+                            let an = self.agg_nodes[&agg];
+                            let arc = self.base.graph.add_arc(an, mn, spec.capacity, spec.cost)?;
+                            arcs.insert(agg, arc);
+                        }
+                        (None, None) => {}
+                    }
+                }
+            }
+        } else {
+            for &mid in &machines {
+                let machine = &state.machines[&mid];
+                let Some(arcs) = self.machine_agg_arcs.get(&mid) else {
+                    continue;
+                };
+                for (&agg, &arc) in arcs {
+                    match model.aggregate_arc(state, agg, machine) {
+                        Some(spec) => {
+                            self.base
+                                .graph
+                                .set_arc_capacity(arc, spec.capacity.max(0))?;
+                            self.base.graph.set_arc_cost(arc, spec.cost)?;
+                        }
+                        // A static-structure model withdrawing an arc is
+                        // expressed as zero capacity, keeping the arc
+                        // available for revival on a later refresh.
+                        None => self.base.graph.set_arc_capacity(arc, 0)?,
+                    }
+                }
+            }
+        }
+        for &tid in &tasks {
+            let Some(task) = state.tasks.get(&tid) else {
+                continue;
+            };
+            let Some(tn) = self.base.task_node(tid) else {
+                continue;
+            };
+            let Some(&u) = self.base.unsched_nodes.get(&task.job) else {
+                continue;
+            };
+            if let Some(arc) = self.base.find_arc(tn, u) {
+                self.base
+                    .graph
+                    .set_arc_cost(arc, model.task_unscheduled_cost(state, task))?;
+            }
+        }
+        // Gang constraints: cap `U_j → S` at incomplete − minimum so at
+        // least `minimum` of the job's tasks are forced through machines.
+        // Only jobs with tasks still in the graph are consulted, so the
+        // pass stays proportional to live work, not total jobs submitted.
+        let mut jobs: Vec<JobId> = self.live_job_tasks.keys().copied().collect();
+        jobs.sort_unstable();
+        for jid in jobs {
+            let Some(job) = state.jobs.get(&jid) else {
+                continue;
+            };
+            let gang = model.job_gang_minimum(state, job);
+            if gang <= 0 {
+                continue;
+            }
+            let Some(&ua) = self.base.unsched_sink_arcs.get(&jid) else {
+                continue;
+            };
+            let incomplete = job
+                .tasks
+                .iter()
+                .filter(|t| self.base.task_node(**t).is_some())
+                .count() as i64;
+            self.base
+                .graph
+                .set_arc_capacity(ua, (incomplete - gang).max(0))?;
+        }
+
+        self.stats.rounds += 1;
+        self.stats.machines_touched += machines.len() as u64;
+        self.stats.tasks_touched += tasks.len() as u64;
+        self.stats.last_machines_touched = machines.len();
+        self.stats.last_tasks_touched = tasks.len();
+        self.dirty_machines.clear();
+        self.dirty_tasks.clear();
+        self.last_refresh_now = Some(state.now);
+        Ok(())
+    }
+
+    /// Number of non-unscheduled forward arcs out of a task node — the
+    /// arcs through which the task can reach work. A running task counts
+    /// 1 (its machine arc); a task displaced by a machine failure counts
+    /// 0, which is exactly how `MachineRemoved` detects it.
+    fn waiting_arc_count(&self, task_node: NodeId) -> usize {
+        self.base
+            .graph
+            .adj(task_node)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward())
+            .filter(|&a| {
+                !self
+                    .base
+                    .graph
+                    .kind(self.base.graph.dst(a))
+                    .is_unscheduled()
+            })
+            .count()
+    }
+
+    /// Materializes the waiting arc set a model declares for `task`:
+    /// aggregate targets are created on demand (together with their
+    /// machine arcs), unknown machine targets are skipped.
+    fn add_waiting_arcs<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+        task: &firmament_cluster::Task,
+    ) -> Result<(), PolicyError> {
+        let t = self
+            .base
+            .task_node(task.id)
+            .ok_or(PolicyError::UnknownTask(task.id))?;
+        for (target, cost) in model.task_arcs(state, task) {
+            match target {
+                ArcTarget::Aggregate(agg) => {
+                    let an = self.ensure_aggregate(model, state, agg)?;
+                    if self.base.find_arc(t, an).is_none() {
+                        self.base.graph.add_arc(t, an, 1, cost)?;
+                    }
+                }
+                ArcTarget::Machine(mid) => {
+                    if let Some(mn) = self.base.machine_node(mid) {
+                        if self.base.find_arc(t, mn).is_none() {
+                            self.base.graph.add_arc(t, mn, 1, cost)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns (creating if needed) the node for a policy-defined
+    /// aggregate. On creation, the aggregate's machine arcs are
+    /// materialized by querying the model for every known machine.
+    fn ensure_aggregate<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+        agg: AggregateId,
+    ) -> Result<NodeId, PolicyError> {
+        if let Some(&n) = self.agg_nodes.get(&agg) {
+            return Ok(n);
+        }
+        let an = self.base.graph.add_node(model.aggregate_kind(agg), 0);
+        self.agg_nodes.insert(agg, an);
+        let dynamic = model.dynamic_aggregate_arcs();
+        let mut machines: Vec<MachineId> = self.base.machine_nodes.keys().copied().collect();
+        machines.sort_unstable();
+        for mid in machines {
+            let Some(machine) = state.machines.get(&mid) else {
+                continue;
+            };
+            if let Some(spec) = model.aggregate_arc(state, agg, machine) {
+                if dynamic && spec.capacity <= 0 {
+                    continue;
+                }
+                let mn = self.base.machine_nodes[&mid];
+                let arc = self
+                    .base
+                    .graph
+                    .add_arc(an, mn, spec.capacity.max(0), spec.cost)?;
+                self.machine_agg_arcs
+                    .entry(mid)
+                    .or_default()
+                    .insert(agg, arc);
+            }
+        }
+        Ok(an)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_cluster::{Job, JobClass, Machine, Task, TopologySpec};
+    use firmament_policies::ArcSpec;
+
+    #[test]
+    fn base_bookkeeping_roundtrip() {
+        let mut b = GraphBase::new();
+        let m = b.add_machine(0, 4).unwrap();
+        let t = b.add_task(10, 0, 50).unwrap();
+        assert_eq!(b.graph.supply(b.sink()), -1);
+        assert_eq!(b.machine_node(0), Some(m));
+        assert_eq!(b.task_node(10), Some(t));
+        // Unscheduled agg exists with capacity 1.
+        let ua = b.unsched_sink_arcs[&0];
+        assert_eq!(b.graph.capacity(ua), 1);
+
+        b.remove_task(10, 0).unwrap();
+        assert_eq!(b.graph.supply(b.sink()), 0);
+        assert_eq!(b.graph.capacity(ua), 0);
+        assert!(b.task_node(10).is_none());
+        b.remove_machine(0).unwrap();
+        assert!(b.machine_node(0).is_none());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut b = GraphBase::new();
+        b.add_machine(0, 1).unwrap();
+        assert!(matches!(
+            b.add_machine(0, 1),
+            Err(PolicyError::DuplicateMachine(0))
+        ));
+        b.add_task(5, 0, 10).unwrap();
+        assert!(matches!(
+            b.add_task(5, 0, 10),
+            Err(PolicyError::DuplicateTask(5))
+        ));
+    }
+
+    #[test]
+    fn unscheduled_shared_per_job() {
+        let mut b = GraphBase::new();
+        b.add_task(1, 7, 10).unwrap();
+        b.add_task(2, 7, 10).unwrap();
+        assert_eq!(b.unsched_nodes.len(), 1);
+        let ua = b.unsched_sink_arcs[&7];
+        assert_eq!(b.graph.capacity(ua), 2);
+    }
+
+    /// A minimal cost model for manager tests: one cluster aggregate,
+    /// machine cost = running task count.
+    struct TestModel;
+    const AGG: AggregateId = 0;
+
+    impl CostModel for TestModel {
+        fn name(&self) -> &'static str {
+            "test"
+        }
+        fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
+            10_000 + (state.now.saturating_sub(task.submit_time) / 1_000_000) as i64
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
+            vec![(ArcTarget::Aggregate(AGG), 1)]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcSpec> {
+            Some(ArcSpec {
+                capacity: machine.slots as i64,
+                cost: 10 * machine.running.len() as i64,
+            })
+        }
+        fn aggregate_kind(&self, _: AggregateId) -> NodeKind {
+            NodeKind::ClusterAggregator
+        }
+    }
+
+    fn setup(machines: usize, slots: u32) -> (ClusterState, FlowGraphManager) {
+        let state = ClusterState::with_topology(&TopologySpec {
+            machines,
+            machines_per_rack: 20,
+            slots_per_machine: slots,
+        });
+        let mut mgr = FlowGraphManager::new();
+        for m in state.machines.values() {
+            mgr.apply_event(
+                &TestModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m.clone() },
+            )
+            .unwrap();
+        }
+        (state, mgr)
+    }
+
+    fn submit(state: &mut ClusterState, mgr: &mut FlowGraphManager, job: u64, n: usize) {
+        let j = Job::new(job, JobClass::Batch, 0, state.now);
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| Task::new(job * 1000 + i as u64, job, state.now, 10_000_000))
+            .collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        mgr.apply_event(&TestModel, state, &ev).unwrap();
+    }
+
+    #[test]
+    fn aggregates_materialize_on_demand_with_machine_arcs() {
+        let (mut state, mut mgr) = setup(4, 2);
+        assert!(mgr.aggregate_node(AGG).is_none(), "lazy until referenced");
+        submit(&mut state, &mut mgr, 0, 3);
+        let agg = mgr.aggregate_node(AGG).expect("created by first task");
+        // Arc to each of the 4 machines.
+        let out = mgr
+            .graph()
+            .adj(agg)
+            .iter()
+            .copied()
+            .filter(|a| a.is_forward())
+            .count();
+        assert_eq!(out, 4);
+        // sink + 4 machines + agg + 3 tasks + U_0 = 10 nodes.
+        assert_eq!(mgr.graph().node_count(), 10);
+        assert_eq!(mgr.graph().total_supply(), 3);
+    }
+
+    #[test]
+    fn task_lifecycle_updates_arcs() {
+        let (mut state, mut mgr) = setup(2, 2);
+        submit(&mut state, &mut mgr, 0, 1);
+        let tid = 0u64;
+        let ev = ClusterEvent::TaskPlaced {
+            task: tid,
+            machine: 0,
+            now: 100,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        let t = mgr.task_node(tid).unwrap();
+        let g = mgr.graph();
+        let out: Vec<_> = g
+            .adj(t)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward())
+            .map(|a| g.kind(g.dst(a)))
+            .collect();
+        assert_eq!(out.len(), 2, "running arc + unscheduled arc");
+        assert!(out.iter().any(|k| k.is_machine()));
+        assert!(out.iter().any(|k| k.is_unscheduled()));
+
+        let ev = ClusterEvent::TaskPreempted {
+            task: tid,
+            now: 200,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        let g = mgr.graph();
+        let out: Vec<_> = g
+            .adj(t)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward())
+            .map(|a| g.kind(g.dst(a)))
+            .collect();
+        assert!(out.iter().any(|k| matches!(k, NodeKind::ClusterAggregator)));
+
+        let ev = ClusterEvent::TaskPlaced {
+            task: tid,
+            machine: 1,
+            now: 300,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        let ev = ClusterEvent::TaskCompleted {
+            task: tid,
+            now: 400,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        assert!(mgr.task_node(tid).is_none());
+        assert_eq!(mgr.graph().total_supply(), 0);
+    }
+
+    #[test]
+    fn refresh_tracks_running_counts_on_dirty_machines() {
+        let (mut state, mut mgr) = setup(2, 2);
+        submit(&mut state, &mut mgr, 0, 2);
+        for (tid, m) in [(0u64, 0u64), (1, 0)] {
+            let ev = ClusterEvent::TaskPlaced {
+                task: tid,
+                machine: m,
+                now: 0,
+            };
+            state.apply(&ev);
+            mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        }
+        mgr.refresh(&TestModel, &state).unwrap();
+        let agg = mgr.aggregate_node(AGG).unwrap();
+        let g = mgr.graph();
+        let mut costs: Vec<(u64, i64)> = g
+            .adj(agg)
+            .iter()
+            .copied()
+            .filter(|&a| a.is_forward())
+            .filter_map(|a| match g.kind(g.dst(a)) {
+                NodeKind::Machine { machine } => Some((machine, g.cost(a))),
+                _ => None,
+            })
+            .collect();
+        costs.sort();
+        assert_eq!(costs, vec![(0, 20), (1, 0)]);
+    }
+
+    #[test]
+    fn quiescent_refresh_touches_nothing() {
+        let (mut state, mut mgr) = setup(3, 2);
+        submit(&mut state, &mut mgr, 0, 2);
+        mgr.refresh(&TestModel, &state).unwrap();
+        assert!(mgr.stats().last_tasks_touched > 0);
+        // Same state, same clock: the two-pass update finds no dirty nodes.
+        mgr.refresh(&TestModel, &state).unwrap();
+        assert_eq!(mgr.stats().last_machines_touched, 0);
+        assert_eq!(mgr.stats().last_tasks_touched, 0);
+    }
+
+    #[test]
+    fn machine_removal_rebuilds_displaced_waiting_arcs() {
+        let (mut state, mut mgr) = setup(2, 1);
+        submit(&mut state, &mut mgr, 0, 1);
+        let ev = ClusterEvent::TaskPlaced {
+            task: 0,
+            machine: 0,
+            now: 10,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        let ev = ClusterEvent::MachineRemoved {
+            machine: 0,
+            now: 20,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        // The displaced task got its aggregate arc back.
+        let t = mgr.task_node(0).unwrap();
+        let agg = mgr.aggregate_node(AGG).unwrap();
+        assert!(mgr.base().find_arc(t, agg).is_some());
+    }
+
+    #[test]
+    fn take_and_adopt_graph_roundtrip() {
+        let (mut state, mut mgr) = setup(2, 1);
+        submit(&mut state, &mut mgr, 0, 1);
+        let nodes = mgr.graph().node_count();
+        let g = mgr.take_graph();
+        assert_eq!(mgr.graph().node_count(), 0);
+        mgr.adopt_graph(g);
+        assert_eq!(mgr.graph().node_count(), nodes);
+    }
+
+    /// Gang constraints squeeze the unscheduled capacity.
+    struct GangModel;
+
+    impl CostModel for GangModel {
+        fn name(&self) -> &'static str {
+            "gang"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            0 // unscheduled is free: only the gang constraint forces work
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
+            vec![(ArcTarget::Aggregate(AGG), 1)]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcSpec> {
+            Some(ArcSpec {
+                capacity: machine.slots as i64,
+                cost: 5,
+            })
+        }
+        fn job_gang_minimum(&self, _: &ClusterState, _: &Job) -> i64 {
+            2
+        }
+    }
+
+    #[test]
+    fn gang_minimum_caps_unscheduled_capacity() {
+        let state = ClusterState::with_topology(&TopologySpec {
+            machines: 3,
+            machines_per_rack: 20,
+            slots_per_machine: 1,
+        });
+        let mut state = state;
+        let mut mgr = FlowGraphManager::new();
+        for m in state.machines.values() {
+            mgr.apply_event(
+                &GangModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m.clone() },
+            )
+            .unwrap();
+        }
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let tasks: Vec<Task> = (0..3).map(|i| Task::new(i, 0, 0, 1_000_000)).collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        mgr.apply_event(&GangModel, &state, &ev).unwrap();
+        mgr.refresh(&GangModel, &state).unwrap();
+        let ua = mgr.base().unsched_sink_arcs[&0];
+        // 3 incomplete tasks − gang minimum 2 = capacity 1.
+        assert_eq!(mgr.graph().capacity(ua), 1);
+    }
+}

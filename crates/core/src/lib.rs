@@ -1,28 +1,35 @@
 //! The Firmament scheduler core (Fig 4).
 //!
-//! Wires the pieces together: a
-//! [`SchedulingPolicy`](firmament_policies::SchedulingPolicy) maintains the
-//! flow network from cluster events; the speculative
-//! [`DualSolver`](firmament_mcmf::DualSolver) finds the min-cost flow; and
-//! [`extract::extract_placements`] (Listing 1) turns the optimal flow back
-//! into task placements. [`Firmament`] is the scheduler service a cluster
-//! manager embeds.
+//! Wires the pieces together: a declarative
+//! [`CostModel`](firmament_policies::CostModel) declares per-arc costs and
+//! arc structure; the [`FlowGraphManager`] owns the flow network, turns
+//! cluster events into graph deltas, and runs the two-pass cost update
+//! (§6.3); the speculative [`DualSolver`](firmament_mcmf::DualSolver)
+//! finds the min-cost flow; and [`extract::extract_placements`]
+//! (Listing 1) turns the optimal flow back into task placements.
+//! [`Firmament`] is the scheduler service a cluster manager embeds.
 //!
 //! # Architecture
 //!
 //! ```text
-//!  cluster events ──► policy.apply_event ──► flow network
-//!                                               │
-//!  schedule():  policy.refresh_costs ──► DualSolver (relaxation ∥ inc. cost scaling)
-//!                                               │ optimal flow
-//!                 placements ◄── extract (Listing 1) ◄──┘
+//!  cluster events ──► FlowGraphManager.apply_event ──► flow network
+//!                        ▲ queries                        │
+//!                     CostModel (pure)                    │
+//!                        ▼                                │
+//!  schedule():  manager.refresh (two-pass, dirty nodes only)
+//!                                                         │
+//!                          DualSolver (relaxation ∥ inc. cost scaling)
+//!                                                         │ optimal flow
+//!                 placements ◄── extract (Listing 1) ◄────┘
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod extract;
+pub mod graph_manager;
 pub mod scheduler;
 
 pub use extract::{extract_placements, Placement};
+pub use graph_manager::{FlowGraphManager, GraphBase, RefreshStats};
 pub use scheduler::{Firmament, RoundOutcome, SchedulerError, SchedulingAction};

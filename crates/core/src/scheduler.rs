@@ -1,18 +1,25 @@
 //! The Firmament scheduler service: events in, placements out (Fig 4).
 //!
 //! Firmament continuously reschedules the entire workload: cluster events
-//! update the policy's flow network; each scheduling round refreshes the
-//! state-dependent costs (the two-pass update of §6.3), runs the
-//! speculative dual MCMF solver (§6.1), and extracts placement actions by
-//! diffing the optimal flow against the current task assignments.
+//! are translated into flow-network deltas by the [`FlowGraphManager`],
+//! each scheduling round runs the two-pass cost update of §6.3 against the
+//! configured [`CostModel`], the speculative dual MCMF solver (§6.1) finds
+//! the min-cost flow, and placement actions are extracted by diffing the
+//! optimal flow against the current task assignments.
+//!
+//! The scheduler core never mutates the graph itself — the manager owns
+//! it. `schedule` *takes* the graph out of the manager, hands ownership to
+//! the solver (avoiding a full per-round copy), and adopts the winning
+//! flow back so the next incremental solve warm-starts from it.
 
 use crate::extract::{extract_placements, Placement};
+use crate::graph_manager::FlowGraphManager;
 use firmament_cluster::{ClusterEvent, ClusterState, MachineId, TaskId, TaskState};
-use firmament_mcmf::dual::{DualConfig, DualOutcome, DualSolver};
-use firmament_mcmf::incremental::drain_task_flow;
+use firmament_flow::FlowGraph;
+use firmament_mcmf::dual::{DualConfig, DualSolver};
 use firmament_mcmf::{AlgorithmKind, SolveError, SolveOptions};
-use firmament_policies::{PolicyError, SchedulingPolicy};
-use std::collections::HashMap;
+use firmament_policies::{CostModel, PolicyError};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// A scheduling action produced by a round.
@@ -52,7 +59,7 @@ pub struct RoundOutcome {
 /// Errors from the scheduler.
 #[derive(Debug)]
 pub enum SchedulerError {
-    /// The policy failed to translate an event.
+    /// The graph manager failed to translate an event or refresh costs.
     Policy(PolicyError),
     /// The MCMF solver failed.
     Solver(SolveError),
@@ -81,21 +88,21 @@ impl std::fmt::Display for SchedulerError {
 
 impl std::error::Error for SchedulerError {}
 
-/// The Firmament scheduler.
+/// The Firmament scheduler, parameterized by a declarative [`CostModel`].
 ///
 /// # Examples
 ///
 /// ```
 /// use firmament_cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
 /// use firmament_core::Firmament;
-/// use firmament_policies::LoadSpreadingPolicy;
+/// use firmament_policies::LoadSpreadingCostModel;
 ///
 /// let mut state = ClusterState::with_topology(&TopologySpec {
 ///     machines: 4,
 ///     machines_per_rack: 4,
 ///     slots_per_machine: 2,
 /// });
-/// let mut firmament = Firmament::new(LoadSpreadingPolicy::new());
+/// let mut firmament = Firmament::new(LoadSpreadingCostModel::new());
 /// // Register machines.
 /// let machines: Vec<_> = state.machines.values().cloned().collect();
 /// for m in machines {
@@ -112,39 +119,53 @@ impl std::error::Error for SchedulerError {}
 /// assert_eq!(outcome.actions.len(), 2);
 /// ```
 #[derive(Debug)]
-pub struct Firmament<P: SchedulingPolicy> {
-    policy: P,
+pub struct Firmament<C: CostModel> {
+    model: C,
+    manager: FlowGraphManager,
     solver: DualSolver,
     /// Per-round solver options (budgets apply to each algorithm).
     pub solve_options: SolveOptions,
     rounds: u64,
 }
 
-impl<P: SchedulingPolicy> Firmament<P> {
+impl<C: CostModel> Firmament<C> {
     /// Creates a scheduler with the default dual-solver configuration.
-    pub fn new(policy: P) -> Self {
-        Self::with_solver(policy, DualConfig::default())
+    pub fn new(model: C) -> Self {
+        Self::with_solver(model, DualConfig::default())
     }
 
     /// Creates a scheduler with an explicit solver configuration (e.g.
     /// `SolverKind::CostScalingOnly` to emulate Quincy).
-    pub fn with_solver(policy: P, config: DualConfig) -> Self {
+    pub fn with_solver(model: C, config: DualConfig) -> Self {
         Firmament {
-            policy,
+            model,
+            manager: FlowGraphManager::new(),
             solver: DualSolver::new(config),
             solve_options: SolveOptions::unlimited(),
             rounds: 0,
         }
     }
 
-    /// The policy driving this scheduler.
-    pub fn policy(&self) -> &P {
-        &self.policy
+    /// The cost model driving this scheduler.
+    pub fn model(&self) -> &C {
+        &self.model
     }
 
-    /// Mutable access to the policy (for experiment configuration).
-    pub fn policy_mut(&mut self) -> &mut P {
-        &mut self.policy
+    /// Mutable access to the cost model (for experiment configuration).
+    /// Structural knobs take effect for *future* events; already-declared
+    /// arcs keep their shape.
+    pub fn model_mut(&mut self) -> &mut C {
+        &mut self.model
+    }
+
+    /// The flow-graph manager (read-only: node lookups, refresh stats).
+    pub fn manager(&self) -> &FlowGraphManager {
+        &self.manager
+    }
+
+    /// The current flow network.
+    pub fn graph(&self) -> &FlowGraph {
+        self.manager.graph()
     }
 
     /// Number of completed scheduling rounds.
@@ -164,25 +185,37 @@ impl<P: SchedulingPolicy> Firmament<P> {
         state: &ClusterState,
         event: &ClusterEvent,
     ) -> Result<(), SchedulerError> {
-        if let ClusterEvent::TaskCompleted { task, .. } = event {
-            if let Some(node) = self.policy.base().task_node(*task) {
-                drain_task_flow(&mut self.policy.base_mut().graph, node);
-            }
-        }
-        self.policy.apply_event(state, event)?;
+        self.manager.apply_event(&self.model, state, event)?;
+        Ok(())
+    }
+
+    /// Runs the two-pass cost update (§6.3) without solving — exposed for
+    /// benchmarks that want to inspect or solve the refreshed graph
+    /// out-of-band. [`schedule`](Self::schedule) calls this itself.
+    pub fn refresh(&mut self, state: &ClusterState) -> Result<(), SchedulerError> {
+        self.manager.refresh(&self.model, state)?;
         Ok(())
     }
 
     /// Runs one scheduling round: refresh costs, solve, extract, diff.
     pub fn schedule(&mut self, state: &ClusterState) -> Result<RoundOutcome, SchedulerError> {
-        self.policy.refresh_costs(state)?;
-        let outcome: DualOutcome = self
-            .solver
-            .solve(&self.policy.base().graph, &self.solve_options)?;
-        // Adopt the winning flow as the authoritative graph so the next
-        // incremental run starts from it (ids are preserved by cloning).
-        self.policy.base_mut().graph = outcome.graph;
-        let placements = extract_placements(&self.policy.base().graph);
+        self.manager.refresh(&self.model, state)?;
+        // Hand the solver ownership of the graph: single-algorithm runs
+        // solve in place and dual runs clone once instead of twice, and
+        // adopting the winning flow is a move either way.
+        let graph = self.manager.take_graph();
+        let outcome = match self.solver.solve_owned(graph, &self.solve_options) {
+            Ok(outcome) => outcome,
+            Err((err, mut graph)) => {
+                // Restore the network so the manager stays consistent; the
+                // failed run may have left partial flow behind.
+                graph.reset_flow();
+                self.manager.adopt_graph(graph);
+                return Err(err.into());
+            }
+        };
+        self.manager.adopt_graph(outcome.graph);
+        let placements = extract_placements(self.manager.graph());
         let actions = diff_placements(state, &placements);
         self.rounds += 1;
         let placed = placements
@@ -202,9 +235,13 @@ impl<P: SchedulingPolicy> Firmament<P> {
 
 /// Diffs extracted placements against current task state, yielding
 /// preemptions (first) and placements/migrations.
+///
+/// `placements` is ordered by task id (a `BTreeMap`), so the output order
+/// is deterministic by construction — no post-hoc sorting of hash-map
+/// iteration order.
 fn diff_placements(
     state: &ClusterState,
-    placements: &HashMap<u64, Placement>,
+    placements: &BTreeMap<u64, Placement>,
 ) -> Vec<SchedulingAction> {
     let mut preemptions = Vec::new();
     let mut moves = Vec::new();
@@ -231,15 +268,6 @@ fn diff_placements(
             _ => {}
         }
     }
-    // Deterministic order: preemptions first, then placements by task id.
-    preemptions.sort_by_key(|a| match a {
-        SchedulingAction::Preempt { task } => *task,
-        SchedulingAction::Place { task, .. } => *task,
-    });
-    moves.sort_by_key(|a| match a {
-        SchedulingAction::Preempt { task } => *task,
-        SchedulingAction::Place { task, .. } => *task,
-    });
     preemptions.extend(moves);
     preemptions
 }
@@ -248,15 +276,15 @@ fn diff_placements(
 mod tests {
     use super::*;
     use firmament_cluster::{Job, JobClass, Task, TopologySpec};
-    use firmament_policies::LoadSpreadingPolicy;
+    use firmament_policies::LoadSpreadingCostModel;
 
-    fn setup(machines: usize, slots: u32) -> (ClusterState, Firmament<LoadSpreadingPolicy>) {
+    fn setup(machines: usize, slots: u32) -> (ClusterState, Firmament<LoadSpreadingCostModel>) {
         let state = ClusterState::with_topology(&TopologySpec {
             machines,
             machines_per_rack: 20,
             slots_per_machine: slots,
         });
-        let mut f = Firmament::new(LoadSpreadingPolicy::new());
+        let mut f = Firmament::new(LoadSpreadingCostModel::new());
         let ms: Vec<_> = state.machines.values().cloned().collect();
         for m in ms {
             f.handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
@@ -267,7 +295,7 @@ mod tests {
 
     fn submit(
         state: &mut ClusterState,
-        f: &mut Firmament<LoadSpreadingPolicy>,
+        f: &mut Firmament<LoadSpreadingCostModel>,
         job: u64,
         n: usize,
         duration: u64,
@@ -283,7 +311,7 @@ mod tests {
 
     fn apply_actions(
         state: &mut ClusterState,
-        f: &mut Firmament<LoadSpreadingPolicy>,
+        f: &mut Firmament<LoadSpreadingCostModel>,
         actions: &[SchedulingAction],
     ) {
         for a in actions {
@@ -369,5 +397,20 @@ mod tests {
         f.schedule(&state).unwrap();
         f.schedule(&state).unwrap();
         assert_eq!(f.rounds(), 2);
+    }
+
+    #[test]
+    fn scheduler_never_mutates_graph_between_rounds() {
+        // The graph is only changed by the manager (events + refresh) and
+        // by adopting solver output: two schedules with no intervening
+        // events leave the network structurally identical.
+        let (mut state, mut f) = setup(3, 2);
+        submit(&mut state, &mut f, 0, 4, 10_000_000);
+        f.schedule(&state).unwrap();
+        let nodes = f.graph().node_count();
+        let arcs = f.graph().arc_count();
+        f.schedule(&state).unwrap();
+        assert_eq!(f.graph().node_count(), nodes);
+        assert_eq!(f.graph().arc_count(), arcs);
     }
 }

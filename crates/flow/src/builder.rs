@@ -209,10 +209,7 @@ mod tests {
         b.task_to_unscheduled(t0, 3, 5).unwrap();
         b.task_to_unscheduled(t1, 3, 5).unwrap();
         let g = b.finish();
-        let aggs = g
-            .node_ids()
-            .filter(|&n| g.kind(n).is_unscheduled())
-            .count();
+        let aggs = g.node_ids().filter(|&n| g.kind(n).is_unscheduled()).count();
         assert_eq!(aggs, 1);
     }
 

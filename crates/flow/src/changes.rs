@@ -97,13 +97,7 @@ impl GraphChange {
         match self {
             GraphChange::CostChange { old, new, .. } => (new - old).abs(),
             GraphChange::AddArc { cost, .. } => cost.abs(),
-            GraphChange::RemoveArc { cost, flow, .. } => {
-                if *flow > 0 {
-                    cost.abs()
-                } else {
-                    0
-                }
-            }
+            GraphChange::RemoveArc { cost, flow, .. } if *flow > 0 => cost.abs(),
             _ => 0,
         }
     }
@@ -335,9 +329,18 @@ mod tests {
             table3_cell(DecreaseCapacity, 0),
             Table3Cell::Orange(_)
         ));
-        assert!(matches!(table3_cell(IncreaseCost, -1), Table3Cell::Orange(_)));
-        assert!(matches!(table3_cell(IncreaseCost, 0), Table3Cell::Orange(_)));
-        assert!(matches!(table3_cell(DecreaseCost, 1), Table3Cell::Orange(_)));
+        assert!(matches!(
+            table3_cell(IncreaseCost, -1),
+            Table3Cell::Orange(_)
+        ));
+        assert!(matches!(
+            table3_cell(IncreaseCost, 0),
+            Table3Cell::Orange(_)
+        ));
+        assert!(matches!(
+            table3_cell(DecreaseCost, 1),
+            Table3Cell::Orange(_)
+        ));
     }
 
     #[test]

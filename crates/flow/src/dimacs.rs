@@ -130,10 +130,11 @@ pub fn parse(text: &str) -> Result<FlowGraph, DimacsError> {
                 }
                 let s = NodeId::from_index(src as usize - 1);
                 let d = NodeId::from_index(dst as usize - 1);
-                g.add_arc(s, d, cap, cost).map_err(|e| DimacsError::Malformed {
-                    line,
-                    what: e.to_string(),
-                })?;
+                g.add_arc(s, d, cap, cost)
+                    .map_err(|e| DimacsError::Malformed {
+                        line,
+                        what: e.to_string(),
+                    })?;
             }
             Some(other) => {
                 return Err(DimacsError::Malformed {
@@ -253,12 +254,18 @@ a 3 4 0 1 1
     #[test]
     fn rejects_lower_bounds() {
         let bad = "p min 2 1\na 1 2 1 2 3\n";
-        assert!(matches!(parse(bad), Err(DimacsError::NonZeroLowerBound { .. })));
+        assert!(matches!(
+            parse(bad),
+            Err(DimacsError::NonZeroLowerBound { .. })
+        ));
     }
 
     #[test]
     fn rejects_max_flow_instances() {
-        assert!(matches!(parse("p max 2 1\n"), Err(DimacsError::Malformed { .. })));
+        assert!(matches!(
+            parse("p max 2 1\n"),
+            Err(DimacsError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -579,7 +579,10 @@ impl FlowGraph {
 
     /// Returns the maximum absolute arc cost `C` (0 for an empty graph).
     pub fn max_cost(&self) -> i64 {
-        self.arc_ids().map(|a| self.cost(a).abs()).max().unwrap_or(0)
+        self.arc_ids()
+            .map(|a| self.cost(a).abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns the maximum arc capacity `U` (0 for an empty graph).

@@ -217,7 +217,8 @@ pub fn layered_instance(seed: u64, sources: usize, layers: usize, width: usize) 
     for s in 0..sources {
         let n = g.add_node(NodeKind::Task { task: s as u64 }, 1);
         let v = first[rng.below(first.len() as u64) as usize];
-        g.add_arc(n, v, 1, rng.range_i64(0, 20)).expect("source arc");
+        g.add_arc(n, v, 1, rng.range_i64(0, 20))
+            .expect("source arc");
         g.add_arc(n, sink, 1, 500).expect("fallback arc");
     }
     g

@@ -42,7 +42,11 @@ pub fn solve(graph: &mut FlowGraph, opts: &SolveOptions) -> Result<Solution, Sol
         .map(|v| (v, graph.supply(v)))
         .filter(|&(_, s)| s != 0)
         .collect();
-    let need: i64 = supplies.iter().filter(|&&(_, s)| s > 0).map(|&(_, s)| s).sum();
+    let need: i64 = supplies
+        .iter()
+        .filter(|&&(_, s)| s > 0)
+        .map(|&(_, s)| s)
+        .sum();
     let ss = graph.add_node(NodeKind::Other { tag: u64::MAX }, 0);
     let tt = graph.add_node(NodeKind::Other { tag: u64::MAX - 1 }, 0);
     let mut helper_arcs = Vec::new();
@@ -134,7 +138,7 @@ fn find_negative_cycle(graph: &FlowGraph) -> Option<Vec<ArcId>> {
                 len[v.index()] = len[ui as usize] + 1;
                 // A shortest path longer than n arcs implies a cycle on the
                 // predecessor chain.
-                if len[v.index()] as usize >= n + 1 {
+                if len[v.index()] as usize > n {
                     return Some(walk_cycle(graph, &pred, v));
                 }
                 if !in_queue[v.index()] {

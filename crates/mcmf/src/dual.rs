@@ -68,10 +68,12 @@ pub struct DualOutcome {
 /// Firmament's MCMF solver: speculative execution of relaxation and
 /// incremental cost scaling.
 ///
-/// The solver owns the cost-scaling warm state across rounds. Each call to
-/// [`solve`](Self::solve) clones the input graph per algorithm, so the
-/// caller's graph is left untouched (and can continue accumulating changes
-/// while the solver runs, as in Fig 2b).
+/// The solver owns the cost-scaling warm state across rounds. Borrowing
+/// callers use [`solve`](Self::solve), which leaves the input graph
+/// untouched (it can continue accumulating changes while the solver runs,
+/// as in Fig 2b); callers that adopt the output — like the scheduler core
+/// — use [`solve_owned`](Self::solve_owned), which moves the graph through
+/// the solve instead of copying it every round.
 #[derive(Debug)]
 pub struct DualSolver {
     config: DualConfig,
@@ -88,7 +90,10 @@ impl DualSolver {
     /// Creates a solver with the given configuration.
     pub fn new(config: DualConfig) -> Self {
         let incremental = IncrementalCostScaling::new(config.incremental.clone());
-        DualSolver { config, incremental }
+        DualSolver {
+            config,
+            incremental,
+        }
     }
 
     /// Returns the configured solver kind.
@@ -99,44 +104,62 @@ impl DualSolver {
     /// Solves the scheduling graph, returning the first-finishing solution.
     ///
     /// `opts` applies to both algorithms (time/iteration budgets are rarely
-    /// used here; cancellation is managed internally).
-    pub fn solve(&mut self, graph: &FlowGraph, opts: &SolveOptions) -> Result<DualOutcome, SolveError> {
+    /// used here; cancellation is managed internally). The input graph is
+    /// left untouched; callers that immediately adopt the output graph
+    /// should prefer [`solve_owned`](Self::solve_owned), which avoids one
+    /// full graph copy per round.
+    pub fn solve(
+        &mut self,
+        graph: &FlowGraph,
+        opts: &SolveOptions,
+    ) -> Result<DualOutcome, SolveError> {
+        self.solve_owned(graph.clone(), opts).map_err(|(e, _)| e)
+    }
+
+    /// Like [`solve`](Self::solve), but takes ownership of the graph:
+    /// single-algorithm configurations solve fully in place (zero copies)
+    /// and the dual race clones once instead of twice. On failure the
+    /// graph is handed back (possibly with partial flow) so the caller can
+    /// restore its state.
+    #[allow(clippy::result_large_err)] // the Err graph is the point: ownership returns on failure
+    pub fn solve_owned(
+        &mut self,
+        graph: FlowGraph,
+        opts: &SolveOptions,
+    ) -> Result<DualOutcome, (SolveError, FlowGraph)> {
         match self.config.kind {
-            SolverKind::RelaxationOnly => self.solve_relaxation_only(graph, opts),
-            SolverKind::CostScalingOnly => self.solve_cost_scaling_only(graph, opts),
+            SolverKind::RelaxationOnly => {
+                let mut g = graph;
+                match relaxation::solve_with(&mut g, opts, &self.config.relaxation) {
+                    Ok(sol) => Ok(DualOutcome {
+                        winner: sol.algorithm,
+                        solution: sol,
+                        graph: g,
+                    }),
+                    Err(e) => Err((e, g)),
+                }
+            }
+            SolverKind::CostScalingOnly => {
+                let mut g = graph;
+                match self.incremental.solve(&mut g, opts) {
+                    Ok(sol) => Ok(DualOutcome {
+                        winner: sol.algorithm,
+                        solution: sol,
+                        graph: g,
+                    }),
+                    Err(e) => Err((e, g)),
+                }
+            }
             SolverKind::Dual => self.solve_dual(graph, opts),
         }
     }
 
-    fn solve_relaxation_only(
+    #[allow(clippy::result_large_err)] // see solve_owned
+    fn solve_dual(
         &mut self,
-        graph: &FlowGraph,
+        graph: FlowGraph,
         opts: &SolveOptions,
-    ) -> Result<DualOutcome, SolveError> {
-        let mut g = graph.clone();
-        let sol = relaxation::solve_with(&mut g, opts, &self.config.relaxation)?;
-        Ok(DualOutcome {
-            winner: sol.algorithm,
-            solution: sol,
-            graph: g,
-        })
-    }
-
-    fn solve_cost_scaling_only(
-        &mut self,
-        graph: &FlowGraph,
-        opts: &SolveOptions,
-    ) -> Result<DualOutcome, SolveError> {
-        let mut g = graph.clone();
-        let sol = self.incremental.solve(&mut g, opts)?;
-        Ok(DualOutcome {
-            winner: sol.algorithm,
-            solution: sol,
-            graph: g,
-        })
-    }
-
-    fn solve_dual(&mut self, graph: &FlowGraph, opts: &SolveOptions) -> Result<DualOutcome, SolveError> {
+    ) -> Result<DualOutcome, (SolveError, FlowGraph)> {
         let cancel_relax = CancelToken::new();
         let cancel_cs = CancelToken::new();
         let mut relax_opts = opts.clone();
@@ -149,7 +172,7 @@ impl DualSolver {
 
         let (relax_result, cs_result) = std::thread::scope(|scope| {
             let mut g_relax = graph.clone();
-            let mut g_cs = graph.clone();
+            let mut g_cs = graph;
             let relax_handle = scope.spawn(move || {
                 let r = relaxation::solve_with(&mut g_relax, &relax_opts, &relax_cfg);
                 (r, g_relax)
@@ -170,18 +193,28 @@ impl DualSolver {
             let mut cs_handle = Some(cs_handle);
             loop {
                 if relax_done.is_none()
-                    && relax_handle.as_ref().map(|h| h.is_finished()).unwrap_or(false)
+                    && relax_handle
+                        .as_ref()
+                        .map(|h| h.is_finished())
+                        .unwrap_or(false)
                 {
-                    let r = relax_handle.take().unwrap().join().expect("relaxation thread");
+                    let r = relax_handle
+                        .take()
+                        .unwrap()
+                        .join()
+                        .expect("relaxation thread");
                     if r.0.is_ok() {
                         cancel_cs.cancel();
                     }
                     relax_done = Some(r);
                 }
-                if cs_done.is_none()
-                    && cs_handle.as_ref().map(|h| h.is_finished()).unwrap_or(false)
+                if cs_done.is_none() && cs_handle.as_ref().map(|h| h.is_finished()).unwrap_or(false)
                 {
-                    let r = cs_handle.take().unwrap().join().expect("cost-scaling thread");
+                    let r = cs_handle
+                        .take()
+                        .unwrap()
+                        .join()
+                        .expect("cost-scaling thread");
                     if r.0.is_ok() {
                         cancel_relax.cancel();
                     }
@@ -223,13 +256,14 @@ impl DualSolver {
                 solution: cs,
                 graph: cg,
             },
-            ((Err(re), _), (Err(ce), _)) => {
-                // Both failed: propagate the more informative error.
+            ((Err(re), _), (Err(ce), cg)) => {
+                // Both failed: propagate the more informative error and
+                // hand a graph back so the caller can restore its state.
                 let err = match (&re, &ce) {
                     (SolveError::Cancelled, e) => e.clone(),
                     (e, _) => e.clone(),
                 };
-                return Err(err);
+                return Err((err, cg));
             }
         };
 
@@ -239,13 +273,13 @@ impl DualSolver {
             AlgorithmKind::Relaxation => {
                 self.incremental.adopt_solution(&outcome.graph);
             }
-            AlgorithmKind::IncrementalCostScaling | AlgorithmKind::CostScaling => {
-                // The incremental solver already certifies its own solution
-                // — but only the one in *its* clone. Re-adopt to be safe if
-                // it lost the race and was cancelled.
-                if !self.incremental.is_warm() {
-                    self.incremental.adopt_solution(&outcome.graph);
-                }
+            // The incremental solver already certifies its own solution —
+            // but only the one in *its* clone. Re-adopt to be safe if it
+            // lost the race and was cancelled.
+            AlgorithmKind::IncrementalCostScaling | AlgorithmKind::CostScaling
+                if !self.incremental.is_warm() =>
+            {
+                self.incremental.adopt_solution(&outcome.graph);
             }
             _ => {}
         }
@@ -263,7 +297,9 @@ mod tests {
     fn dual_solve_is_optimal() {
         let inst = scheduling_instance(1, &InstanceSpec::default());
         let mut solver = DualSolver::default();
-        let out = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+        let out = solver
+            .solve(&inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         assert!(is_optimal(&out.graph));
         assert!(!out.solution.terminated_early);
     }
@@ -281,7 +317,9 @@ mod tests {
                 kind,
                 ..Default::default()
             });
-            let out = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+            let out = solver
+                .solve(&inst.graph, &SolveOptions::unlimited())
+                .unwrap();
             objectives.push(out.solution.objective);
         }
         assert_eq!(objectives[0], objectives[1]);
@@ -293,7 +331,9 @@ mod tests {
         let mut inst = scheduling_instance(3, &InstanceSpec::default());
         let mut solver = DualSolver::default();
         for round in 0..4 {
-            let out = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+            let out = solver
+                .solve(&inst.graph, &SolveOptions::unlimited())
+                .unwrap();
             assert!(is_optimal(&out.graph), "round {round}");
             // Adopt the solution and mutate costs for the next round.
             inst.graph = out.graph;
@@ -309,7 +349,9 @@ mod tests {
         let inst = scheduling_instance(4, &InstanceSpec::default());
         let before: Vec<i64> = inst.graph.arc_ids().map(|a| inst.graph.flow(a)).collect();
         let mut solver = DualSolver::default();
-        let _ = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+        let _ = solver
+            .solve(&inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         let after: Vec<i64> = inst.graph.arc_ids().map(|a| inst.graph.flow(a)).collect();
         assert_eq!(before, after);
     }
@@ -322,7 +364,9 @@ mod tests {
             kind: SolverKind::CostScalingOnly,
             ..Default::default()
         });
-        let out = solver.solve(&inst.graph, &SolveOptions::unlimited()).unwrap();
+        let out = solver
+            .solve(&inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         assert_eq!(out.winner, AlgorithmKind::IncrementalCostScaling);
         assert!(is_optimal(&out.graph));
     }

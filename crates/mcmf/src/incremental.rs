@@ -195,9 +195,11 @@ pub fn drain_task_flow(graph: &mut FlowGraph, task: NodeId) -> i64 {
                     path.push(a);
                     u = graph.dst(a);
                     steps += 1;
-                    if graph.adj(u).iter().all(|&b| {
-                        !(b.is_forward() && graph.src(b) == u && graph.flow(b) > 0)
-                    }) {
+                    if graph
+                        .adj(u)
+                        .iter()
+                        .all(|&b| !(b.is_forward() && graph.src(b) == u && graph.flow(b) > 0))
+                    {
                         // Reached a node with no outgoing flow: the sink.
                         break;
                     }
@@ -253,7 +255,9 @@ mod tests {
     fn cold_solve_matches_from_scratch() {
         let mut inst = scheduling_instance(1, &InstanceSpec::default());
         let mut inc = IncrementalCostScaling::default();
-        let sol = inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let sol = inc
+            .solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         assert!(is_optimal(&inst.graph));
         let mut fresh = scheduling_instance(1, &InstanceSpec::default());
         let s2 = crate::cost_scaling::solve(&mut fresh.graph, &SolveOptions::unlimited()).unwrap();
@@ -266,13 +270,16 @@ mod tests {
         for seed in 0..5 {
             let mut inst = scheduling_instance(seed, &InstanceSpec::default());
             let mut inc = IncrementalCostScaling::default();
-            inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+            inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+                .unwrap();
 
             let arcs: Vec<ArcId> = inst.graph.arc_ids().collect();
             inst.graph.set_arc_cost(arcs[5], 3).unwrap();
             inst.graph.set_arc_cost(arcs[11], 180).unwrap();
 
-            let warm = inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+            let warm = inc
+                .solve(&mut inst.graph, &SolveOptions::unlimited())
+                .unwrap();
             assert!(is_optimal(&inst.graph), "seed {seed}");
             let mut fresh = inst.graph.clone();
             let scratch =
@@ -285,7 +292,8 @@ mod tests {
     fn warm_resolve_after_task_arrival() {
         let mut inst = scheduling_instance(3, &InstanceSpec::default());
         let mut inc = IncrementalCostScaling::default();
-        inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
 
         // Submit a new task.
         let t = inst.graph.add_node(NodeKind::Task { task: 777 }, 1);
@@ -295,7 +303,9 @@ mod tests {
         inst.graph.set_supply(inst.sink, d - 1).unwrap();
         grow_unscheduled_capacity(&mut inst, 1);
 
-        let warm = inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let warm = inc
+            .solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         assert!(is_optimal(&inst.graph));
         let mut fresh = inst.graph.clone();
         let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
@@ -306,7 +316,8 @@ mod tests {
     fn drain_task_flow_balances_graph() {
         let mut inst = scheduling_instance(5, &InstanceSpec::default());
         let mut inc = IncrementalCostScaling::default();
-        inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
 
         // Pick a task that is actually scheduled on a machine.
         let scheduled = inst
@@ -314,11 +325,11 @@ mod tests {
             .iter()
             .copied()
             .find(|&t| {
-                inst.graph
-                    .adj(t)
-                    .iter()
-                    .any(|&a| a.is_forward() && inst.graph.flow(a) > 0
-                        && inst.graph.dst(a) != inst.unscheduled)
+                inst.graph.adj(t).iter().any(|&a| {
+                    a.is_forward()
+                        && inst.graph.flow(a) > 0
+                        && inst.graph.dst(a) != inst.unscheduled
+                })
             })
             .expect("at least one task scheduled");
         let drained = drain_task_flow(&mut inst.graph, scheduled);
@@ -342,17 +353,18 @@ mod tests {
         // The contrast case motivating the heuristic.
         let mut inst = scheduling_instance(5, &InstanceSpec::default());
         let mut inc = IncrementalCostScaling::default();
-        inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         let scheduled = inst
             .tasks
             .iter()
             .copied()
             .find(|&t| {
-                inst.graph
-                    .adj(t)
-                    .iter()
-                    .any(|&a| a.is_forward() && inst.graph.flow(a) > 0
-                        && inst.graph.dst(a) != inst.unscheduled)
+                inst.graph.adj(t).iter().any(|&a| {
+                    a.is_forward()
+                        && inst.graph.flow(a) > 0
+                        && inst.graph.dst(a) != inst.unscheduled
+                })
             })
             .expect("at least one task scheduled");
         inst.graph.remove_node(scheduled).unwrap();
@@ -369,7 +381,8 @@ mod tests {
     fn incremental_with_task_removal_matches_scratch() {
         let mut inst = scheduling_instance(9, &InstanceSpec::default());
         let mut inc = IncrementalCostScaling::default();
-        inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
 
         // Remove three tasks with the drain heuristic.
         let victims: Vec<NodeId> = inst.tasks[0..3].to_vec();
@@ -379,7 +392,9 @@ mod tests {
             let d = inst.graph.supply(inst.sink);
             inst.graph.set_supply(inst.sink, d + 1).unwrap();
         }
-        let warm = inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let warm = inc
+            .solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         assert!(is_optimal(&inst.graph));
         let mut fresh = inst.graph.clone();
         let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
@@ -400,7 +415,9 @@ mod tests {
         // Apply a change, then warm-solve.
         let arcs: Vec<ArcId> = inst.graph.arc_ids().collect();
         inst.graph.set_arc_cost(arcs[9], 2).unwrap();
-        let warm = inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let warm = inc
+            .solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         assert!(is_optimal(&inst.graph));
         let mut fresh = inst.graph.clone();
         let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();

@@ -111,7 +111,11 @@ pub fn is_feasible(graph: &mut FlowGraph) -> bool {
         .map(|v| (v, graph.supply(v)))
         .filter(|&(_, s)| s != 0)
         .collect();
-    let total_pos: i64 = supplies.iter().filter(|&&(_, s)| s > 0).map(|&(_, s)| s).sum();
+    let total_pos: i64 = supplies
+        .iter()
+        .filter(|&&(_, s)| s > 0)
+        .map(|&(_, s)| s)
+        .sum();
     let ss = graph.add_node(firmament_flow::NodeKind::Other { tag: u64::MAX }, 0);
     let tt = graph.add_node(firmament_flow::NodeKind::Other { tag: u64::MAX - 1 }, 0);
     for &(v, s) in &supplies {

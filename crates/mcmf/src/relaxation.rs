@@ -195,7 +195,14 @@ fn solve_warm(
         }
         if excess[si as usize] > balanced_out {
             price_update(
-                graph, pot, &mut excess, &members, &stamp, epoch, &mut queue, &mut in_queue,
+                graph,
+                pot,
+                &mut excess,
+                &members,
+                &stamp,
+                epoch,
+                &mut queue,
+                &mut in_queue,
                 &mut stats,
             )?;
             requeue(s, &excess, &mut queue, &mut in_queue);
@@ -218,7 +225,14 @@ fn solve_warm(
         loop {
             if slope > 0 {
                 price_update(
-                    graph, pot, &mut excess, &members, &stamp, epoch, &mut queue, &mut in_queue,
+                    graph,
+                    pot,
+                    &mut excess,
+                    &members,
+                    &stamp,
+                    epoch,
+                    &mut queue,
+                    &mut in_queue,
                     &mut stats,
                 )?;
                 requeue(s, &excess, &mut queue, &mut in_queue);
@@ -229,7 +243,14 @@ fn solve_warm(
                 // which is positive (s has excess, other members are
                 // non-negative), so a price update is always possible.
                 price_update(
-                    graph, pot, &mut excess, &members, &stamp, epoch, &mut queue, &mut in_queue,
+                    graph,
+                    pot,
+                    &mut excess,
+                    &members,
+                    &stamp,
+                    epoch,
+                    &mut queue,
+                    &mut in_queue,
                     &mut stats,
                 )?;
                 requeue(s, &excess, &mut queue, &mut in_queue);
@@ -244,7 +265,17 @@ fn solve_warm(
             }
             if excess[j.index()] < 0 {
                 // Deficit found: augment along the tree path s → … → j.
-                augment(graph, &pred, &stamp, epoch, s, j, a, &mut excess, &mut stats);
+                augment(
+                    graph,
+                    &pred,
+                    &stamp,
+                    epoch,
+                    s,
+                    j,
+                    a,
+                    &mut excess,
+                    &mut stats,
+                );
                 requeue(s, &excess, &mut queue, &mut in_queue);
                 continue 'outer;
             }
@@ -395,9 +426,7 @@ fn augment(
         bottleneck = bottleneck.min(graph.rescap(p));
         v = graph.src(p);
     }
-    let delta = bottleneck
-        .min(excess[s.index()])
-        .min(-excess[j.index()]);
+    let delta = bottleneck.min(excess[s.index()]).min(-excess[j.index()]);
     debug_assert!(delta > 0);
     graph.push_flow(a, delta);
     let mut v = graph.src(a);

@@ -81,7 +81,11 @@ pub fn find_potentials(graph: &FlowGraph) -> OptimalityCheck {
 }
 
 /// Walks predecessor arcs from `start` to extract a residual cycle.
-fn extract_cycle(graph: &FlowGraph, pred: &[Option<ArcId>], start: firmament_flow::NodeId) -> Vec<ArcId> {
+fn extract_cycle(
+    graph: &FlowGraph,
+    pred: &[Option<ArcId>],
+    start: firmament_flow::NodeId,
+) -> Vec<ArcId> {
     let n = pred.len();
     // Walk back n steps to guarantee we are inside the cycle.
     let mut v = start;

@@ -181,13 +181,16 @@ fn ten_consecutive_warm_rounds_stay_exact() {
     use firmament_flow::testgen::{scheduling_instance, InstanceSpec};
     let mut inst = scheduling_instance(42, &InstanceSpec::default());
     let mut inc = IncrementalCostScaling::default();
-    inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+    inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+        .unwrap();
     for round in 0..10 {
         let arcs: Vec<_> = inst.graph.arc_ids().collect();
         let a = arcs[(round * 13 + 5) % arcs.len()];
         let c = inst.graph.cost(a);
         inst.graph.set_arc_cost(a, (c * 3 + 7) % 120 + 1).unwrap();
-        let warm = inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let warm = inc
+            .solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         let mut fresh = inst.graph.clone();
         let scratch = cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
         assert_eq!(warm.objective, scratch.objective, "round {round}");

@@ -1,0 +1,245 @@
+//! The declarative cost-model API (§3.3), mirroring Firmament's
+//! `CostModelInterface`.
+//!
+//! A cost model *declares* the policy-specific part of the scheduling flow
+//! network — which aggregator nodes exist, which arcs connect tasks to
+//! them, and what the costs and capacities are — as pure functions of
+//! [`ClusterState`]. It never touches the graph itself: the
+//! `FlowGraphManager` in `firmament-core` owns the network, translates
+//! cluster events into graph deltas, and queries the cost model for the
+//! numbers. This split is Firmament's core generalization over Quincy
+//! (whose single policy was welded to its graph code): new policies are a
+//! few dozen lines of cost arithmetic instead of hundreds of lines of
+//! graph bookkeeping.
+//!
+//! # Writing a cost model
+//!
+//! A policy answers four questions:
+//!
+//! 1. **Where may a waiting task send its flow?** [`CostModel::task_arcs`]
+//!    returns `(target, cost)` pairs: targets are machines (preference
+//!    arcs) or policy-defined [`AggregateId`]s (equivalence classes —
+//!    Quincy's rack/cluster aggregators, the network-aware policy's
+//!    request classes).
+//! 2. **How do aggregates reach machines?** [`CostModel::aggregate_arc`]
+//!    declares the arc (capacity + cost) from an aggregate to a machine,
+//!    or `None` for no arc. Re-evaluated whenever a machine is *dirty*
+//!    (touched by an event since the last refresh; see
+//!    [`CostModel::dynamic_aggregate_arcs`] for monitoring-driven arcs).
+//! 3. **What does leaving the task unscheduled cost?**
+//!    [`CostModel::task_unscheduled_cost`] — typically grows with wait
+//!    time so starving tasks eventually win contended slots.
+//! 4. **What does a running task's arc cost?**
+//!    [`CostModel::running_arc_cost`] — usually 0 (data already local).
+//!
+//! # Examples
+//!
+//! A complete trivial policy — spread over whichever machine has the most
+//! free slots:
+//!
+//! ```
+//! use firmament_cluster::{ClusterState, Job, Machine, Task};
+//! use firmament_policies::{AggregateId, ArcSpec, ArcTarget, CostModel};
+//!
+//! struct FreeSlots;
+//! const CLUSTER: AggregateId = 0;
+//!
+//! impl CostModel for FreeSlots {
+//!     fn name(&self) -> &'static str {
+//!         "free-slots"
+//!     }
+//!     fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+//!         100_000
+//!     }
+//!     fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
+//!         vec![(ArcTarget::Aggregate(CLUSTER), 0)]
+//!     }
+//!     fn aggregate_arc(
+//!         &self,
+//!         _: &ClusterState,
+//!         _: AggregateId,
+//!         machine: &Machine,
+//!     ) -> Option<ArcSpec> {
+//!         Some(ArcSpec {
+//!             capacity: machine.slots as i64,
+//!             cost: (machine.slots - machine.free_slots()) as i64,
+//!         })
+//!     }
+//! }
+//! ```
+
+use firmament_cluster::{ClusterState, Job, Machine, MachineId, Task};
+use firmament_flow::NodeKind;
+
+/// Identifier of a policy-defined aggregator node (an *equivalence class*
+/// in real Firmament's terminology). The namespace is private to each cost
+/// model; the graph manager only uses it as an opaque key.
+///
+/// Aggregates are **permanent**: once a model first names an id in
+/// [`CostModel::task_arcs`], the manager materializes its node and keeps
+/// it for the lifetime of the scheduler. Keep the id space bounded —
+/// derive ids from racks, request classes, or other cluster-shaped sets,
+/// not from unbounded streams like job or task ids (which would grow the
+/// graph and the refresh scan monotonically over churn).
+pub type AggregateId = u64;
+
+/// Where a declared task arc points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArcTarget {
+    /// A policy-defined aggregator (created on demand by the manager).
+    Aggregate(AggregateId),
+    /// A direct machine preference arc.
+    Machine(MachineId),
+}
+
+/// Capacity and cost of a declared aggregate → machine arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArcSpec {
+    /// Maximum flow (task count) the arc admits. Values ≤ 0 mean "no arc".
+    pub capacity: i64,
+    /// Cost per unit of flow.
+    pub cost: i64,
+}
+
+/// A scheduling policy, expressed as pure cost/structure declarations over
+/// cluster state (Firmament's cost-model interface, §3.3).
+///
+/// Implementations must be deterministic functions of `ClusterState` and
+/// their own configuration: the `FlowGraphManager` caches the declared
+/// structure and only re-queries the parts invalidated by events (the
+/// two-pass update of §6.3), so hidden mutable state would desynchronize
+/// the network from the policy's intent.
+pub trait CostModel {
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+
+    /// Cost of leaving `task` unscheduled right now (its arc to the job's
+    /// unscheduled aggregator `U_j`). Re-evaluated for every waiting task
+    /// whenever virtual time advances.
+    fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64;
+
+    /// The arc set of a *waiting* task: `(target, cost)` pairs with
+    /// implicit capacity 1. Called when the task is submitted, preempted,
+    /// or displaced by a machine failure. The unscheduled arc is implicit
+    /// and must not be declared here.
+    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)>;
+
+    /// The arc an aggregate offers toward a machine, or `None` for no arc.
+    /// Queried for every (aggregate, machine) pair when either side is
+    /// created; after that, the contract depends on
+    /// [`dynamic_aggregate_arcs`]:
+    ///
+    /// - **static structure** (default): `None` at creation means the
+    ///   pair is never connected and is not revisited. Existing arcs are
+    ///   re-priced when their machine is dirtied by an event; returning
+    ///   `None` or a non-positive capacity then parks the arc at
+    ///   capacity 0 (it can revive on a later refresh).
+    /// - **dynamic** (`true`): the full pair set is re-queried every
+    ///   round and arcs are added/removed to match — the Fig 6c regime.
+    ///
+    /// [`dynamic_aggregate_arcs`]: CostModel::dynamic_aggregate_arcs
+    fn aggregate_arc(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+        machine: &Machine,
+    ) -> Option<ArcSpec>;
+
+    /// The [`NodeKind`] to use for an aggregate's graph node. Purely
+    /// descriptive (DIMACS export, debugging); defaults to an opaque tag.
+    fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
+        NodeKind::Other { tag: aggregate }
+    }
+
+    /// Cost of the running arc (task → the machine it occupies). Defaults
+    /// to 0: keeping a placed task where it is costs nothing.
+    fn running_arc_cost(&self, state: &ClusterState, task: &Task, machine: MachineId) -> i64 {
+        let _ = (state, task, machine);
+        0
+    }
+
+    /// Whether aggregate → machine arcs depend on *observed* signals (e.g.
+    /// monitored bandwidth) rather than only on scheduler-visible events.
+    /// When `true` the manager re-evaluates [`aggregate_arc`] for every
+    /// machine each round — the "dynamically adapted" arcs of Fig 6c.
+    /// Event-driven models keep the default `false` and benefit from
+    /// dirty-node-only refreshes.
+    ///
+    /// [`aggregate_arc`]: CostModel::aggregate_arc
+    fn dynamic_aggregate_arcs(&self) -> bool {
+        false
+    }
+
+    /// Minimum number of `job`'s tasks that must schedule together (gang
+    /// constraint). The manager enforces it by capping the `U_j → S` arc
+    /// at `incomplete_tasks − minimum`, which forces at least `minimum`
+    /// units of the job's flow through machines. 0 (the default) disables
+    /// the constraint. Declaring a minimum above the cluster's free
+    /// capacity makes the network infeasible — gang demands must be
+    /// admission-controlled by the caller.
+    fn job_gang_minimum(&self, state: &ClusterState, job: &Job) -> i64 {
+        let _ = (state, job);
+        0
+    }
+}
+
+impl<T: CostModel + ?Sized> CostModel for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
+        (**self).task_unscheduled_cost(state, task)
+    }
+
+    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
+        (**self).task_arcs(state, task)
+    }
+
+    fn aggregate_arc(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+        machine: &Machine,
+    ) -> Option<ArcSpec> {
+        (**self).aggregate_arc(state, aggregate, machine)
+    }
+
+    fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
+        (**self).aggregate_kind(aggregate)
+    }
+
+    fn running_arc_cost(&self, state: &ClusterState, task: &Task, machine: MachineId) -> i64 {
+        (**self).running_arc_cost(state, task, machine)
+    }
+
+    fn dynamic_aggregate_arcs(&self) -> bool {
+        (**self).dynamic_aggregate_arcs()
+    }
+
+    fn job_gang_minimum(&self, state: &ClusterState, job: &Job) -> i64 {
+        (**self).job_gang_minimum(state, job)
+    }
+}
+
+/// Linear wait-time cost growth shared by the built-in models: the base
+/// unscheduled cost plus `per_sec` for every second the task has waited.
+pub(crate) fn wait_scaled_cost(state: &ClusterState, task: &Task, base: i64, per_sec: i64) -> i64 {
+    let wait_sec = state.now.saturating_sub(task.submit_time) / 1_000_000;
+    base + per_sec * wait_sec as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_cluster::Task;
+
+    #[test]
+    fn wait_cost_grows_linearly() {
+        let mut state = ClusterState::default();
+        let t = Task::new(0, 0, 0, 1_000_000);
+        assert_eq!(wait_scaled_cost(&state, &t, 100, 7), 100);
+        state.now = 30 * 1_000_000;
+        assert_eq!(wait_scaled_cost(&state, &t, 100, 7), 100 + 30 * 7);
+    }
+}

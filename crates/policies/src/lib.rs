@@ -1,49 +1,79 @@
-//! Scheduling policies: cluster state → flow network (§3.3).
+//! Scheduling policies as declarative cost models (§3.3).
 //!
 //! Firmament generalizes flow-based scheduling over Quincy's single policy
-//! via the [`SchedulingPolicy`] API. This crate ships the paper's three
-//! illustrative policies:
+//! via the [`CostModel`] API: a policy *declares* per-arc costs and arc
+//! structure as pure functions of cluster state, while the
+//! `FlowGraphManager` in `firmament-core` owns the flow network and
+//! translates cluster events into graph deltas. This crate ships the
+//! paper's three illustrative policies plus an Octopus-style fourth:
 //!
-//! - [`LoadSpreadingPolicy`] (Fig 6a): balance task counts through a single
-//!   cluster aggregator — deliberately contention-heavy, used to expose
-//!   MCMF edge cases;
-//! - [`QuincyPolicy`] (Fig 6b): Quincy's locality-oriented batch policy
+//! - [`LoadSpreadingCostModel`] (Fig 6a): balance task counts through a
+//!   single cluster aggregator — deliberately contention-heavy, used to
+//!   expose MCMF edge cases;
+//! - [`QuincyCostModel`] (Fig 6b): Quincy's locality-oriented batch policy
 //!   with rack/cluster aggregators and data-locality preference arcs;
-//! - [`NetworkAwarePolicy`] (Fig 6c): request aggregators and dynamic arcs
-//!   to machines with spare network bandwidth.
+//! - [`NetworkAwareCostModel`] (Fig 6c): request aggregators and dynamic
+//!   arcs to machines with spare network bandwidth;
+//! - [`OctopusCostModel`]: idle-preferring placement via quadratic load
+//!   costs (after real Firmament's Octopus model).
 //!
 //! # Examples
 //!
+//! Cost models are pure — they can be queried without any graph:
+//!
 //! ```
-//! use firmament_cluster::{ClusterEvent, ClusterState, TopologySpec};
-//! use firmament_policies::{LoadSpreadingPolicy, SchedulingPolicy};
+//! use firmament_cluster::{ClusterState, Task, TopologySpec};
+//! use firmament_policies::{ArcTarget, CostModel, LoadSpreadingCostModel};
 //!
 //! let state = ClusterState::with_topology(&TopologySpec::default());
-//! let mut policy = LoadSpreadingPolicy::new();
-//! for m in state.machines.values() {
-//!     policy
-//!         .apply_event(&state, &ClusterEvent::MachineAdded { machine: m.clone() })
-//!         .unwrap();
+//! let model = LoadSpreadingCostModel::new();
+//! let task = Task::new(0, 0, 0, 1_000_000);
+//! let arcs = model.task_arcs(&state, &task);
+//! assert!(matches!(arcs[0].0, ArcTarget::Aggregate(_)));
+//! for machine in state.machines.values() {
+//!     let spec = model.aggregate_arc(&state, 0, machine).unwrap();
+//!     assert_eq!(spec.cost, 0, "idle machines are free");
 //! }
-//! assert!(policy.base().graph.node_count() > 40);
 //! ```
+//!
+//! To actually schedule, hand a model to `firmament_core::Firmament`,
+//! which pairs it with a `FlowGraphManager` and the MCMF solvers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost_model;
 pub mod load_spreading;
 pub mod network_aware;
-pub mod policy;
+pub mod octopus;
 pub mod quincy;
 
-pub use load_spreading::LoadSpreadingPolicy;
-pub use network_aware::NetworkAwarePolicy;
-pub use policy::{GraphBase, SchedulingPolicy};
-pub use quincy::{QuincyConfig, QuincyPolicy};
+pub use cost_model::{AggregateId, ArcSpec, ArcTarget, CostModel};
+pub use load_spreading::LoadSpreadingCostModel;
+pub use network_aware::NetworkAwareCostModel;
+pub use octopus::{OctopusConfig, OctopusCostModel};
+pub use quincy::{QuincyConfig, QuincyCostModel};
+
+/// Deprecated name of [`LoadSpreadingCostModel`] from the pre-split
+/// `SchedulingPolicy` API.
+#[deprecated(since = "0.2.0", note = "renamed to LoadSpreadingCostModel")]
+pub type LoadSpreadingPolicy = LoadSpreadingCostModel;
+
+/// Deprecated name of [`QuincyCostModel`] from the pre-split
+/// `SchedulingPolicy` API.
+#[deprecated(since = "0.2.0", note = "renamed to QuincyCostModel")]
+pub type QuincyPolicy = QuincyCostModel;
+
+/// Deprecated name of [`NetworkAwareCostModel`] from the pre-split
+/// `SchedulingPolicy` API.
+#[deprecated(since = "0.2.0", note = "renamed to NetworkAwareCostModel")]
+pub type NetworkAwarePolicy = NetworkAwareCostModel;
 
 use firmament_cluster::{MachineId, TaskId};
 
-/// Errors raised while translating cluster state into the flow network.
+/// Errors raised while translating cluster state into the flow network
+/// (by the `FlowGraphManager`; cost models themselves are pure and
+/// infallible).
 #[derive(Debug)]
 pub enum PolicyError {
     /// A task referenced by an event has no node in the graph.

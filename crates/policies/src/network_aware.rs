@@ -1,4 +1,5 @@
-//! The network-aware policy (Fig 6c): avoid overcommitting machine links.
+//! The network-aware cost model (Fig 6c): avoid overcommitting machine
+//! links.
 //!
 //! Each task connects to a request aggregator (`RA`) for its network
 //! bandwidth request class. The `RA`s have one arc per machine with
@@ -8,12 +9,15 @@
 //! incentivize balanced utilization. The paper's local-testbed experiment
 //! (§7.5, Fig 19) uses this policy to cut tail task response times by
 //! 3.4–6.2× versus load-spreading and random placement.
+//!
+//! Because the arcs react to *monitored* bandwidth (which changes without
+//! scheduler events), the model sets
+//! [`dynamic_aggregate_arcs`](CostModel::dynamic_aggregate_arcs) so the
+//! graph manager re-evaluates every machine each round.
 
-use crate::policy::{GraphBase, SchedulingPolicy};
-use crate::PolicyError;
-use firmament_cluster::{ClusterEvent, ClusterState, TaskState};
-use firmament_flow::{ArcId, NodeId, NodeKind};
-use std::collections::HashMap;
+use crate::cost_model::{wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel};
+use firmament_cluster::{ClusterState, Machine, Task};
+use firmament_flow::NodeKind;
 
 /// Bandwidth bucket width in Mbit/s for request-aggregator classes.
 const CLASS_WIDTH_MBPS: u64 = 500;
@@ -22,30 +26,14 @@ const UNSCHEDULED_COST: i64 = 1_000_000;
 /// Cost increment per second of wait.
 const WAIT_COST_PER_SEC: i64 = 1_000;
 
-/// The network-aware scheduling policy.
-#[derive(Debug)]
-pub struct NetworkAwarePolicy {
-    base: GraphBase,
-    /// Request class (bucketed Mbit/s) → aggregator node.
-    request_aggs: HashMap<u32, NodeId>,
-    /// (class, machine) → RA→machine arc.
-    ra_machine_arcs: HashMap<(u32, u64), ArcId>,
-}
+/// The network-aware scheduling cost model.
+#[derive(Debug, Default)]
+pub struct NetworkAwareCostModel;
 
-impl Default for NetworkAwarePolicy {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl NetworkAwarePolicy {
-    /// Creates the policy with an empty flow network.
+impl NetworkAwareCostModel {
+    /// Creates the cost model.
     pub fn new() -> Self {
-        NetworkAwarePolicy {
-            base: GraphBase::new(),
-            request_aggs: HashMap::new(),
-            ra_machine_arcs: HashMap::new(),
-        }
+        NetworkAwareCostModel
     }
 
     /// The request class for a bandwidth request in Mbit/s.
@@ -58,236 +46,124 @@ impl NetworkAwarePolicy {
         (class as u64 + 1) * CLASS_WIDTH_MBPS
     }
 
-    fn ensure_request_agg(&mut self, class: u32) -> NodeId {
-        if let Some(&n) = self.request_aggs.get(&class) {
-            return n;
-        }
-        let n = self
-            .base
-            .graph
-            .add_node(NodeKind::RequestAggregator { class }, 0);
-        self.request_aggs.insert(class, n);
-        n
-    }
-
     /// Current bandwidth use of a machine: background traffic plus the
     /// requests of all tasks running on it.
-    fn machine_used_mbps(state: &ClusterState, machine: u64) -> u64 {
-        let m = &state.machines[&machine];
-        let task_bw: u64 = m
+    fn machine_used_mbps(state: &ClusterState, machine: &Machine) -> u64 {
+        let task_bw: u64 = machine
             .running
             .iter()
             .filter_map(|t| state.tasks.get(t))
             .map(|t| t.request.net_mbps)
             .sum();
-        m.background_mbps + task_bw
-    }
-
-    /// Rebuilds the dynamic RA→machine arcs from current bandwidth state
-    /// (the "dynamically adapted" arcs of Fig 6c).
-    fn rebuild_request_arcs(&mut self, state: &ClusterState) -> Result<(), PolicyError> {
-        let classes: Vec<u32> = self.request_aggs.keys().copied().collect();
-        let machines: Vec<u64> = self.base.machine_nodes.keys().copied().collect();
-        for class in classes {
-            let request = Self::class_request(class);
-            let ra = self.request_aggs[&class];
-            for &mid in &machines {
-                let m = &state.machines[&mid];
-                let used = Self::machine_used_mbps(state, mid);
-                let spare = m.link_mbps.saturating_sub(used);
-                let fits_bw = (spare / request.max(1)) as i64;
-                let cap = fits_bw.min(m.free_slots() as i64);
-                let key = (class, mid);
-                let cost = (request + used) as i64 / 10;
-                match self.ra_machine_arcs.get(&key) {
-                    Some(&arc) => {
-                        if cap <= 0 {
-                            self.base.graph.remove_arc(arc)?;
-                            self.ra_machine_arcs.remove(&key);
-                        } else {
-                            self.base.graph.set_arc_capacity(arc, cap)?;
-                            self.base.graph.set_arc_cost(arc, cost)?;
-                        }
-                    }
-                    None => {
-                        if cap > 0 {
-                            let mn = self.base.machine_node(mid).expect("machine node");
-                            let arc = self.base.graph.add_arc(ra, mn, cap, cost)?;
-                            self.ra_machine_arcs.insert(key, arc);
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
+        machine.background_mbps + task_bw
     }
 }
 
-impl SchedulingPolicy for NetworkAwarePolicy {
+impl CostModel for NetworkAwareCostModel {
     fn name(&self) -> &'static str {
         "network-aware"
     }
 
-    fn base(&self) -> &GraphBase {
-        &self.base
+    fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
+        wait_scaled_cost(state, task, UNSCHEDULED_COST, WAIT_COST_PER_SEC)
     }
 
-    fn base_mut(&mut self) -> &mut GraphBase {
-        &mut self.base
+    fn task_arcs(&self, _state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
+        let class = Self::class_of(task.request.net_mbps);
+        vec![(ArcTarget::Aggregate(class as AggregateId), 1)]
     }
 
-    fn apply_event(
-        &mut self,
+    /// The "dynamically adapted" arcs of Fig 6c: capacity is how many
+    /// class-sized requests fit in the machine's spare bandwidth (slot
+    /// limited), cost is request + current use — machines with lightly
+    /// loaded links are cheaper.
+    fn aggregate_arc(
+        &self,
         state: &ClusterState,
-        event: &ClusterEvent,
-    ) -> Result<(), PolicyError> {
-        match event {
-            ClusterEvent::Tick { .. } => {}
-            ClusterEvent::MachineAdded { machine } => {
-                self.base.add_machine(machine.id, machine.slots as i64)?;
-            }
-            ClusterEvent::MachineRemoved { machine, .. } => {
-                self.ra_machine_arcs.retain(|&(_, m), _| m != *machine);
-                self.base.remove_machine(*machine)?;
-                // Displaced tasks need their request-aggregator arc back.
-                let displaced: Vec<(u64, u64)> = state
-                    .waiting_tasks()
-                    .map(|t| (t.id, t.request.net_mbps))
-                    .collect();
-                for (tid, bw) in displaced {
-                    if let Some(n) = self.base.task_node(tid) {
-                        let class = Self::class_of(bw);
-                        let ra = self.ensure_request_agg(class);
-                        if self.base.find_arc(n, ra).is_none() {
-                            self.base.graph.add_arc(n, ra, 1, 1)?;
-                        }
-                    }
-                }
-            }
-            ClusterEvent::JobSubmitted { job, tasks } => {
-                for task in tasks {
-                    let n = self.base.add_task(task.id, job.id, UNSCHEDULED_COST)?;
-                    let class = Self::class_of(task.request.net_mbps);
-                    let ra = self.ensure_request_agg(class);
-                    self.base.graph.add_arc(n, ra, 1, 1)?;
-                }
-            }
-            ClusterEvent::TaskPlaced { task, machine, .. } => {
-                let t = self
-                    .base
-                    .task_node(*task)
-                    .ok_or(PolicyError::UnknownTask(*task))?;
-                let m = self
-                    .base
-                    .machine_node(*machine)
-                    .ok_or(PolicyError::UnknownMachine(*machine))?;
-                let job = state.tasks[task].job;
-                let u = self.base.unsched_nodes[&job];
-                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
-                self.base.graph.add_arc(t, m, 1, 0)?;
-            }
-            ClusterEvent::TaskPreempted { task, .. } => {
-                let t = self
-                    .base
-                    .task_node(*task)
-                    .ok_or(PolicyError::UnknownTask(*task))?;
-                let job = state.tasks[task].job;
-                let u = self.base.unsched_nodes[&job];
-                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
-                let class = Self::class_of(state.tasks[task].request.net_mbps);
-                let ra = self.ensure_request_agg(class);
-                self.base.graph.add_arc(t, ra, 1, 1)?;
-            }
-            ClusterEvent::TaskCompleted { task, .. } => {
-                let job = state.tasks[task].job;
-                self.base.remove_task(*task, job)?;
-            }
-        }
-        Ok(())
+        aggregate: AggregateId,
+        machine: &Machine,
+    ) -> Option<ArcSpec> {
+        let request = Self::class_request(aggregate as u32);
+        let used = Self::machine_used_mbps(state, machine);
+        let spare = machine.link_mbps.saturating_sub(used);
+        let fits_bw = (spare / request.max(1)) as i64;
+        let capacity = fits_bw.min(machine.free_slots() as i64);
+        (capacity > 0).then_some(ArcSpec {
+            capacity,
+            cost: (request + used) as i64 / 10,
+        })
     }
 
-    fn refresh_costs(&mut self, state: &ClusterState) -> Result<(), PolicyError> {
-        self.rebuild_request_arcs(state)?;
-        for t in state.tasks.values() {
-            if matches!(t.state, TaskState::Waiting | TaskState::Preempted) {
-                if let Some(n) = self.base.task_node(t.id) {
-                    if let Some(&u) = self.base.unsched_nodes.get(&t.job) {
-                        if let Some(a) = self.base.find_arc(n, u) {
-                            let wait_sec = (state.now.saturating_sub(t.submit_time)) / 1_000_000;
-                            let cost = UNSCHEDULED_COST + WAIT_COST_PER_SEC * wait_sec as i64;
-                            self.base.graph.set_arc_cost(a, cost)?;
-                        }
-                    }
-                }
-            }
+    fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
+        NodeKind::RequestAggregator {
+            class: aggregate as u32,
         }
-        Ok(())
+    }
+
+    fn dynamic_aggregate_arcs(&self) -> bool {
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use firmament_cluster::{ClusterState, Job, JobClass, ResourceVector, Task, TopologySpec};
+    use firmament_cluster::{ResourceVector, TopologySpec};
 
-    fn setup() -> (ClusterState, NetworkAwarePolicy) {
-        let state = ClusterState::with_topology(&TopologySpec {
+    fn setup() -> ClusterState {
+        ClusterState::with_topology(&TopologySpec {
             machines: 4,
             machines_per_rack: 4,
             slots_per_machine: 2,
-        });
-        let mut policy = NetworkAwarePolicy::new();
-        for m in state.machines.values() {
-            policy
-                .apply_event(&state, &ClusterEvent::MachineAdded { machine: m.clone() })
-                .unwrap();
-        }
-        (state, policy)
-    }
-
-    fn submit_task(state: &mut ClusterState, policy: &mut NetworkAwarePolicy, id: u64, bw: u64) {
-        let mut t = Task::new(id, 0, state.now, 5_000_000);
-        t.request = ResourceVector::new(1000, 1024, bw);
-        let ev = ClusterEvent::JobSubmitted {
-            job: Job::new(0, JobClass::Batch, 0, state.now),
-            tasks: vec![t],
-        };
-        state.apply(&ev);
-        policy.apply_event(state, &ev).unwrap();
+        })
     }
 
     #[test]
     fn request_classes_bucket_bandwidth() {
-        assert_eq!(NetworkAwarePolicy::class_of(100), 0);
-        assert_eq!(NetworkAwarePolicy::class_of(499), 0);
-        assert_eq!(NetworkAwarePolicy::class_of(500), 1);
-        assert_eq!(NetworkAwarePolicy::class_of(4000), 8);
+        assert_eq!(NetworkAwareCostModel::class_of(100), 0);
+        assert_eq!(NetworkAwareCostModel::class_of(499), 0);
+        assert_eq!(NetworkAwareCostModel::class_of(500), 1);
+        assert_eq!(NetworkAwareCostModel::class_of(4000), 8);
     }
 
     #[test]
-    fn arcs_only_to_machines_with_spare_bandwidth() {
-        let (mut state, mut policy) = setup();
-        // Machine 0 is saturated by background traffic.
+    fn tasks_route_through_their_request_class() {
+        let state = setup();
+        let mut t = Task::new(1, 0, 0, 5_000_000);
+        t.request = ResourceVector::new(1000, 1024, 4000);
+        let arcs = NetworkAwareCostModel::new().task_arcs(&state, &t);
+        assert_eq!(arcs, vec![(ArcTarget::Aggregate(8), 1)]);
+    }
+
+    #[test]
+    fn no_arc_to_machines_without_spare_bandwidth() {
+        let mut state = setup();
         state.machines.get_mut(&0).unwrap().background_mbps = 10_000;
-        submit_task(&mut state, &mut policy, 1, 4000);
-        policy.refresh_costs(&state).unwrap();
-        let class = NetworkAwarePolicy::class_of(4000);
-        assert!(!policy.ra_machine_arcs.contains_key(&(class, 0)));
-        assert!(policy.ra_machine_arcs.contains_key(&(class, 1)));
-        assert!(policy.ra_machine_arcs.contains_key(&(class, 2)));
+        let model = NetworkAwareCostModel::new();
+        let class = NetworkAwareCostModel::class_of(4000) as AggregateId;
+        assert!(model
+            .aggregate_arc(&state, class, &state.machines[&0])
+            .is_none());
+        assert!(model
+            .aggregate_arc(&state, class, &state.machines[&1])
+            .is_some());
     }
 
     #[test]
     fn costs_favor_lightly_loaded_links() {
-        let (mut state, mut policy) = setup();
+        let mut state = setup();
         state.machines.get_mut(&0).unwrap().background_mbps = 6_000;
         state.machines.get_mut(&1).unwrap().background_mbps = 1_000;
-        submit_task(&mut state, &mut policy, 1, 1000);
-        policy.refresh_costs(&state).unwrap();
-        let class = NetworkAwarePolicy::class_of(1000);
-        let g = &policy.base().graph;
-        let c0 = g.cost(policy.ra_machine_arcs[&(class, 0)]);
-        let c1 = g.cost(policy.ra_machine_arcs[&(class, 1)]);
+        let model = NetworkAwareCostModel::new();
+        let class = NetworkAwareCostModel::class_of(1000) as AggregateId;
+        let c0 = model
+            .aggregate_arc(&state, class, &state.machines[&0])
+            .unwrap()
+            .cost;
+        let c1 = model
+            .aggregate_arc(&state, class, &state.machines[&1])
+            .unwrap()
+            .cost;
         assert!(
             c1 < c0,
             "machine 1 (1 Gbps used) must be cheaper than machine 0 (6 Gbps used)"
@@ -295,27 +171,14 @@ mod tests {
     }
 
     #[test]
-    fn arcs_adapt_when_bandwidth_frees_up() {
-        let (mut state, mut policy) = setup();
-        state.machines.get_mut(&0).unwrap().background_mbps = 10_000;
-        submit_task(&mut state, &mut policy, 1, 2000);
-        policy.refresh_costs(&state).unwrap();
-        let class = NetworkAwarePolicy::class_of(2000);
-        assert!(!policy.ra_machine_arcs.contains_key(&(class, 0)));
-        // Background traffic stops; the arc must reappear.
-        state.machines.get_mut(&0).unwrap().background_mbps = 0;
-        policy.refresh_costs(&state).unwrap();
-        assert!(policy.ra_machine_arcs.contains_key(&(class, 0)));
-    }
-
-    #[test]
     fn slot_limit_caps_arc_capacity() {
-        let (mut state, mut policy) = setup();
-        submit_task(&mut state, &mut policy, 1, 100);
-        policy.refresh_costs(&state).unwrap();
-        let class = NetworkAwarePolicy::class_of(100);
-        let g = &policy.base().graph;
-        let cap = g.capacity(policy.ra_machine_arcs[&(class, 0)]);
+        let state = setup();
+        let model = NetworkAwareCostModel::new();
+        let class = NetworkAwareCostModel::class_of(100) as AggregateId;
+        let cap = model
+            .aggregate_arc(&state, class, &state.machines[&0])
+            .unwrap()
+            .capacity;
         // 10 Gbps / 500 Mbps class request would allow 20 tasks, but there
         // are only 2 slots.
         assert_eq!(cap, 2);

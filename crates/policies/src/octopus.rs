@@ -1,0 +1,131 @@
+//! An Octopus-style idle-preferring cost model (after real Firmament's
+//! `OctopusCostModel`).
+//!
+//! All tasks route through a single cluster aggregator, but — unlike
+//! [load spreading](crate::LoadSpreadingCostModel), whose per-machine cost
+//! is *linear* in the running-task count — the cost here grows
+//! **quadratically** with standing load. Under Firmament's continuous
+//! rescheduling, every arrival is routed to an idle machine as long as one
+//! exists, and heavily loaded machines become rapidly unattractive as
+//! their load rises: a strong bias toward tail-latency-friendly,
+//! interference-free placements.
+//!
+//! The model exists mostly to demonstrate the [`CostModel`] API's
+//! leverage: a genuinely different placement behavior in ~40 lines of
+//! cost arithmetic, with zero graph bookkeeping.
+
+use crate::cost_model::{wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel};
+use firmament_cluster::{ClusterState, Machine, Task};
+use firmament_flow::NodeKind;
+
+/// The single cluster-wide aggregate.
+const CLUSTER_AGG: AggregateId = 0;
+
+/// Tuning parameters for the Octopus cost model.
+#[derive(Debug, Clone)]
+pub struct OctopusConfig {
+    /// Multiplier on the quadratic load penalty.
+    pub load_cost_scale: i64,
+    /// Cost of leaving a task unscheduled.
+    pub base_unscheduled_cost: i64,
+    /// Unscheduled-cost growth per second of waiting.
+    pub wait_cost_per_sec: i64,
+}
+
+impl Default for OctopusConfig {
+    fn default() -> Self {
+        OctopusConfig {
+            load_cost_scale: 10,
+            base_unscheduled_cost: 1_000_000,
+            wait_cost_per_sec: 1_000,
+        }
+    }
+}
+
+/// The Octopus-style idle-preferring cost model.
+#[derive(Debug, Default)]
+pub struct OctopusCostModel {
+    /// Policy tuning.
+    pub config: OctopusConfig,
+}
+
+impl OctopusCostModel {
+    /// Creates the cost model with default tuning.
+    pub fn new() -> Self {
+        OctopusCostModel::default()
+    }
+
+    /// Creates the cost model with explicit tuning.
+    pub fn with_config(config: OctopusConfig) -> Self {
+        OctopusCostModel { config }
+    }
+}
+
+impl CostModel for OctopusCostModel {
+    fn name(&self) -> &'static str {
+        "octopus"
+    }
+
+    fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
+        wait_scaled_cost(
+            state,
+            task,
+            self.config.base_unscheduled_cost,
+            self.config.wait_cost_per_sec,
+        )
+    }
+
+    fn task_arcs(&self, _state: &ClusterState, _task: &Task) -> Vec<(ArcTarget, i64)> {
+        vec![(ArcTarget::Aggregate(CLUSTER_AGG), 0)]
+    }
+
+    fn aggregate_arc(
+        &self,
+        _state: &ClusterState,
+        _aggregate: AggregateId,
+        machine: &Machine,
+    ) -> Option<ArcSpec> {
+        let load = machine.running.len() as i64;
+        Some(ArcSpec {
+            capacity: machine.slots as i64,
+            // Quadratic: the marginal cost of co-locating rises with every
+            // task already there, so idle machines win first.
+            cost: self.config.load_cost_scale * load * load,
+        })
+    }
+
+    fn aggregate_kind(&self, _aggregate: AggregateId) -> NodeKind {
+        NodeKind::ClusterAggregator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmament_cluster::Machine;
+
+    #[test]
+    fn idle_machines_are_free_and_load_cost_is_superlinear() {
+        let state = ClusterState::default();
+        let model = OctopusCostModel::new();
+        let mut m = Machine::new(0, 0, 4);
+        let cost_at = |m: &Machine| model.aggregate_arc(&state, CLUSTER_AGG, m).unwrap().cost;
+        assert_eq!(cost_at(&m), 0, "idle machine costs nothing");
+        m.add_task(1);
+        let one = cost_at(&m);
+        m.add_task(2);
+        let two = cost_at(&m);
+        m.add_task(3);
+        let three = cost_at(&m);
+        assert!(two - one > one, "marginal cost must rise");
+        assert!(three - two > two - one, "and keep rising");
+    }
+
+    #[test]
+    fn tasks_route_through_the_cluster_aggregate_for_free() {
+        let state = ClusterState::default();
+        let t = Task::new(0, 0, 0, 1_000_000);
+        let arcs = OctopusCostModel::new().task_arcs(&state, &t);
+        assert_eq!(arcs, vec![(ArcTarget::Aggregate(CLUSTER_AGG), 0)]);
+    }
+}

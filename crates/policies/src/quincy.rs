@@ -1,4 +1,4 @@
-//! The Quincy policy (Fig 6b): locality-oriented batch scheduling.
+//! The Quincy cost model (Fig 6b): locality-oriented batch scheduling.
 //!
 //! Quincy's original policy [22, §4.2] uses rack aggregators `R_r` and a
 //! cluster aggregator `X` to express data locality: tasks get low-cost
@@ -12,13 +12,11 @@
 //! explores 2 %) controls the number of preference arcs and hence the
 //! graph's size — the knob that separates Firmament from Quincy at scale.
 
-use crate::policy::{GraphBase, SchedulingPolicy};
-use crate::PolicyError;
-use firmament_cluster::{ClusterEvent, ClusterState, RackId, Task, TaskState};
-use firmament_flow::{NodeId, NodeKind};
-use std::collections::HashMap;
+use crate::cost_model::{wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel};
+use firmament_cluster::{ClusterState, Machine, RackId, Task};
+use firmament_flow::NodeKind;
 
-/// Tuning parameters for the Quincy policy.
+/// Tuning parameters for the Quincy cost model.
 #[derive(Debug, Clone)]
 pub struct QuincyConfig {
     /// Fraction of a task's input that must be on a machine for it to get a
@@ -52,46 +50,25 @@ impl Default for QuincyConfig {
     }
 }
 
-/// The Quincy scheduling policy.
-#[derive(Debug)]
-pub struct QuincyPolicy {
-    base: GraphBase,
-    /// Policy tuning; mutable so experiments can sweep the thresholds.
-    pub config: QuincyConfig,
-    cluster_agg: NodeId,
-    rack_nodes: HashMap<RackId, NodeId>,
+/// The cluster-wide aggregate `X`.
+const CLUSTER_AGG: AggregateId = 0;
+
+/// Aggregate id of rack `r` (offset past the cluster aggregate).
+fn rack_agg(rack: RackId) -> AggregateId {
+    1 + rack as AggregateId
 }
 
-impl QuincyPolicy {
-    /// Creates the policy with the given configuration.
+/// The Quincy scheduling cost model.
+#[derive(Debug)]
+pub struct QuincyCostModel {
+    /// Policy tuning; mutable so experiments can sweep the thresholds.
+    pub config: QuincyConfig,
+}
+
+impl QuincyCostModel {
+    /// Creates the cost model with the given configuration.
     pub fn new(config: QuincyConfig) -> Self {
-        let mut base = GraphBase::new();
-        let cluster_agg = base.graph.add_node(NodeKind::ClusterAggregator, 0);
-        QuincyPolicy {
-            base,
-            config,
-            cluster_agg,
-            rack_nodes: HashMap::new(),
-        }
-    }
-
-    /// The cluster aggregator node `X`.
-    pub fn cluster_aggregator(&self) -> NodeId {
-        self.cluster_agg
-    }
-
-    /// The rack aggregator for `rack`, if it exists.
-    pub fn rack_node(&self, rack: RackId) -> Option<NodeId> {
-        self.rack_nodes.get(&rack).copied()
-    }
-
-    fn ensure_rack(&mut self, rack: RackId) -> Result<NodeId, PolicyError> {
-        if let Some(&n) = self.rack_nodes.get(&rack) {
-            return Ok(n);
-        }
-        let n = self.base.graph.add_node(NodeKind::RackAggregator { rack }, 0);
-        self.rack_nodes.insert(rack, n);
-        Ok(n)
+        QuincyCostModel { config }
     }
 
     /// Cost of running `task` with `local_fraction` of its input on the
@@ -105,18 +82,29 @@ impl QuincyPolicy {
         };
         (remote_gb * per_gb as f64).round() as i64
     }
+}
 
-    /// Builds the waiting-task arc set: preference arcs to machines/racks
-    /// above the threshold, a fallback arc to `X`, and the unscheduled arc
-    /// (which [`GraphBase::add_task`] already created).
-    fn add_waiting_arcs(&mut self, state: &ClusterState, task: &Task) -> Result<(), PolicyError> {
-        let t = self
-            .base
-            .task_node(task.id)
-            .ok_or(PolicyError::UnknownTask(task.id))?;
-        // Worst case: everything fetched cross-rack.
+impl CostModel for QuincyCostModel {
+    fn name(&self) -> &'static str {
+        "quincy"
+    }
+
+    fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
+        // The Quincy trade-off between wait time and data locality.
+        wait_scaled_cost(
+            state,
+            task,
+            self.config.base_unscheduled_cost,
+            self.config.wait_cost_per_sec,
+        )
+    }
+
+    /// The waiting-task arc set: a fallback arc to `X` (worst case:
+    /// everything fetched cross-rack) plus budget-limited preference arcs
+    /// to machines and racks above the locality thresholds.
+    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
         let x_cost = self.fetch_cost(task, 0.0, false) + 1;
-        self.base.graph.add_arc(t, self.cluster_agg, 1, x_cost)?;
+        let mut arcs = vec![(ArcTarget::Aggregate(CLUSTER_AGG), x_cost)];
         let mut budget = self.config.max_prefs_per_task;
         let machine_prefs = state
             .blocks
@@ -125,9 +113,8 @@ impl QuincyPolicy {
             if budget == 0 {
                 break;
             }
-            if let Some(mn) = self.base.machine_node(m) {
-                let cost = self.fetch_cost(task, frac, true);
-                self.base.graph.add_arc(t, mn, 1, cost)?;
+            if state.machines.contains_key(&m) {
+                arcs.push((ArcTarget::Machine(m), self.fetch_cost(task, frac, true)));
                 budget -= 1;
             }
         }
@@ -138,146 +125,52 @@ impl QuincyPolicy {
             if budget == 0 {
                 break;
             }
-            if let Some(rn) = self.rack_nodes.get(&r).copied() {
-                // The non-rack-local remainder crosses racks; the
-                // rack-local part still pays a cheap in-rack fetch.
-                let cost = self.fetch_cost(task, frac, false)
-                    + self.fetch_cost(task, 1.0 - frac, true) / 2;
-                self.base.graph.add_arc(t, rn, 1, cost.max(1))?;
-                budget -= 1;
+            // The non-rack-local remainder crosses racks; the rack-local
+            // part still pays a cheap in-rack fetch.
+            let cost =
+                self.fetch_cost(task, frac, false) + self.fetch_cost(task, 1.0 - frac, true) / 2;
+            arcs.push((ArcTarget::Aggregate(rack_agg(r)), cost.max(1)));
+            budget -= 1;
+        }
+        arcs
+    }
+
+    fn aggregate_arc(
+        &self,
+        _state: &ClusterState,
+        aggregate: AggregateId,
+        machine: &Machine,
+    ) -> Option<ArcSpec> {
+        let connects = aggregate == CLUSTER_AGG || aggregate == rack_agg(machine.rack);
+        connects.then_some(ArcSpec {
+            capacity: machine.slots as i64,
+            cost: 0,
+        })
+    }
+
+    fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
+        if aggregate == CLUSTER_AGG {
+            NodeKind::ClusterAggregator
+        } else {
+            NodeKind::RackAggregator {
+                rack: (aggregate - 1) as RackId,
             }
         }
-        Ok(())
-    }
-}
-
-impl SchedulingPolicy for QuincyPolicy {
-    fn name(&self) -> &'static str {
-        "quincy"
-    }
-
-    fn base(&self) -> &GraphBase {
-        &self.base
-    }
-
-    fn base_mut(&mut self) -> &mut GraphBase {
-        &mut self.base
-    }
-
-    fn apply_event(
-        &mut self,
-        state: &ClusterState,
-        event: &ClusterEvent,
-    ) -> Result<(), PolicyError> {
-        match event {
-            ClusterEvent::Tick { .. } => {}
-            ClusterEvent::MachineAdded { machine } => {
-                let m = self.base.add_machine(machine.id, machine.slots as i64)?;
-                let r = self.ensure_rack(machine.rack)?;
-                self.base.graph.add_arc(r, m, machine.slots as i64, 0)?;
-                self.base
-                    .graph
-                    .add_arc(self.cluster_agg, m, machine.slots as i64, 0)?;
-            }
-            ClusterEvent::MachineRemoved { machine, .. } => {
-                self.base.remove_machine(*machine)?;
-                // Displaced tasks wait again: rebuild their preference and
-                // fallback arcs (their running arc died with the machine).
-                let displaced: Vec<Task> = state
-                    .waiting_tasks()
-                    .filter(|t| {
-                        self.base
-                            .task_node(t.id)
-                            .map(|n| self.base.find_arc(n, self.cluster_agg).is_none())
-                            .unwrap_or(false)
-                    })
-                    .cloned()
-                    .collect();
-                for t in displaced {
-                    self.add_waiting_arcs(state, &t)?;
-                }
-            }
-            ClusterEvent::JobSubmitted { job, tasks } => {
-                for task in tasks {
-                    self.base.add_task(task.id, job.id, self.config.base_unscheduled_cost)?;
-                    self.add_waiting_arcs(state, task)?;
-                }
-            }
-            ClusterEvent::TaskPlaced { task, machine, .. } => {
-                // Quincy keeps exactly two arcs for a running task: the arc
-                // to its machine (cost 0: data already local) and the
-                // preemption arc to U_j.
-                let t = self
-                    .base
-                    .task_node(*task)
-                    .ok_or(PolicyError::UnknownTask(*task))?;
-                let m = self
-                    .base
-                    .machine_node(*machine)
-                    .ok_or(PolicyError::UnknownMachine(*machine))?;
-                let job = state.tasks[task].job;
-                let u = self.base.unsched_nodes[&job];
-                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
-                self.base.graph.add_arc(t, m, 1, 0)?;
-            }
-            ClusterEvent::TaskPreempted { task, .. } => {
-                let t = self
-                    .base
-                    .task_node(*task)
-                    .ok_or(PolicyError::UnknownTask(*task))?;
-                let job = state.tasks[task].job;
-                let u = self.base.unsched_nodes[&job];
-                self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
-                let task_data = state.tasks[task].clone();
-                self.add_waiting_arcs(state, &task_data)?;
-            }
-            ClusterEvent::TaskCompleted { task, .. } => {
-                let job = state.tasks[task].job;
-                self.base.remove_task(*task, job)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn refresh_costs(&mut self, state: &ClusterState) -> Result<(), PolicyError> {
-        // Unscheduled costs grow with wait time (the Quincy trade-off
-        // between wait time and data locality).
-        for t in state.tasks.values() {
-            if matches!(t.state, TaskState::Waiting | TaskState::Preempted) {
-                if let Some(n) = self.base.task_node(t.id) {
-                    if let Some(&u) = self.base.unsched_nodes.get(&t.job) {
-                        if let Some(a) = self.base.find_arc(n, u) {
-                            let wait_sec = (state.now.saturating_sub(t.submit_time)) / 1_000_000;
-                            let cost = self.config.base_unscheduled_cost
-                                + self.config.wait_cost_per_sec * wait_sec as i64;
-                            self.base.graph.set_arc_cost(a, cost)?;
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use firmament_cluster::{ClusterState, Job, JobClass, Task, TopologySpec};
+    use firmament_cluster::{ClusterState, TopologySpec};
 
-    fn setup() -> (ClusterState, QuincyPolicy) {
+    fn setup() -> (ClusterState, QuincyCostModel) {
         let state = ClusterState::with_topology(&TopologySpec {
             machines: 6,
             machines_per_rack: 3,
             slots_per_machine: 2,
         });
-        let mut policy = QuincyPolicy::new(QuincyConfig::default());
-        for m in state.machines.values() {
-            policy
-                .apply_event(&state, &ClusterEvent::MachineAdded { machine: m.clone() })
-                .unwrap();
-        }
-        (state, policy)
+        (state, QuincyCostModel::new(QuincyConfig::default()))
     }
 
     fn make_task(state: &mut ClusterState, id: u64, holders: Vec<u64>) -> Task {
@@ -288,91 +181,49 @@ mod tests {
         t
     }
 
-    fn submit(state: &mut ClusterState, policy: &mut QuincyPolicy, tasks: Vec<Task>) {
-        let job = Job::new(0, JobClass::Batch, 0, state.now);
-        let ev = ClusterEvent::JobSubmitted { job, tasks };
-        state.apply(&ev);
-        policy.apply_event(state, &ev).unwrap();
-    }
-
-    #[test]
-    fn rack_aggregators_created() {
-        let (_, policy) = setup();
-        assert_eq!(policy.rack_nodes.len(), 2);
-        assert!(policy.rack_node(0).is_some());
-        assert!(policy.rack_node(1).is_some());
-    }
-
     #[test]
     fn preference_arcs_follow_locality() {
-        let (mut state, mut policy) = setup();
+        let (mut state, model) = setup();
         let t = make_task(&mut state, 1, vec![0, 1, 4]);
-        submit(&mut state, &mut policy, vec![t]);
-        let tn = policy.base().task_node(1).unwrap();
-        let g = &policy.base().graph;
-        let dsts: Vec<NodeKind> = g
-            .adj(tn)
+        let arcs = model.task_arcs(&state, &t);
+        // X + machine prefs (0, 1, 4) + rack prefs (0, 1).
+        assert!(arcs.contains(&(ArcTarget::Aggregate(CLUSTER_AGG), 201)));
+        let machine_prefs = arcs
             .iter()
-            .copied()
-            .filter(|&a| a.is_forward())
-            .map(|a| g.kind(g.dst(a)))
-            .collect();
-        // Unscheduled + X + machine prefs (0, 1, 4) + rack prefs (0, 1).
-        assert!(dsts.iter().any(|k| k.is_unscheduled()));
-        assert!(dsts
-            .iter()
-            .any(|k| matches!(k, NodeKind::ClusterAggregator)));
-        let machine_prefs = dsts.iter().filter(|k| k.is_machine()).count();
+            .filter(|(t, _)| matches!(t, ArcTarget::Machine(_)))
+            .count();
         assert_eq!(machine_prefs, 3);
-        let rack_prefs = dsts
+        let rack_prefs = arcs
             .iter()
-            .filter(|k| matches!(k, NodeKind::RackAggregator { .. }))
+            .filter(|(t, _)| matches!(t, ArcTarget::Aggregate(a) if *a != CLUSTER_AGG))
             .count();
         assert_eq!(rack_prefs, 2);
     }
 
     #[test]
     fn local_machine_is_cheapest() {
-        let (mut state, mut policy) = setup();
+        let (mut state, model) = setup();
         let t = make_task(&mut state, 1, vec![2, 2, 2]); // all data on machine 2
-        submit(&mut state, &mut policy, vec![t]);
-        let tn = policy.base().task_node(1).unwrap();
-        let g = &policy.base().graph;
-        let mut machine_cost = None;
-        let mut x_cost = None;
-        for &a in g.adj(tn) {
-            if !a.is_forward() {
-                continue;
-            }
-            match g.kind(g.dst(a)) {
-                NodeKind::Machine { machine: 2 } => machine_cost = Some(g.cost(a)),
-                NodeKind::ClusterAggregator => x_cost = Some(g.cost(a)),
-                _ => {}
-            }
-        }
+        let arcs = model.task_arcs(&state, &t);
+        let machine_cost = arcs
+            .iter()
+            .find_map(|(tg, c)| matches!(tg, ArcTarget::Machine(2)).then_some(*c));
+        let x_cost = arcs
+            .iter()
+            .find_map(|(tg, c)| matches!(tg, ArcTarget::Aggregate(CLUSTER_AGG)).then_some(*c));
         assert_eq!(machine_cost, Some(0), "fully local data costs nothing");
         assert!(x_cost.unwrap() > 0, "cluster fallback pays full fetch");
     }
 
     #[test]
     fn pref_arc_budget_respected() {
-        let (mut state, mut policy) = setup();
-        policy.config.max_prefs_per_task = 2;
+        let (mut state, mut model) = setup();
+        model.config.max_prefs_per_task = 2;
         let t = make_task(&mut state, 1, vec![0, 1, 2]);
-        submit(&mut state, &mut policy, vec![t]);
-        let tn = policy.base().task_node(1).unwrap();
-        let g = &policy.base().graph;
-        let prefs = g
-            .adj(tn)
+        let arcs = model.task_arcs(&state, &t);
+        let prefs = arcs
             .iter()
-            .copied()
-            .filter(|&a| a.is_forward())
-            .filter(|&a| {
-                matches!(
-                    g.kind(g.dst(a)),
-                    NodeKind::Machine { .. } | NodeKind::RackAggregator { .. }
-                )
-            })
+            .filter(|(tg, _)| !matches!(tg, ArcTarget::Aggregate(CLUSTER_AGG)))
             .count();
         assert!(prefs <= 2);
     }
@@ -380,10 +231,10 @@ mod tests {
     #[test]
     fn lower_threshold_creates_more_arcs() {
         let count_arcs = |threshold: f64| {
-            let (mut state, mut policy) = setup();
-            policy.config.machine_pref_threshold = threshold;
-            policy.config.rack_pref_threshold = threshold;
-            policy.config.max_prefs_per_task = 100;
+            let (mut state, mut model) = setup();
+            model.config.machine_pref_threshold = threshold;
+            model.config.rack_pref_threshold = threshold;
+            model.config.max_prefs_per_task = 100;
             // Input spread thinly across many machines.
             let mut t = Task::new(1, 0, 0, 1_000_000);
             for m in 0..6u64 {
@@ -391,8 +242,7 @@ mod tests {
                 t.input_blocks.push(b);
             }
             t.input_bytes = 6_000_000_000;
-            submit(&mut state, &mut policy, vec![t]);
-            policy.base().graph.arc_count()
+            model.task_arcs(&state, &t).len()
         };
         // Each machine holds 1/6 ≈ 0.167 of the input.
         let high = count_arcs(0.5); // no machine qualifies
@@ -404,44 +254,23 @@ mod tests {
     }
 
     #[test]
-    fn running_task_keeps_two_arcs() {
-        let (mut state, mut policy) = setup();
-        let t = make_task(&mut state, 1, vec![0]);
-        submit(&mut state, &mut policy, vec![t]);
-        let ev = ClusterEvent::TaskPlaced {
-            task: 1,
-            machine: 0,
-            now: 50,
-        };
-        state.apply(&ev);
-        policy.apply_event(&state, &ev).unwrap();
-        let tn = policy.base().task_node(1).unwrap();
-        let g = &policy.base().graph;
-        let out = g
-            .adj(tn)
-            .iter()
-            .copied()
-            .filter(|&a| a.is_forward())
-            .count();
-        assert_eq!(out, 2);
+    fn rack_aggregates_connect_only_their_machines() {
+        let (state, model) = setup();
+        let m0 = &state.machines[&0]; // rack 0
+        let m4 = &state.machines[&4]; // rack 1
+        assert!(model.aggregate_arc(&state, rack_agg(0), m0).is_some());
+        assert!(model.aggregate_arc(&state, rack_agg(0), m4).is_none());
+        assert!(model.aggregate_arc(&state, CLUSTER_AGG, m0).is_some());
+        assert!(model.aggregate_arc(&state, CLUSTER_AGG, m4).is_some());
     }
 
     #[test]
     fn wait_time_raises_unscheduled_cost() {
-        let (mut state, mut policy) = setup();
+        let (mut state, model) = setup();
         let t = make_task(&mut state, 1, vec![0]);
-        submit(&mut state, &mut policy, vec![t]);
-        policy.refresh_costs(&state).unwrap();
-        let tn = policy.base().task_node(1).unwrap();
-        let u = policy.base().unsched_nodes[&0];
-        let a = policy.base().find_arc(tn, u).unwrap();
-        let before = policy.base().graph.cost(a);
-        state.apply(&ClusterEvent::Tick {
-            now: 30 * 1_000_000,
-        });
-        policy.refresh_costs(&state).unwrap();
-        let after = policy.base().graph.cost(a);
-        assert!(after > before, "waiting must raise the unscheduled cost");
+        let before = model.task_unscheduled_cost(&state, &t);
+        state.now = 30 * 1_000_000;
+        let after = model.task_unscheduled_cost(&state, &t);
         assert_eq!(
             after - before,
             30 * QuincyConfig::default().wait_cost_per_sec

@@ -18,7 +18,7 @@ use firmament_cluster::{
 };
 use firmament_core::{Firmament, SchedulingAction};
 use firmament_mcmf::AlgorithmKind;
-use firmament_policies::SchedulingPolicy;
+use firmament_policies::CostModel;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -112,13 +112,11 @@ enum EventKind {
 }
 
 /// Runs the simulation with Firmament (flow-based scheduling).
-pub fn run_flow_sim<P: SchedulingPolicy>(
-    config: &SimConfig,
-    mut firmament: Firmament<P>,
-) -> SimReport {
+pub fn run_flow_sim<C: CostModel>(config: &SimConfig, mut firmament: Firmament<C>) -> SimReport {
     let mut sim = Sim::new(config);
     // Register machines with the policy.
-    let machines: Vec<_> = sim.state.machines.values().cloned().collect();
+    let mut machines: Vec<_> = sim.state.machines.values().cloned().collect();
+    machines.sort_by_key(|m| m.id);
     for m in machines {
         firmament
             .handle_event(&sim.state, &ClusterEvent::MachineAdded { machine: m })
@@ -184,8 +182,7 @@ pub fn run_flow_sim<P: SchedulingPolicy>(
                 sim.report
                     .runtime_timeline
                     .push((now as f64 / 1e6, runtime_s));
-                *sim
-                    .report
+                *sim.report
                     .algorithm_wins
                     .entry(winner.to_string())
                     .or_insert(0) += 1;
@@ -219,28 +216,27 @@ pub fn run_queue_sim(config: &SimConfig, mut scheduler: Box<dyn QueueScheduler>)
     let mut sim = Sim::new(config);
     let mut wait_queue: VecDeque<TaskId> = VecDeque::new();
     let decision_us = config.queue_task_latency_us;
-    let mut place_now =
-        |sim: &mut Sim, queue: &mut VecDeque<TaskId>, now: Time| {
-            // Try to place as many queued tasks as fit, task by task.
-            let mut requeue = VecDeque::new();
-            while let Some(task) = queue.pop_front() {
-                let Some(t) = sim.state.tasks.get(&task) else {
-                    continue;
-                };
-                if !matches!(t.state, TaskState::Waiting | TaskState::Preempted) {
-                    continue;
-                }
-                let t = t.clone();
-                match scheduler.place(&sim.state, &t) {
-                    Some(machine) => {
-                        let at = now + decision_us;
-                        sim.place_task(task, machine, at, |_, _| {});
-                    }
-                    None => requeue.push_back(task),
-                }
+    let mut place_now = |sim: &mut Sim, queue: &mut VecDeque<TaskId>, now: Time| {
+        // Try to place as many queued tasks as fit, task by task.
+        let mut requeue = VecDeque::new();
+        while let Some(task) = queue.pop_front() {
+            let Some(t) = sim.state.tasks.get(&task) else {
+                continue;
+            };
+            if !matches!(t.state, TaskState::Waiting | TaskState::Preempted) {
+                continue;
             }
-            *queue = requeue;
-        };
+            let t = t.clone();
+            match scheduler.place(&sim.state, &t) {
+                Some(machine) => {
+                    let at = now + decision_us;
+                    sim.place_task(task, machine, at, |_, _| {});
+                }
+                None => requeue.push_back(task),
+            }
+        }
+        *queue = requeue;
+    };
 
     let pending = sim.bootstrap(|_, _| {});
     if pending {
@@ -411,7 +407,10 @@ impl Sim {
         let mut repaired = machine;
         repaired.running.clear();
         repaired.background_mbps = 0;
-        self.push(now + self.repair_us, EventKind::MachineRepair { machine: repaired });
+        self.push(
+            now + self.repair_us,
+            EventKind::MachineRepair { machine: repaired },
+        );
         true
     }
 
@@ -593,7 +592,7 @@ impl Sim {
 mod tests {
     use super::*;
     use firmament_baselines::SwarmKitScheduler;
-    use firmament_policies::LoadSpreadingPolicy;
+    use firmament_policies::LoadSpreadingCostModel;
 
     fn small_config() -> SimConfig {
         SimConfig {
@@ -626,7 +625,7 @@ mod tests {
     #[test]
     fn flow_sim_places_and_completes_tasks() {
         let config = small_config();
-        let report = run_flow_sim(&config, Firmament::new(LoadSpreadingPolicy::new()));
+        let report = run_flow_sim(&config, Firmament::new(LoadSpreadingCostModel::new()));
         assert!(report.rounds > 0, "solver must run");
         assert!(report.placed_tasks > 0, "tasks must be placed");
         assert!(report.completed_tasks > 0, "tasks must complete");
@@ -646,7 +645,7 @@ mod tests {
     #[test]
     fn placement_latency_is_nonnegative_and_bounded() {
         let config = small_config();
-        let mut report = run_flow_sim(&config, Firmament::new(LoadSpreadingPolicy::new()));
+        let mut report = run_flow_sim(&config, Firmament::new(LoadSpreadingCostModel::new()));
         let min = report.placement_latency.min();
         let max = report.placement_latency.max();
         assert!(min >= 0.0);
@@ -659,7 +658,7 @@ mod tests {
     #[test]
     fn utilization_stays_plausible() {
         let config = small_config();
-        let report = run_flow_sim(&config, Firmament::new(LoadSpreadingPolicy::new()));
+        let report = run_flow_sim(&config, Firmament::new(LoadSpreadingCostModel::new()));
         assert!(report.final_utilization <= 1.0);
     }
 
@@ -668,7 +667,7 @@ mod tests {
         let mut config = small_config();
         config.mtbf_s = 2.0; // frequent failures
         config.repair_s = 1.0;
-        let report = run_flow_sim(&config, Firmament::new(LoadSpreadingPolicy::new()));
+        let report = run_flow_sim(&config, Firmament::new(LoadSpreadingCostModel::new()));
         // Work still completes despite churn.
         assert!(report.completed_tasks > 0);
         // Slot accounting stayed sane throughout (placements never exceed

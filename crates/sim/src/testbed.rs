@@ -22,7 +22,7 @@ use firmament_cluster::{
 };
 use firmament_core::{Firmament, SchedulingAction};
 use firmament_flow::testgen::XorShift64;
-use firmament_policies::NetworkAwarePolicy;
+use firmament_policies::NetworkAwareCostModel;
 use std::collections::HashMap;
 
 /// One gigabyte, in bytes.
@@ -104,6 +104,7 @@ pub fn run_testbed(config: &TestbedConfig, scheduler: TestbedScheduler) -> Sampl
     let mut egress_reserved = vec![0f64; config.machines];
     let mut ingress_reserved = vec![0f64; config.machines];
     if config.background {
+        #[allow(clippy::needless_range_loop)] // client index pairs with a derived server index
         for c in 0..14usize.min(config.machines) {
             let server = 14 + (c / 2);
             if server < config.machines {
@@ -129,8 +130,9 @@ pub fn run_testbed(config: &TestbedConfig, scheduler: TestbedScheduler) -> Sampl
     let idle = matches!(scheduler, TestbedScheduler::Idle);
     let (mut firmament, mut baseline) = match scheduler {
         TestbedScheduler::Firmament => {
-            let mut f = Firmament::new(NetworkAwarePolicy::new());
-            let machines: Vec<_> = state.machines.values().cloned().collect();
+            let mut f = Firmament::new(NetworkAwareCostModel::new());
+            let mut machines: Vec<_> = state.machines.values().cloned().collect();
+            machines.sort_by_key(|m| m.id);
             for m in machines {
                 f.handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
                     .expect("machine registration");
@@ -188,8 +190,7 @@ pub fn run_testbed(config: &TestbedConfig, scheduler: TestbedScheduler) -> Sampl
             .collect();
         flows.retain(|f| f.remaining_mbit > 1e-6);
         for task in done {
-            let finished_now = if let Some((_, compute_end, transfer_done)) =
-                running.get_mut(&task)
+            let finished_now = if let Some((_, compute_end, transfer_done)) = running.get_mut(&task)
             {
                 *transfer_done = true;
                 *compute_end <= now_s
@@ -311,9 +312,7 @@ pub fn run_testbed(config: &TestbedConfig, scheduler: TestbedScheduler) -> Sampl
                         let src = holders
                             .iter()
                             .copied()
-                            .min_by_key(|h| {
-                                flows.iter().filter(|f| f.src == *h).count()
-                            })
+                            .min_by_key(|h| flows.iter().filter(|f| f.src == *h).count())
                             .expect("replicas exist");
                         flows.push(NetFlow {
                             task: t.id,
@@ -345,7 +344,7 @@ pub fn run_testbed(config: &TestbedConfig, scheduler: TestbedScheduler) -> Sampl
 #[allow(clippy::too_many_arguments)]
 fn finish_task(
     state: &mut ClusterState,
-    firmament: &mut Option<Firmament<NetworkAwarePolicy>>,
+    firmament: &mut Option<Firmament<NetworkAwareCostModel>>,
     responses: &mut Samples,
     running: &mut HashMap<TaskId, (f64, f64, bool)>,
     task: TaskId,

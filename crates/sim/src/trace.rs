@@ -190,12 +190,16 @@ impl GoogleTraceGenerator {
         };
         let job_id = self.next_job;
         self.next_job += 1;
-        let size = ((Self::sample_job_size(&mut self.rng) as f64 * self.spec.job_size_scale)
-            .round() as usize)
-            .max(1);
+        let size =
+            ((Self::sample_job_size(&mut self.rng) as f64 * self.spec.job_size_scale).round()
+                as usize)
+                .max(1);
         let mut job = Job::new(job_id, class, priority, time);
         let mut tasks = Vec::with_capacity(size);
-        let machine_ids: Vec<u64> = state.machines.keys().copied().collect();
+        // Sorted so seeded runs pick identical block holders across
+        // processes (HashMap iteration order is per-process random).
+        let mut machine_ids: Vec<u64> = state.machines.keys().copied().collect();
+        machine_ids.sort_unstable();
         for _ in 0..size {
             let id = self.next_task;
             self.next_task += 1;
@@ -212,12 +216,12 @@ impl GoogleTraceGenerator {
             );
             if !is_service && !machine_ids.is_empty() {
                 t.input_bytes = self.sample_input_bytes(duration);
-                let n_blocks = (t.input_bytes / firmament_cluster::blocks::BLOCK_BYTES).clamp(1, 24);
+                let n_blocks =
+                    (t.input_bytes / firmament_cluster::blocks::BLOCK_BYTES).clamp(1, 24);
                 for _ in 0..n_blocks {
                     let mut holders = Vec::with_capacity(3);
                     for _ in 0..3 {
-                        let m = machine_ids
-                            [self.rng.below(machine_ids.len() as u64) as usize];
+                        let m = machine_ids[self.rng.below(machine_ids.len() as u64) as usize];
                         if !holders.contains(&m) {
                             holders.push(m);
                         }

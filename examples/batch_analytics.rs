@@ -9,7 +9,7 @@
 
 use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
 use firmament::core::{extract_placements, Firmament, Placement};
-use firmament::policies::{QuincyConfig, QuincyPolicy, SchedulingPolicy};
+use firmament::policies::{QuincyConfig, QuincyCostModel};
 
 fn run(threshold: f64) -> (usize, f64) {
     let mut state = ClusterState::with_topology(&TopologySpec {
@@ -17,12 +17,15 @@ fn run(threshold: f64) -> (usize, f64) {
         machines_per_rack: 20,
         slots_per_machine: 4,
     });
-    let mut cfg = QuincyConfig::default();
-    cfg.machine_pref_threshold = threshold;
-    cfg.rack_pref_threshold = threshold;
-    cfg.max_prefs_per_task = 32;
-    let mut scheduler = Firmament::new(QuincyPolicy::new(cfg));
-    let machines: Vec<_> = state.machines.values().cloned().collect();
+    let cfg = QuincyConfig {
+        machine_pref_threshold: threshold,
+        rack_pref_threshold: threshold,
+        max_prefs_per_task: 32,
+        ..QuincyConfig::default()
+    };
+    let mut scheduler = Firmament::new(QuincyCostModel::new(cfg));
+    let mut machines: Vec<_> = state.machines.values().cloned().collect();
+    machines.sort_by_key(|m| m.id);
     for m in machines {
         scheduler
             .handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
@@ -31,7 +34,8 @@ fn run(threshold: f64) -> (usize, f64) {
 
     // 40 analytics tasks, each reading three 128 MiB blocks.
     let job = Job::new(0, JobClass::Batch, 2, 0);
-    let machine_ids: Vec<u64> = state.machines.keys().copied().collect();
+    let mut machine_ids: Vec<u64> = state.machines.keys().copied().collect();
+    machine_ids.sort_unstable();
     let mut tasks = Vec::new();
     for i in 0..40u64 {
         let mut t = Task::new(i, 0, 0, 30_000_000);
@@ -49,7 +53,7 @@ fn run(threshold: f64) -> (usize, f64) {
     scheduler.handle_event(&state, &ev).expect("submit");
 
     let outcome = scheduler.schedule(&state).expect("round");
-    let placements = extract_placements(&scheduler.policy().base().graph);
+    let placements = extract_placements(scheduler.graph());
     let mut local = 0.0f64;
     let mut total = 0.0f64;
     for (task, p) in &placements {
@@ -58,7 +62,7 @@ fn run(threshold: f64) -> (usize, f64) {
             local += t.input_bytes as f64 * state.blocks.machine_locality(&t.input_blocks, *m);
         }
     }
-    let arcs = scheduler.policy().base().graph.arc_count();
+    let arcs = scheduler.graph().arc_count();
     let _ = outcome;
     (arcs, if total > 0.0 { local / total } else { 0.0 })
 }

@@ -7,7 +7,7 @@
 
 use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
 use firmament::core::{Firmament, SchedulingAction};
-use firmament::policies::LoadSpreadingPolicy;
+use firmament::policies::LoadSpreadingCostModel;
 
 fn main() {
     let mut state = ClusterState::with_topology(&TopologySpec {
@@ -15,10 +15,11 @@ fn main() {
         machines_per_rack: 4,
         slots_per_machine: 2,
     });
-    let mut scheduler = Firmament::new(LoadSpreadingPolicy::new());
+    let mut scheduler = Firmament::new(LoadSpreadingCostModel::new());
 
     // Register the cluster's machines with the scheduler.
-    let machines: Vec<_> = state.machines.values().cloned().collect();
+    let mut machines: Vec<_> = state.machines.values().cloned().collect();
+    machines.sort_by_key(|m| m.id);
     for m in machines {
         scheduler
             .handle_event(&state, &ClusterEvent::MachineAdded { machine: m })

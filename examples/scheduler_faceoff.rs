@@ -11,7 +11,7 @@ use firmament::baselines::{
 };
 use firmament::cluster::TopologySpec;
 use firmament::core::Firmament;
-use firmament::policies::LoadSpreadingPolicy;
+use firmament::policies::LoadSpreadingCostModel;
 use firmament::sim::{run_flow_sim, run_queue_sim, SimConfig, TraceSpec};
 
 fn config() -> SimConfig {
@@ -39,7 +39,7 @@ fn config() -> SimConfig {
 
 fn main() {
     println!("scheduler    placed  completed  p50_response  p99_response");
-    let mut report = run_flow_sim(&config(), Firmament::new(LoadSpreadingPolicy::new()));
+    let mut report = run_flow_sim(&config(), Firmament::new(LoadSpreadingCostModel::new()));
     print_row("firmament", &mut report);
     let baselines: Vec<Box<dyn QueueScheduler>> = vec![
         Box::new(SwarmKitScheduler),

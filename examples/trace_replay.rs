@@ -8,7 +8,7 @@
 
 use firmament::cluster::TopologySpec;
 use firmament::core::Firmament;
-use firmament::policies::{QuincyConfig, QuincyPolicy};
+use firmament::policies::{QuincyConfig, QuincyCostModel};
 use firmament::sim::{run_flow_sim, SimConfig, TraceSpec};
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
         };
         let mut report = run_flow_sim(
             &config,
-            Firmament::new(QuincyPolicy::new(QuincyConfig::default())),
+            Firmament::new(QuincyCostModel::new(QuincyConfig::default())),
         );
         if report.placement_latency.is_empty() {
             println!("{speedup:>7}  (no placements in horizon)");

@@ -8,8 +8,11 @@
 //! - [`mcmf`]: the four MCMF algorithms, incremental variants, and the
 //!   speculative dual solver;
 //! - [`cluster`]: machines, jobs, tasks, and the block store;
-//! - [`policies`]: load-spreading, Quincy, and network-aware policies;
-//! - [`core`]: the scheduler service and placement extraction;
+//! - [`policies`]: the declarative [`CostModel`](policies::CostModel) API
+//!   and the load-spreading, Quincy, network-aware, and Octopus models;
+//! - [`core`]: the scheduler service, the
+//!   [`FlowGraphManager`](core::FlowGraphManager), and placement
+//!   extraction;
 //! - [`sim`]: the discrete-event simulator, trace generator, and testbed;
 //! - [`baselines`]: Sparrow/SwarmKit/Kubernetes/Mesos placement logic.
 //!
@@ -18,10 +21,10 @@
 //! ```
 //! use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
 //! use firmament::core::Firmament;
-//! use firmament::policies::LoadSpreadingPolicy;
+//! use firmament::policies::LoadSpreadingCostModel;
 //!
 //! let mut state = ClusterState::with_topology(&TopologySpec::default());
-//! let mut scheduler = Firmament::new(LoadSpreadingPolicy::new());
+//! let mut scheduler = Firmament::new(LoadSpreadingCostModel::new());
 //! let machines: Vec<_> = state.machines.values().cloned().collect();
 //! for m in machines {
 //!     scheduler
@@ -37,6 +40,37 @@
 //! let outcome = scheduler.schedule(&state).unwrap();
 //! assert_eq!(outcome.placed_tasks, 1);
 //! ```
+//!
+//! # Migrating from the `SchedulingPolicy` API (pre-0.2)
+//!
+//! The monolithic `SchedulingPolicy` trait — where each policy owned a
+//! `GraphBase` and hand-maintained its flow network — has been split into
+//! two cooperating APIs, mirroring real Firmament's
+//! `CostModelInterface`/`FlowGraphManager` design:
+//!
+//! - [`policies::CostModel`] *declares* per-arc costs and arc structure
+//!   (task → aggregate/machine arcs, aggregate → machine arcs,
+//!   unscheduled costs, gang minimums) as pure functions of
+//!   [`cluster::ClusterState`];
+//! - [`core::FlowGraphManager`] owns the graph, translates
+//!   [`cluster::ClusterEvent`]s into deltas, and runs the two-pass cost
+//!   update of §6.3 touching only dirty nodes.
+//!
+//! Concretely:
+//!
+//! | pre-0.2 | 0.2 |
+//! |---------|-----|
+//! | `LoadSpreadingPolicy` / `QuincyPolicy` / `NetworkAwarePolicy` | `LoadSpreadingCostModel` / `QuincyCostModel` / `NetworkAwareCostModel` (deprecated aliases remain) |
+//! | `impl SchedulingPolicy` (~300–450 lines incl. graph code) | `impl CostModel` (a few dozen lines of cost arithmetic) |
+//! | `firmament.policy()` / `policy_mut()` | [`model()`](core::Firmament::model) / [`model_mut()`](core::Firmament::model_mut) |
+//! | `firmament.policy().base().graph` | [`graph()`](core::Firmament::graph) |
+//! | `policy.refresh_costs(&state)` | [`refresh(&state)`](core::Firmament::refresh) |
+//! | `policy.base().task_node(..)` | [`manager().task_node(..)`](core::FlowGraphManager::task_node) |
+//!
+//! `extract_placements` now returns a `BTreeMap` (task-ordered), making
+//! scheduler action order deterministic by construction, and the solver
+//! consumes the graph by move (`DualSolver::solve_owned`) instead of
+//! cloning it every round.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

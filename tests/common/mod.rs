@@ -1,0 +1,61 @@
+//! Shared harness for the scheduler integration suites: build a cluster,
+//! register its machines (in sorted order, so runs are reproducible),
+//! submit jobs, and apply scheduler actions back to the cluster state.
+
+use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
+use firmament::core::{Firmament, SchedulingAction};
+use firmament::policies::CostModel;
+
+/// A cluster with the given shape and an empty workload.
+pub fn cluster(machines: usize, slots: u32, machines_per_rack: usize) -> ClusterState {
+    ClusterState::with_topology(&TopologySpec {
+        machines,
+        machines_per_rack,
+        slots_per_machine: slots,
+    })
+}
+
+/// Registers every machine with the scheduler, in machine-id order.
+pub fn register<C: CostModel>(state: &ClusterState, f: &mut Firmament<C>) {
+    let mut machines: Vec<_> = state.machines.values().cloned().collect();
+    machines.sort_by_key(|m| m.id);
+    for m in machines {
+        f.handle_event(state, &ClusterEvent::MachineAdded { machine: m })
+            .unwrap();
+    }
+}
+
+/// Submits a batch job of `n` tasks (ids `job * 1000 + i`, 60 s runtime).
+pub fn submit<C: CostModel>(state: &mut ClusterState, f: &mut Firmament<C>, job: u64, n: usize) {
+    let j = Job::new(job, JobClass::Batch, 0, state.now);
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| Task::new(job * 1000 + i as u64, job, state.now, 60_000_000))
+        .collect();
+    let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+    state.apply(&ev);
+    f.handle_event(state, &ev).unwrap();
+}
+
+/// Applies a round's actions to the cluster and echoes them to the
+/// scheduler, exactly as a cluster manager would.
+pub fn apply<C: CostModel>(
+    state: &mut ClusterState,
+    f: &mut Firmament<C>,
+    actions: &[SchedulingAction],
+) {
+    for a in actions {
+        let ev = match a {
+            SchedulingAction::Place { task, machine } => ClusterEvent::TaskPlaced {
+                task: *task,
+                machine: *machine,
+                now: state.now,
+            },
+            SchedulingAction::Preempt { task } => ClusterEvent::TaskPreempted {
+                task: *task,
+                now: state.now,
+            },
+        };
+        state.apply(&ev);
+        f.handle_event(state, &ev).unwrap();
+    }
+}

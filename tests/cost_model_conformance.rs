@@ -1,0 +1,267 @@
+//! Cross-policy conformance suite for the [`CostModel`] API.
+//!
+//! Every cost model — the three paper policies, the Octopus model, and a
+//! test-only custom model exercising the gang hook — is driven through the
+//! same event scripts (submit, place, complete, preempt, machine add and
+//! remove) and must uphold the scheduler-wide invariants:
+//!
+//! - **solver consistency**: every solver configuration produces the same
+//!   objective for the same graph;
+//! - **no thrash**: a round without cluster changes produces no actions;
+//! - **accounting**: placements + unscheduled = incomplete tasks, and no
+//!   machine is ever overcommitted;
+//! - **recovery**: machine failure requeues and reschedules displaced
+//!   tasks;
+//! - **determinism**: identical seeded runs produce identical actions.
+
+use firmament::cluster::{ClusterEvent, ClusterState, Job, Task};
+use firmament::core::{Firmament, SchedulingAction};
+use firmament::mcmf::{DualConfig, SolverKind};
+mod common;
+use common::{apply, cluster, register, submit};
+use firmament::policies::{
+    CostModel, LoadSpreadingCostModel, NetworkAwareCostModel, OctopusCostModel, QuincyConfig,
+    QuincyCostModel,
+};
+
+fn assert_no_overcommit(state: &ClusterState, policy: &str) {
+    for m in state.machines.values() {
+        assert!(
+            m.running.len() as u32 <= m.slots,
+            "{policy}: machine {} overcommitted ({}/{})",
+            m.id,
+            m.running.len(),
+            m.slots
+        );
+    }
+}
+
+/// The shared event script: submit → place → complete → churn (machine
+/// remove + add) → reschedule, asserting invariants after every round.
+/// Returns all actions, in order, so callers can compare runs.
+fn run_script<C: CostModel>(mut f: Firmament<C>) -> Vec<SchedulingAction> {
+    let policy = f.model().name();
+    let mut state = cluster(8, 2, 4);
+    register(&state, &mut f);
+    let mut log = Vec::new();
+
+    // Round 1: a job that fits.
+    submit(&mut state, &mut f, 0, 10);
+    let o = f.schedule(&state).unwrap();
+    assert_eq!(o.placed_tasks, 10, "{policy}: round 1 places everything");
+    assert_eq!(o.placed_tasks + o.unscheduled_tasks, 10, "{policy}");
+    apply(&mut state, &mut f, &o.actions);
+    assert_no_overcommit(&state, policy);
+    log.extend(o.actions);
+
+    // No-thrash: nothing changed, nothing moves.
+    let o = f.schedule(&state).unwrap();
+    assert!(
+        o.actions.is_empty(),
+        "{policy}: stable round must be action-free, got {:?}",
+        o.actions
+    );
+
+    // Oversubscribe: a second job beyond capacity.
+    submit(&mut state, &mut f, 1, 10);
+    let o = f.schedule(&state).unwrap();
+    assert_eq!(
+        o.placed_tasks + o.unscheduled_tasks,
+        20,
+        "{policy}: accounting covers all incomplete tasks"
+    );
+    assert_eq!(o.placed_tasks, 16, "{policy}: all 16 slots fill");
+    apply(&mut state, &mut f, &o.actions);
+    assert_no_overcommit(&state, policy);
+    log.extend(o.actions);
+
+    // Complete three running tasks; the freed slots go to waiting tasks.
+    let mut running: Vec<u64> = state.running_tasks().map(|t| t.id).collect();
+    running.sort_unstable();
+    for t in running.into_iter().take(3) {
+        state.now += 1;
+        let ev = ClusterEvent::TaskCompleted {
+            task: t,
+            now: state.now,
+        };
+        state.apply(&ev);
+        f.handle_event(&state, &ev).unwrap();
+    }
+    let o = f.schedule(&state).unwrap();
+    assert_eq!(o.placed_tasks, 16, "{policy}: freed slots refill");
+    apply(&mut state, &mut f, &o.actions);
+    assert_no_overcommit(&state, policy);
+    log.extend(o.actions);
+
+    // Fail a machine hosting tasks, then reschedule the displaced work.
+    let victim = state
+        .machines
+        .values()
+        .filter(|m| !m.running.is_empty())
+        .map(|m| m.id)
+        .min()
+        .unwrap();
+    state.now += 5;
+    let removed = state.machines[&victim].clone();
+    let ev = ClusterEvent::MachineRemoved {
+        machine: victim,
+        now: state.now,
+    };
+    state.apply(&ev);
+    f.handle_event(&state, &ev).unwrap();
+    let o = f.schedule(&state).unwrap();
+    apply(&mut state, &mut f, &o.actions);
+    assert_no_overcommit(&state, policy);
+    assert_eq!(
+        state.used_slots(),
+        14,
+        "{policy}: remaining 7 machines × 2 slots refill after failure"
+    );
+    log.extend(o.actions);
+
+    // The machine comes back repaired; capacity reappears.
+    state.now += 5;
+    let mut repaired = removed;
+    repaired.running.clear();
+    let ev = ClusterEvent::MachineAdded { machine: repaired };
+    state.apply(&ev);
+    f.handle_event(&state, &ev).unwrap();
+    let o = f.schedule(&state).unwrap();
+    apply(&mut state, &mut f, &o.actions);
+    assert_no_overcommit(&state, policy);
+    assert_eq!(
+        state.used_slots(),
+        16,
+        "{policy}: full capacity reused after repair"
+    );
+    log.extend(o.actions);
+    log
+}
+
+#[test]
+fn load_spreading_conforms() {
+    run_script(Firmament::new(LoadSpreadingCostModel::new()));
+}
+
+#[test]
+fn quincy_conforms() {
+    run_script(Firmament::new(
+        QuincyCostModel::new(QuincyConfig::default()),
+    ));
+}
+
+#[test]
+fn network_aware_conforms() {
+    run_script(Firmament::new(NetworkAwareCostModel::new()));
+}
+
+#[test]
+fn octopus_conforms() {
+    run_script(Firmament::new(OctopusCostModel::new()));
+}
+
+/// Identical runs of the same script must produce byte-identical action
+/// logs: placement extraction orders by task id (`BTreeMap`) and the graph
+/// manager materializes arcs in sorted order, so there is no hash-map
+/// iteration order anywhere in the decision path.
+#[test]
+fn repeat_runs_are_deterministic() {
+    let a = run_script(Firmament::new(
+        QuincyCostModel::new(QuincyConfig::default()),
+    ));
+    let b = run_script(Firmament::new(
+        QuincyCostModel::new(QuincyConfig::default()),
+    ));
+    assert_eq!(a, b, "quincy runs diverged");
+    let a = run_script(Firmament::new(OctopusCostModel::new()));
+    let b = run_script(Firmament::new(OctopusCostModel::new()));
+    assert_eq!(a, b, "octopus runs diverged");
+}
+
+/// Every solver configuration agrees on the objective for every model —
+/// the solver-consistency invariant across the whole policy surface.
+#[test]
+fn solver_kinds_agree_for_every_model() {
+    fn objectives<C: CostModel>(make: impl Fn() -> C) -> Vec<i64> {
+        [
+            SolverKind::Dual,
+            SolverKind::RelaxationOnly,
+            SolverKind::CostScalingOnly,
+        ]
+        .into_iter()
+        .map(|kind| {
+            let mut state = cluster(6, 2, 4);
+            let mut f = Firmament::with_solver(
+                make(),
+                DualConfig {
+                    kind,
+                    ..Default::default()
+                },
+            );
+            register(&state, &mut f);
+            submit(&mut state, &mut f, 0, 9);
+            f.schedule(&state).unwrap().objective
+        })
+        .collect()
+    }
+    for objs in [
+        objectives(LoadSpreadingCostModel::new),
+        objectives(|| QuincyCostModel::new(QuincyConfig::default())),
+        objectives(NetworkAwareCostModel::new),
+        objectives(OctopusCostModel::new),
+    ] {
+        assert_eq!(objs[0], objs[1]);
+        assert_eq!(objs[1], objs[2]);
+    }
+}
+
+/// A custom model with a gang requirement proves the API's extensibility:
+/// even though unscheduled flow is free, the gang constraint forces the
+/// job's minimum through machines.
+struct GangModel;
+
+impl CostModel for GangModel {
+    fn name(&self) -> &'static str {
+        "gang-test"
+    }
+    fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+        0
+    }
+    fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(firmament::policies::ArcTarget, i64)> {
+        vec![(firmament::policies::ArcTarget::Aggregate(0), 1)]
+    }
+    fn aggregate_arc(
+        &self,
+        _: &ClusterState,
+        _: firmament::policies::AggregateId,
+        machine: &firmament::cluster::Machine,
+    ) -> Option<firmament::policies::ArcSpec> {
+        Some(firmament::policies::ArcSpec {
+            capacity: machine.slots as i64,
+            cost: 100,
+        })
+    }
+    fn job_gang_minimum(&self, _: &ClusterState, _: &Job) -> i64 {
+        3
+    }
+}
+
+#[test]
+fn gang_minimum_forces_placements() {
+    let mut state = cluster(4, 2, 4);
+    let mut f = Firmament::new(GangModel);
+    register(&state, &mut f);
+    submit(&mut state, &mut f, 0, 5);
+    let o = f.schedule(&state).unwrap();
+    // Placing costs 100+ per task while unscheduled is free, so without
+    // the gang floor the solver would place nothing.
+    assert!(
+        o.placed_tasks >= 3,
+        "gang minimum of 3 must force ≥3 placements, got {}",
+        o.placed_tasks
+    );
+    assert!(
+        o.placed_tasks < 5,
+        "free unscheduled flow keeps the rest waiting"
+    );
+}

@@ -1,71 +1,20 @@
 //! End-to-end scheduler tests across policies and solver configurations.
 
-use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
-use firmament::core::{Firmament, SchedulingAction};
+use firmament::cluster::ClusterEvent;
+use firmament::core::Firmament;
 use firmament::mcmf::{DualConfig, SolverKind};
+mod common;
+use common::{apply, cluster, register, submit};
 use firmament::policies::{
-    LoadSpreadingPolicy, NetworkAwarePolicy, QuincyConfig, QuincyPolicy, SchedulingPolicy,
+    LoadSpreadingCostModel, NetworkAwareCostModel, OctopusCostModel, QuincyConfig, QuincyCostModel,
 };
-
-fn cluster(machines: usize, slots: u32) -> ClusterState {
-    ClusterState::with_topology(&TopologySpec {
-        machines,
-        machines_per_rack: 20,
-        slots_per_machine: slots,
-    })
-}
-
-fn register<P: SchedulingPolicy>(state: &ClusterState, f: &mut Firmament<P>) {
-    let machines: Vec<_> = state.machines.values().cloned().collect();
-    for m in machines {
-        f.handle_event(state, &ClusterEvent::MachineAdded { machine: m })
-            .unwrap();
-    }
-}
-
-fn submit<P: SchedulingPolicy>(
-    state: &mut ClusterState,
-    f: &mut Firmament<P>,
-    job: u64,
-    n: usize,
-) {
-    let j = Job::new(job, JobClass::Batch, 2, state.now);
-    let tasks: Vec<Task> = (0..n)
-        .map(|i| Task::new(job * 1000 + i as u64, job, state.now, 60_000_000))
-        .collect();
-    let ev = ClusterEvent::JobSubmitted { job: j, tasks };
-    state.apply(&ev);
-    f.handle_event(state, &ev).unwrap();
-}
-
-fn apply<P: SchedulingPolicy>(
-    state: &mut ClusterState,
-    f: &mut Firmament<P>,
-    actions: &[SchedulingAction],
-) {
-    for a in actions {
-        let ev = match a {
-            SchedulingAction::Place { task, machine } => ClusterEvent::TaskPlaced {
-                task: *task,
-                machine: *machine,
-                now: state.now,
-            },
-            SchedulingAction::Preempt { task } => ClusterEvent::TaskPreempted {
-                task: *task,
-                now: state.now,
-            },
-        };
-        state.apply(&ev);
-        f.handle_event(state, &ev).unwrap();
-    }
-}
 
 #[test]
 fn every_policy_schedules_a_full_workload() {
     // Load-spreading policy.
     {
-        let mut state = cluster(10, 4);
-        let mut f = Firmament::new(LoadSpreadingPolicy::new());
+        let mut state = cluster(10, 4, 20);
+        let mut f = Firmament::new(LoadSpreadingCostModel::new());
         register(&state, &mut f);
         submit(&mut state, &mut f, 0, 30);
         let o = f.schedule(&state).unwrap();
@@ -73,8 +22,8 @@ fn every_policy_schedules_a_full_workload() {
     }
     // Quincy policy.
     {
-        let mut state = cluster(10, 4);
-        let mut f = Firmament::new(QuincyPolicy::new(QuincyConfig::default()));
+        let mut state = cluster(10, 4, 20);
+        let mut f = Firmament::new(QuincyCostModel::new(QuincyConfig::default()));
         register(&state, &mut f);
         submit(&mut state, &mut f, 0, 30);
         let o = f.schedule(&state).unwrap();
@@ -82,12 +31,45 @@ fn every_policy_schedules_a_full_workload() {
     }
     // Network-aware policy.
     {
-        let mut state = cluster(10, 4);
-        let mut f = Firmament::new(NetworkAwarePolicy::new());
+        let mut state = cluster(10, 4, 20);
+        let mut f = Firmament::new(NetworkAwareCostModel::new());
         register(&state, &mut f);
         submit(&mut state, &mut f, 0, 30);
         let o = f.schedule(&state).unwrap();
         assert_eq!(o.placed_tasks, 30, "network-aware");
+    }
+    // Octopus (idle-preferring) policy.
+    {
+        let mut state = cluster(10, 4, 20);
+        let mut f = Firmament::new(OctopusCostModel::new());
+        register(&state, &mut f);
+        submit(&mut state, &mut f, 0, 30);
+        let o = f.schedule(&state).unwrap();
+        assert_eq!(o.placed_tasks, 30, "octopus");
+    }
+}
+
+#[test]
+fn octopus_prefers_idle_machines() {
+    // 10 machines x 4 slots; tasks arrive one per scheduling round (the
+    // continuous-rescheduling regime the cost model is built for). The
+    // quadratic load cost must route every arrival to an idle machine
+    // until none remain: exactly one task per machine.
+    let mut state = cluster(10, 4, 20);
+    let mut f = Firmament::new(OctopusCostModel::new());
+    register(&state, &mut f);
+    for job in 0..10 {
+        submit(&mut state, &mut f, job, 1);
+        let o = f.schedule(&state).unwrap();
+        apply(&mut state, &mut f, &o.actions);
+    }
+    for m in state.machines.values() {
+        assert_eq!(
+            m.running.len(),
+            1,
+            "machine {} must host exactly one task",
+            m.id
+        );
     }
 }
 
@@ -99,9 +81,9 @@ fn solver_kinds_produce_identical_objectives() {
         SolverKind::RelaxationOnly,
         SolverKind::CostScalingOnly,
     ] {
-        let mut state = cluster(8, 3);
+        let mut state = cluster(8, 3, 20);
         let mut f = Firmament::with_solver(
-            LoadSpreadingPolicy::new(),
+            LoadSpreadingCostModel::new(),
             DualConfig {
                 kind,
                 ..Default::default()
@@ -118,13 +100,11 @@ fn solver_kinds_produce_identical_objectives() {
 
 #[test]
 fn continuous_rescheduling_with_churn_stays_consistent() {
-    let mut state = cluster(6, 3);
-    let mut f = Firmament::new(LoadSpreadingPolicy::new());
+    let mut state = cluster(6, 3, 20);
+    let mut f = Firmament::new(LoadSpreadingCostModel::new());
     register(&state, &mut f);
-    let mut next_job = 0u64;
     for round in 0..8 {
-        submit(&mut state, &mut f, next_job, 4);
-        next_job += 1;
+        submit(&mut state, &mut f, round, 4);
         let o = f.schedule(&state).unwrap();
         apply(&mut state, &mut f, &o.actions);
         // Complete one running task per round.
@@ -146,8 +126,8 @@ fn continuous_rescheduling_with_churn_stays_consistent() {
 
 #[test]
 fn machine_failure_requeues_and_reschedules() {
-    let mut state = cluster(4, 2);
-    let mut f = Firmament::new(LoadSpreadingPolicy::new());
+    let mut state = cluster(4, 2, 20);
+    let mut f = Firmament::new(LoadSpreadingCostModel::new());
     register(&state, &mut f);
     submit(&mut state, &mut f, 0, 6);
     let o = f.schedule(&state).unwrap();
@@ -174,8 +154,8 @@ fn machine_failure_requeues_and_reschedules() {
 
 #[test]
 fn oversubscribed_cluster_prefers_waiting_over_overcommit() {
-    let mut state = cluster(2, 2);
-    let mut f = Firmament::new(LoadSpreadingPolicy::new());
+    let mut state = cluster(2, 2, 20);
+    let mut f = Firmament::new(LoadSpreadingCostModel::new());
     register(&state, &mut f);
     submit(&mut state, &mut f, 0, 10);
     let o = f.schedule(&state).unwrap();

@@ -6,7 +6,7 @@ use firmament::baselines::{
 };
 use firmament::cluster::TopologySpec;
 use firmament::core::Firmament;
-use firmament::policies::LoadSpreadingPolicy;
+use firmament::policies::LoadSpreadingCostModel;
 use firmament::sim::{run_flow_sim, run_queue_sim, SimConfig, TraceSpec};
 
 fn config(seed: u64) -> SimConfig {
@@ -33,7 +33,7 @@ fn config(seed: u64) -> SimConfig {
 
 #[test]
 fn flow_sim_conservation_laws() {
-    let report = run_flow_sim(&config(1), Firmament::new(LoadSpreadingPolicy::new()));
+    let report = run_flow_sim(&config(1), Firmament::new(LoadSpreadingCostModel::new()));
     // Every completed task was placed at least once.
     assert!(report.completed_tasks <= report.placed_tasks);
     // Placement latency samples = first placements only.
@@ -77,7 +77,7 @@ fn queue_latency_includes_decision_cost() {
 
 #[test]
 fn flow_sim_charges_solver_runtime_to_placements() {
-    let report = run_flow_sim(&config(4), Firmament::new(LoadSpreadingPolicy::new()));
+    let report = run_flow_sim(&config(4), Firmament::new(LoadSpreadingCostModel::new()));
     // The solver ran and recorded its runtime in the timeline.
     assert_eq!(report.rounds as usize, report.runtime_timeline.len());
     assert!(report.rounds > 0);

@@ -1,13 +1,17 @@
 //! Cross-crate integration tests: all MCMF algorithms agree on optimal
-//! objectives for policy-generated graphs, and property-based invariants
-//! hold on random instances.
+//! objectives for policy-generated graphs, and property-style invariants
+//! hold on randomized instances.
+//!
+//! The property tests use the workspace's own deterministic generator
+//! (`XorShift64`) instead of an external property-testing framework: each
+//! case derives its parameters from a fixed seed sequence, so failures
+//! reproduce exactly.
 
-use firmament::flow::testgen::{layered_instance, scheduling_instance, InstanceSpec};
+use firmament::flow::testgen::{layered_instance, scheduling_instance, InstanceSpec, XorShift64};
 use firmament::flow::validate::check_feasible;
 use firmament::mcmf::{
     cost_scaling, cycle_canceling, relaxation, ssp, verify, DualSolver, SolveOptions,
 };
-use proptest::prelude::*;
 
 #[test]
 fn all_four_algorithms_agree_on_scheduling_graphs() {
@@ -45,19 +49,17 @@ fn dual_solver_matches_single_algorithms() {
     assert!(verify::is_optimal(&out.graph));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any generated scheduling instance solves to a feasible, optimal flow
-    /// whose objective matches across two independent algorithms.
-    #[test]
-    fn prop_solutions_feasible_and_agreeing(
-        seed in 0u64..5000,
-        tasks in 5usize..60,
-        machines in 2usize..15,
-        slots in 1i64..5,
-        prefs in 1usize..5,
-    ) {
+/// Any generated scheduling instance solves to a feasible, optimal flow
+/// whose objective matches across two independent algorithms.
+#[test]
+fn prop_solutions_feasible_and_agreeing() {
+    let mut rng = XorShift64::new(0xC0FFEE);
+    for case in 0..24 {
+        let seed = rng.below(5000);
+        let tasks = 5 + rng.below(55) as usize;
+        let machines = 2 + rng.below(13) as usize;
+        let slots = 1 + rng.below(4) as i64;
+        let prefs = 1 + rng.below(4) as usize;
         let spec = InstanceSpec {
             tasks,
             machines,
@@ -65,52 +67,70 @@ proptest! {
             prefs_per_task: prefs,
             ..InstanceSpec::default()
         };
+        let ctx = format!("case {case}: seed {seed}, {tasks}t/{machines}m/{slots}s/{prefs}p");
         let mut a = scheduling_instance(seed, &spec);
         let mut b = scheduling_instance(seed, &spec);
         let opts = SolveOptions::unlimited();
         let s1 = relaxation::solve(&mut a.graph, &opts).unwrap();
         let s2 = cost_scaling::solve(&mut b.graph, &opts).unwrap();
-        prop_assert_eq!(s1.objective, s2.objective);
-        prop_assert!(check_feasible(&a.graph).is_empty());
-        prop_assert!(check_feasible(&b.graph).is_empty());
-        prop_assert!(verify::is_optimal(&a.graph));
+        assert_eq!(s1.objective, s2.objective, "{ctx}");
+        assert!(check_feasible(&a.graph).is_empty(), "{ctx}");
+        assert!(check_feasible(&b.graph).is_empty(), "{ctx}");
+        assert!(verify::is_optimal(&a.graph), "{ctx}");
     }
+}
 
-    /// Layered DAG instances (longer augmenting paths) also agree.
-    #[test]
-    fn prop_layered_instances_agree(
-        seed in 0u64..5000,
-        sources in 3usize..20,
-        layers in 2usize..5,
-        width in 2usize..6,
-    ) {
+/// Layered DAG instances (longer augmenting paths) also agree.
+#[test]
+fn prop_layered_instances_agree() {
+    let mut rng = XorShift64::new(0xBEEF);
+    for case in 0..24 {
+        let seed = rng.below(5000);
+        let sources = 3 + rng.below(17) as usize;
+        let layers = 2 + rng.below(3) as usize;
+        let width = 2 + rng.below(4) as usize;
+        let ctx = format!("case {case}: seed {seed}, {sources}src/{layers}l/{width}w");
         let mut a = layered_instance(seed, sources, layers, width);
         let mut b = a.clone();
         let opts = SolveOptions::unlimited();
         let s1 = relaxation::solve(&mut a, &opts).unwrap();
         let s2 = ssp::solve(&mut b, &opts).unwrap();
-        prop_assert_eq!(s1.objective, s2.objective);
+        assert_eq!(s1.objective, s2.objective, "{ctx}");
     }
+}
 
-    /// Incremental cost scaling after random cost perturbations matches a
-    /// from-scratch solve of the mutated graph.
-    #[test]
-    fn prop_incremental_matches_scratch(
-        seed in 0u64..1000,
-        perturbations in proptest::collection::vec((0usize..200, 1i64..150), 1..12),
-    ) {
-        let spec = InstanceSpec { tasks: 30, machines: 8, ..InstanceSpec::default() };
+/// Incremental cost scaling after random cost perturbations matches a
+/// from-scratch solve of the mutated graph.
+#[test]
+fn prop_incremental_matches_scratch() {
+    let mut rng = XorShift64::new(0xFEED);
+    for case in 0..16 {
+        let seed = rng.below(1000);
+        let spec = InstanceSpec {
+            tasks: 30,
+            machines: 8,
+            ..InstanceSpec::default()
+        };
         let mut inst = scheduling_instance(seed, &spec);
         let mut inc = firmament::mcmf::incremental::IncrementalCostScaling::default();
-        inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         let arcs: Vec<_> = inst.graph.arc_ids().collect();
-        for (idx, cost) in perturbations {
+        let n_perturbations = 1 + rng.below(11) as usize;
+        for _ in 0..n_perturbations {
+            let idx = rng.below(200) as usize;
+            let cost = 1 + rng.below(149) as i64;
             let a = arcs[idx % arcs.len()];
             inst.graph.set_arc_cost(a, cost).unwrap();
         }
-        let warm = inc.solve(&mut inst.graph, &SolveOptions::unlimited()).unwrap();
+        let warm = inc
+            .solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
         let mut fresh = inst.graph.clone();
         let scratch = cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
-        prop_assert_eq!(warm.objective, scratch.objective);
+        assert_eq!(
+            warm.objective, scratch.objective,
+            "case {case}: seed {seed}, {n_perturbations} perturbations"
+        );
     }
 }
