@@ -22,6 +22,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig17_short_tasks",
     "fig18_trace_speedup",
     "fig19_placement_quality",
+    "ec_hierarchy",
 ];
 
 fn main() {

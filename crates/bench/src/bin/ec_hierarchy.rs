@@ -1,0 +1,108 @@
+//! EC→EC hierarchies: a 3-level (cluster → rack → machine) topology
+//! scheduled end-to-end at increasing scale.
+//!
+//! Exercises the multi-level equivalence-class support (§3.3's cost-model
+//! generality; Quincy's X → R_r → machine shape): tasks enter at a single
+//! cluster root, descend through per-rack aggregates priced by rack load,
+//! and reach machines priced by machine load. Reports graph size, solve
+//! time, and placement outcomes per cluster size, and verifies that every
+//! placement's flow crossed *both* aggregator levels — the property flat
+//! one-level topologies cannot express.
+
+use firmament_bench::{header, row, timed, verdict, Scale};
+use firmament_cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
+use firmament_core::Firmament;
+use firmament_flow::NodeKind;
+use firmament_policies::HierarchicalTopologyCostModel;
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes = [50usize, 200, 800, 2000];
+    header(&[
+        "machines",
+        "racks",
+        "tasks",
+        "nodes",
+        "arcs",
+        "solve_ms",
+        "placed",
+        "via_root",
+        "via_racks",
+    ]);
+    let mut all_ok = true;
+    for &paper_size in &sizes {
+        let machines = scale.machines(paper_size).max(8);
+        let per_rack = 20usize;
+        let slots = 4u32;
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines,
+            machines_per_rack: per_rack,
+            slots_per_machine: slots,
+        });
+        let mut firmament = Firmament::new(HierarchicalTopologyCostModel::new());
+        let mut ms: Vec<_> = state.machines.values().cloned().collect();
+        ms.sort_by_key(|m| m.id);
+        for m in ms {
+            firmament
+                .handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
+                .expect("register machine");
+        }
+        // Half-utilization workload across several jobs.
+        let jobs = 8usize.min(machines * slots as usize / 2);
+        let per_job = (machines * slots as usize / 2) / jobs;
+        let tasks_total = jobs * per_job;
+        let mut tid = 0u64;
+        for j in 0..jobs as u64 {
+            let job = Job::new(j, JobClass::Batch, 0, state.now);
+            let tasks: Vec<Task> = (0..per_job)
+                .map(|_| {
+                    tid += 1;
+                    Task::new(tid, j, state.now, 60_000_000)
+                })
+                .collect();
+            let ev = ClusterEvent::JobSubmitted { job, tasks };
+            state.apply(&ev);
+            firmament.handle_event(&state, &ev).expect("submit");
+        }
+        let (outcome, elapsed) = timed(|| firmament.schedule(&state).expect("round"));
+        let g = firmament.graph();
+        // Flow through the root and the rack level.
+        let mut via_root = 0i64;
+        let mut via_racks = 0i64;
+        for n in g.node_ids() {
+            let sum_out = || -> i64 {
+                g.adj(n)
+                    .iter()
+                    .copied()
+                    .filter(|a| a.is_forward())
+                    .map(|a| g.flow(a))
+                    .sum()
+            };
+            match g.kind(n) {
+                NodeKind::ClusterAggregator => via_root += sum_out(),
+                NodeKind::RackAggregator { .. } => via_racks += sum_out(),
+                _ => {}
+            }
+        }
+        let racks = machines.div_ceil(per_rack);
+        row(&[
+            machines.to_string(),
+            racks.to_string(),
+            tasks_total.to_string(),
+            g.node_count().to_string(),
+            g.arc_count().to_string(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            outcome.placed_tasks.to_string(),
+            via_root.to_string(),
+            via_racks.to_string(),
+        ]);
+        all_ok &= outcome.placed_tasks == tasks_total
+            && via_root == tasks_total as i64
+            && via_racks == tasks_total as i64;
+    }
+    verdict(
+        "ec_hierarchy",
+        all_ok,
+        "3-level topology schedules end-to-end: every placement's flow crosses the cluster root and a rack aggregate",
+    );
+}

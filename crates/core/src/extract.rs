@@ -8,6 +8,12 @@
 //! task node, popping one machine from its list yields the placement. In
 //! the common case this extracts all placements in a single pass over the
 //! graph.
+//!
+//! The backward propagation is agnostic to aggregator depth: EC→EC
+//! hierarchy chains (cluster → rack → machine, or deeper) decompose the
+//! same way, with nodes whose machine lists fill incrementally re-queued
+//! until every unit of flow is attributed
+//! (`tests/extraction_and_changes.rs` pins chains up to five levels).
 
 use firmament_flow::{ArcId, FlowGraph, NodeId, NodeKind};
 use std::collections::{BTreeMap, HashMap, VecDeque};

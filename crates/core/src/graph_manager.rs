@@ -3,12 +3,15 @@
 //! A [`CostModel`] declares costs and arc structure as pure functions of
 //! [`ClusterState`]; the [`FlowGraphManager`] owns the flow network and
 //! does everything stateful — it translates [`ClusterEvent`]s into graph
-//! deltas, materializes the aggregator nodes a model refers to, runs the
-//! two-pass cost update of §6.3 (collect dirty nodes, then re-query the
-//! model for exactly those), and enforces gang constraints through the
-//! `U_j → S` capacities. No other component mutates the graph: the
-//! scheduler core borrows it for solving and hands the winning flow back
-//! via [`FlowGraphManager::adopt_graph`].
+//! deltas, materializes the aggregator nodes a model refers to (including
+//! whole EC→EC hierarchies, recursively and cycle-checked), runs the
+//! two-pass cost update of §6.3 (collect dirty nodes — propagating
+//! dirtiness *up* multi-level aggregator chains — then re-query the model
+//! for exactly those), admission-controls and enforces gang constraints
+//! through the `U_j → S` capacities, and garbage-collects aggregators no
+//! task can reach. No other component mutates the graph: the scheduler
+//! core borrows it for solving and hands the winning flow back via
+//! [`FlowGraphManager::adopt_graph`].
 //!
 //! This mirrors real Firmament's `FlowGraphManager`/`CostModelInterface`
 //! split, which is what makes new policies cheap: the ~300 lines of node
@@ -18,7 +21,7 @@ use firmament_cluster::{ClusterEvent, ClusterState, JobId, MachineId, TaskId, Ti
 use firmament_flow::{ArcId, FlowGraph, NodeId, NodeKind};
 use firmament_mcmf::incremental::drain_task_flow;
 use firmament_policies::{AggregateId, ArcTarget, CostModel, PolicyError};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Node bookkeeping shared by every policy: the sink, per-task and
 /// per-machine nodes, per-job unscheduled aggregators, and the arcs whose
@@ -195,10 +198,17 @@ pub struct RefreshStats {
     pub machines_touched: u64,
     /// Tasks whose unscheduled cost was re-evaluated, cumulative.
     pub tasks_touched: u64,
+    /// Aggregates whose EC→EC arcs were re-synchronized, cumulative.
+    pub aggregates_touched: u64,
+    /// Aggregate nodes garbage-collected (task in-degree dropped to zero),
+    /// cumulative; includes per-job unscheduled aggregators.
+    pub aggregates_collected: u64,
     /// Machines touched by the most recent refresh.
     pub last_machines_touched: usize,
     /// Tasks touched by the most recent refresh.
     pub last_tasks_touched: usize,
+    /// Aggregates touched by the most recent refresh.
+    pub last_aggregates_touched: usize,
 }
 
 /// Owns the scheduling flow network and keeps it in sync with cluster
@@ -213,6 +223,10 @@ pub struct FlowGraphManager {
     /// Machine → its aggregate arcs (aggregate → arc, sorted). Machine-
     /// major so a dirty machine's refresh touches only its own arcs.
     machine_agg_arcs: HashMap<MachineId, BTreeMap<AggregateId, ArcId>>,
+    /// EC→EC arcs, source-major: parent aggregate → (child aggregate →
+    /// arc). These are the multi-level hierarchy edges declared via
+    /// [`CostModel::aggregate_to_aggregate`].
+    agg_agg_arcs: HashMap<AggregateId, BTreeMap<AggregateId, ArcId>>,
     /// Where each running task sits (so preemption/completion events can
     /// dirty the right machine without consulting stale cluster state).
     running_on: HashMap<TaskId, MachineId>,
@@ -220,6 +234,14 @@ pub struct FlowGraphManager {
     dirty_machines: HashSet<MachineId>,
     /// Tasks touched by events since the last refresh.
     dirty_tasks: HashSet<TaskId>,
+    /// Aggregates explicitly dirtied by events (machine-set changes dirty
+    /// every aggregate, since EC→EC capacities aggregate machine slots).
+    /// Dirtiness also propagates *up* the hierarchy at refresh time.
+    dirty_aggs: HashSet<AggregateId>,
+    /// Gang jobs whose minimum exceeded free capacity at the last refresh:
+    /// their gang cap is left unenforced (the job queues) so the network
+    /// stays feasible instead of surfacing a solver infeasibility error.
+    deferred_gangs: Vec<JobId>,
     /// Job → number of its tasks still in the graph; keeps the gang pass
     /// proportional to *live* jobs instead of every job ever submitted.
     live_job_tasks: HashMap<JobId, i64>,
@@ -267,6 +289,36 @@ impl FlowGraphManager {
     /// Node for a policy-defined aggregate, if it has been materialized.
     pub fn aggregate_node(&self, aggregate: AggregateId) -> Option<NodeId> {
         self.agg_nodes.get(&aggregate).copied()
+    }
+
+    /// Number of currently materialized policy aggregates (excludes the
+    /// per-job unscheduled aggregators).
+    pub fn aggregate_count(&self) -> usize {
+        self.agg_nodes.len()
+    }
+
+    /// The EC→EC arc from one aggregate to another, if present.
+    pub fn aggregate_to_aggregate_arc(
+        &self,
+        parent: AggregateId,
+        child: AggregateId,
+    ) -> Option<ArcId> {
+        self.agg_agg_arcs
+            .get(&parent)
+            .and_then(|m| m.get(&child))
+            .copied()
+    }
+
+    /// Gang jobs deferred by admission control at the last refresh: jobs
+    /// whose minimum exceeded total machine capacity (summed across
+    /// admitted gangs) or the machine capacity their own tasks can reach
+    /// through positive-capacity arcs. Their `U_j → S` cap is left
+    /// unenforced — the job queues (its tasks may stay unscheduled)
+    /// rather than making the flow network infeasible. Re-evaluated every
+    /// refresh, so a deferred gang is admitted automatically once
+    /// capacity appears.
+    pub fn deferred_gang_jobs(&self) -> &[JobId] {
+        &self.deferred_gangs
     }
 
     /// What the refresh passes have touched so far.
@@ -326,31 +378,30 @@ impl FlowGraphManager {
                     }
                 }
                 self.dirty_machines.insert(machine.id);
+                // Machine-set changes can alter EC→EC capacities (which
+                // aggregate subtree slots) and even create hierarchy levels
+                // (first machine of a new rack), so every aggregate's
+                // EC→EC arcs are re-synced at the next refresh.
+                self.dirty_aggs.extend(self.agg_nodes.keys().copied());
+                // And they can change waiting tasks' declared arc *sets*:
+                // a model that names this machine (or its rack) as a
+                // preference target would declare arcs a from-scratch
+                // build gets but the old incremental graph lacks.
+                self.resync_waiting_arcs(model, state)?;
             }
             ClusterEvent::MachineRemoved { machine, .. } => {
                 self.machine_agg_arcs.remove(machine);
+                self.dirty_aggs.extend(self.agg_nodes.keys().copied());
                 self.running_on.retain(|_, m| *m != *machine);
                 self.dirty_machines.remove(machine);
                 self.base.remove_machine(*machine)?;
-                // Tasks displaced by the failure are back in the waiting
-                // pool; their running arc vanished with the machine node,
-                // so rebuild their waiting arc set from the model.
-                let mut displaced: Vec<TaskId> = state
-                    .waiting_tasks()
-                    .filter(|t| {
-                        self.base
-                            .task_node(t.id)
-                            .map(|n| self.waiting_arc_count(n) == 0)
-                            .unwrap_or(false)
-                    })
-                    .map(|t| t.id)
-                    .collect();
-                displaced.sort_unstable();
-                for tid in displaced {
-                    let task = state.tasks[&tid].clone();
-                    self.add_waiting_arcs(model, state, &task)?;
-                    self.dirty_tasks.insert(tid);
-                }
+                // A machine failure invalidates waiting arc *sets*, not
+                // just those of the displaced tasks: block replicas died
+                // with the machine, so locality-driven preference arcs
+                // (e.g. a rack arc whose holders are gone) may no longer
+                // be declared. Re-derive every waiting task's arcs from
+                // the model, exactly as a from-scratch build would.
+                self.resync_waiting_arcs(model, state)?;
             }
             ClusterEvent::JobSubmitted { job, tasks } => {
                 for task in tasks {
@@ -378,6 +429,12 @@ impl FlowGraphManager {
                     .get(task)
                     .ok_or(PolicyError::UnknownTask(*task))?;
                 let u = self.base.ensure_unscheduled(task_data.job)?;
+                // Drain the task's old flow (which may route through
+                // aggregator chains) before rewiring its arcs: removing a
+                // flow-carrying waiting arc would strand stale flow on the
+                // aggregates below, unbalancing the warm start and pinning
+                // otherwise-dead aggregates past garbage collection.
+                drain_task_flow(&mut self.base.graph, t);
                 // A running task keeps exactly two arcs: the zero-ish-cost
                 // arc to its machine and the preemption arc to U_j, so
                 // migrations always go through explicit preemption.
@@ -398,6 +455,10 @@ impl FlowGraphManager {
                     .ok_or(PolicyError::UnknownTask(*task))?
                     .clone();
                 let u = self.base.ensure_unscheduled(task_data.job)?;
+                // Drain before dropping the running arc, for the same
+                // reason as in `TaskPlaced`: its flow must not be stranded
+                // on the machine → sink arc.
+                drain_task_flow(&mut self.base.graph, t);
                 self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
                 self.add_waiting_arcs(model, state, &task_data)?;
                 if let Some(m) = self.running_on.remove(task) {
@@ -435,17 +496,24 @@ impl FlowGraphManager {
 
     /// The two-pass cost update (§6.3): pass 1 collects the dirty node
     /// sets (machines touched by events — or all of them for models with
-    /// dynamic arcs — plus waiting tasks whose wait-time cost drifted);
-    /// pass 2 re-queries the model for exactly those and applies the
-    /// deltas. A quiescent round (no events, clock unchanged) touches
-    /// nothing.
+    /// dynamic arcs — plus waiting tasks whose wait-time cost drifted,
+    /// plus aggregates above any dirty machine, with dirtiness propagated
+    /// *up* multi-level EC→EC chains); pass 2 re-queries the model for
+    /// exactly those and applies the deltas. A quiescent round (no events,
+    /// clock unchanged) touches nothing.
+    ///
+    /// The refresh also runs gang admission control (deferring gang caps
+    /// that would make the network infeasible; see
+    /// [`deferred_gang_jobs`](Self::deferred_gang_jobs)) and garbage-
+    /// collects aggregates whose task in-degree dropped to zero.
     pub fn refresh<C: CostModel>(
         &mut self,
         model: &C,
         state: &ClusterState,
     ) -> Result<(), PolicyError> {
         // Pass 1: dirty-set collection.
-        let mut machines: Vec<MachineId> = if model.dynamic_aggregate_arcs() {
+        let dynamic = model.dynamic_aggregate_arcs();
+        let mut machines: Vec<MachineId> = if dynamic {
             state.machines.keys().copied().collect()
         } else {
             self.dirty_machines
@@ -457,11 +525,23 @@ impl FlowGraphManager {
         machines.sort_unstable();
         let time_advanced = self.last_refresh_now != Some(state.now);
         let mut tasks: Vec<TaskId> = if time_advanced {
-            state.waiting_tasks().map(|t| t.id).collect()
+            // Every task still in the graph: waiting tasks' unscheduled
+            // arcs *and* running tasks' preemption arcs carry the
+            // wait-scaled cost, and both drift with the clock.
+            self.base.task_nodes.keys().copied().collect()
         } else {
             self.dirty_tasks.iter().copied().collect()
         };
         tasks.sort_unstable();
+        let dirty_aggs = self.collect_dirty_aggregates(dynamic, &machines);
+
+        // EC→EC re-sync: for every dirty aggregate, bring its declared
+        // aggregate→aggregate arc set up to date *before* the machine-arc
+        // pass, so aggregates materialized here (e.g. a brand-new rack
+        // level) already have their machine arcs when that pass runs.
+        for &agg in &dirty_aggs {
+            self.sync_aggregate_children(model, state, agg, dynamic)?;
+        }
 
         // Pass 2: apply cost/capacity deltas for the dirty nodes only.
         // Static-structure models (the common case) re-price exactly the
@@ -537,12 +617,27 @@ impl FlowGraphManager {
                     .set_arc_cost(arc, model.task_unscheduled_cost(state, task))?;
             }
         }
-        // Gang constraints: cap `U_j → S` at incomplete − minimum so at
-        // least `minimum` of the job's tasks are forced through machines.
-        // Only jobs with tasks still in the graph are consulted, so the
-        // pass stays proportional to live work, not total jobs submitted.
+        // Gang constraints with admission control: cap `U_j → S` at
+        // incomplete − minimum so at least `minimum` of the job's tasks
+        // are forced through machines — but only while (a) the sum of
+        // forced flows fits in total machine capacity and (b) the job's
+        // own tasks can actually *reach* that much machine capacity
+        // through positive-capacity arcs. A gang beyond either bound
+        // would make the network infeasible (a solver error), so the job
+        // is *deferred* instead: its cap stays at `incomplete` (the job
+        // queues, unconstrained) and it is re-considered every refresh.
+        // Both bounds are fast necessary conditions, not a max-flow: a
+        // model that bottlenecks a gang below its minimum on *interior*
+        // arc capacities (or makes admitted gangs compete for the same
+        // machines) can still declare an unsatisfiable constraint, which
+        // then surfaces as a solver error. Only jobs with tasks still in
+        // the graph are consulted, so the pass stays proportional to live
+        // work, not total jobs submitted.
+        self.deferred_gangs.clear();
         let mut jobs: Vec<JobId> = self.live_job_tasks.keys().copied().collect();
         jobs.sort_unstable();
+        let budget: i64 = state.machines.values().map(|m| m.slots as i64).sum();
+        let mut committed: i64 = 0;
         for jid in jobs {
             let Some(job) = state.jobs.get(&jid) else {
                 continue;
@@ -559,41 +654,331 @@ impl FlowGraphManager {
                 .iter()
                 .filter(|t| self.base.task_node(**t).is_some())
                 .count() as i64;
+            let forced = gang.min(incomplete);
+            if committed + forced > budget || forced > self.job_reachable_machine_capacity(job) {
+                self.deferred_gangs.push(jid);
+                self.base.graph.set_arc_capacity(ua, incomplete)?;
+                continue;
+            }
+            committed += forced;
             self.base
                 .graph
                 .set_arc_capacity(ua, (incomplete - gang).max(0))?;
         }
 
+        let collected = self.collect_dead_aggregates()?;
+
         self.stats.rounds += 1;
         self.stats.machines_touched += machines.len() as u64;
         self.stats.tasks_touched += tasks.len() as u64;
+        self.stats.aggregates_touched += dirty_aggs.len() as u64;
+        self.stats.aggregates_collected += collected as u64;
         self.stats.last_machines_touched = machines.len();
         self.stats.last_tasks_touched = tasks.len();
+        self.stats.last_aggregates_touched = dirty_aggs.len();
         self.dirty_machines.clear();
         self.dirty_tasks.clear();
+        self.dirty_aggs.clear();
         self.last_refresh_now = Some(state.now);
         Ok(())
     }
 
-    /// Number of non-unscheduled forward arcs out of a task node — the
-    /// arcs through which the task can reach work. A running task counts
-    /// 1 (its machine arc); a task displaced by a machine failure counts
-    /// 0, which is exactly how `MachineRemoved` detects it.
-    fn waiting_arc_count(&self, task_node: NodeId) -> usize {
-        self.base
-            .graph
-            .adj(task_node)
-            .iter()
-            .copied()
-            .filter(|&a| a.is_forward())
-            .filter(|&a| {
-                !self
-                    .base
-                    .graph
-                    .kind(self.base.graph.dst(a))
-                    .is_unscheduled()
+    /// The dirty-aggregate set for this refresh: aggregates explicitly
+    /// dirtied by events plus those with an arc to a dirty machine, with
+    /// dirtiness propagated *up* every EC→EC chain (a parent's arc to a
+    /// dirty child may price the child's whole subtree). Dynamic-arc
+    /// models re-sync every aggregate each round.
+    fn collect_dirty_aggregates(
+        &self,
+        dynamic: bool,
+        dirty_machines: &[MachineId],
+    ) -> BTreeSet<AggregateId> {
+        let mut set: BTreeSet<AggregateId> = if dynamic {
+            self.agg_nodes.keys().copied().collect()
+        } else {
+            let mut set: BTreeSet<AggregateId> = self.dirty_aggs.iter().copied().collect();
+            for m in dirty_machines {
+                if let Some(arcs) = self.machine_agg_arcs.get(m) {
+                    set.extend(arcs.keys().copied());
+                }
+            }
+            // Reverse EC→EC edges (child → parents) for the upward sweep.
+            let mut parents: HashMap<AggregateId, Vec<AggregateId>> = HashMap::new();
+            for (&parent, children) in &self.agg_agg_arcs {
+                for &child in children.keys() {
+                    parents.entry(child).or_default().push(parent);
+                }
+            }
+            let mut work: Vec<AggregateId> = set.iter().copied().collect();
+            while let Some(a) = work.pop() {
+                if let Some(ps) = parents.get(&a) {
+                    for &p in ps {
+                        if set.insert(p) {
+                            work.push(p);
+                        }
+                    }
+                }
+            }
+            set
+        };
+        set.retain(|a| self.agg_nodes.contains_key(a));
+        set
+    }
+
+    /// Re-synchronizes one aggregate's EC→EC arc set with what the model
+    /// currently declares: existing arcs are re-priced, newly declared
+    /// children are materialized (cycle-checked) and connected, and stale
+    /// pairs are parked at capacity 0 (static models) or removed (dynamic
+    /// models).
+    fn sync_aggregate_children<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+        agg: AggregateId,
+        dynamic: bool,
+    ) -> Result<(), PolicyError> {
+        let Some(&an) = self.agg_nodes.get(&agg) else {
+            return Ok(());
+        };
+        let declared = model.aggregate_to_aggregate(state, agg);
+        let mut seen: BTreeSet<AggregateId> = BTreeSet::new();
+        for (child, spec) in declared {
+            if child == agg {
+                return Err(PolicyError::AggregateCycle(agg));
+            }
+            seen.insert(child);
+            let existing = self
+                .agg_agg_arcs
+                .get(&agg)
+                .and_then(|m| m.get(&child))
+                .copied();
+            match existing {
+                Some(arc) => {
+                    if dynamic && spec.capacity <= 0 {
+                        self.base.graph.remove_arc(arc)?;
+                        self.agg_agg_arcs
+                            .get_mut(&agg)
+                            .expect("existing arc implies entry")
+                            .remove(&child);
+                    } else {
+                        self.base
+                            .graph
+                            .set_arc_capacity(arc, spec.capacity.max(0))?;
+                        self.base.graph.set_arc_cost(arc, spec.cost)?;
+                    }
+                }
+                None => {
+                    if dynamic && spec.capacity <= 0 {
+                        continue;
+                    }
+                    let cn = self.ensure_aggregate(model, state, child)?;
+                    // A new edge into a pre-existing aggregate could close
+                    // a loop that per-materialization cycle detection
+                    // cannot see — and materializing `child` may itself
+                    // have connected descendants back to `agg`'s ancestors
+                    // — so reachability must be checked *after* the
+                    // child's subtree exists, just before connecting.
+                    if self.agg_reaches(child, agg) {
+                        return Err(PolicyError::AggregateCycle(agg));
+                    }
+                    let arc = self
+                        .base
+                        .graph
+                        .add_arc(an, cn, spec.capacity.max(0), spec.cost)?;
+                    self.agg_agg_arcs.entry(agg).or_default().insert(child, arc);
+                }
+            }
+        }
+        let stale: Vec<(AggregateId, ArcId)> = self
+            .agg_agg_arcs
+            .get(&agg)
+            .map(|m| {
+                m.iter()
+                    .filter(|(c, _)| !seen.contains(c))
+                    .map(|(&c, &a)| (c, a))
+                    .collect()
             })
-            .count()
+            .unwrap_or_default();
+        for (child, arc) in stale {
+            if dynamic {
+                self.base.graph.remove_arc(arc)?;
+                self.agg_agg_arcs
+                    .get_mut(&agg)
+                    .expect("stale arc implies entry")
+                    .remove(&child);
+            } else {
+                self.base.graph.set_arc_capacity(arc, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Machine → sink capacity reachable from `job`'s task nodes through
+    /// positive-capacity arcs (across any aggregator depth) — a fast
+    /// upper bound on how much of the job's flow can reach machines, used
+    /// by gang admission control. Not a max flow: interior bottlenecks
+    /// are ignored, so this can overestimate, never underestimate.
+    fn job_reachable_machine_capacity(&self, job: &firmament_cluster::Job) -> i64 {
+        let g = &self.base.graph;
+        let mut work: Vec<NodeId> = job
+            .tasks
+            .iter()
+            .filter_map(|t| self.base.task_node(*t))
+            .collect();
+        let mut visited: HashSet<NodeId> = work.iter().copied().collect();
+        let mut cap = 0i64;
+        while let Some(n) = work.pop() {
+            for &a in g.adj(n) {
+                if !a.is_forward() || g.capacity(a) <= 0 {
+                    continue;
+                }
+                let dst = g.dst(a);
+                if !visited.insert(dst) {
+                    continue;
+                }
+                match g.kind(dst) {
+                    NodeKind::Machine { machine } => {
+                        if let Some(&ms) = self.base.machine_sink_arcs.get(&machine) {
+                            cap += g.capacity(ms);
+                        }
+                    }
+                    NodeKind::UnscheduledAggregator { .. } | NodeKind::Sink => {}
+                    _ => work.push(dst),
+                }
+            }
+        }
+        cap
+    }
+
+    /// Whether `target` is reachable from `from` along EC→EC arcs.
+    fn agg_reaches(&self, from: AggregateId, target: AggregateId) -> bool {
+        if from == target {
+            return true;
+        }
+        let mut work = vec![from];
+        let mut visited: HashSet<AggregateId> = HashSet::new();
+        while let Some(a) = work.pop() {
+            if !visited.insert(a) {
+                continue;
+            }
+            if let Some(children) = self.agg_agg_arcs.get(&a) {
+                for &c in children.keys() {
+                    if c == target {
+                        return true;
+                    }
+                    work.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// Garbage-collects aggregator nodes that no task can reach any more:
+    /// policy aggregates (and per-job unscheduled aggregators of jobs with
+    /// no tasks left in the graph) with zero incoming arcs and no flow on
+    /// their outgoing arcs. Runs to a fixpoint, so removing a hierarchy
+    /// root frees its (now unreachable) descendants in the same refresh.
+    /// Nodes still carrying stale solver flow are left for a later round —
+    /// the next adopted solve rebalances them. Collected aggregates are
+    /// rematerialized on demand if a model names them again.
+    fn collect_dead_aggregates(&mut self) -> Result<usize, PolicyError> {
+        let mut collected = 0usize;
+        loop {
+            let mut victim_aggs: Vec<AggregateId> = self
+                .agg_nodes
+                .iter()
+                .filter(|(_, &n)| self.node_is_collectable(n))
+                .map(|(&a, _)| a)
+                .collect();
+            let mut victim_jobs: Vec<JobId> = self
+                .base
+                .unsched_nodes
+                .iter()
+                .filter(|(j, &n)| {
+                    !self.live_job_tasks.contains_key(j) && self.node_is_collectable(n)
+                })
+                .map(|(&j, _)| j)
+                .collect();
+            if victim_aggs.is_empty() && victim_jobs.is_empty() {
+                break;
+            }
+            victim_aggs.sort_unstable();
+            victim_jobs.sort_unstable();
+            let victim_set: HashSet<AggregateId> = victim_aggs.iter().copied().collect();
+            for &agg in &victim_aggs {
+                let n = self
+                    .agg_nodes
+                    .remove(&agg)
+                    .expect("victim came from agg_nodes");
+                self.base.graph.remove_node(n)?;
+                self.agg_agg_arcs.remove(&agg);
+                self.dirty_aggs.remove(&agg);
+                collected += 1;
+            }
+            // One sweep over the arc maps for the whole batch, so mass GC
+            // (draining many per-job aggregates at once) stays linear in
+            // map size instead of victims × map size.
+            if !victim_set.is_empty() {
+                for arcs in self.agg_agg_arcs.values_mut() {
+                    arcs.retain(|c, _| !victim_set.contains(c));
+                }
+                for arcs in self.machine_agg_arcs.values_mut() {
+                    arcs.retain(|a, _| !victim_set.contains(a));
+                }
+            }
+            for job in victim_jobs {
+                let n = self
+                    .base
+                    .unsched_nodes
+                    .remove(&job)
+                    .expect("victim came from unsched_nodes");
+                self.base.unsched_sink_arcs.remove(&job);
+                self.base.graph.remove_node(n)?;
+                collected += 1;
+            }
+        }
+        Ok(collected)
+    }
+
+    /// A node is collectable when nothing can send it flow — every
+    /// incoming forward arc is parked at capacity 0 (e.g. the stale EC→EC
+    /// arc of a rack whose machines all departed) — and no incident arc
+    /// carries flow (so removal cannot unbalance a warm-started solve).
+    fn node_is_collectable(&self, n: NodeId) -> bool {
+        let g = &self.base.graph;
+        g.adj(n).iter().all(|&a| {
+            let fwd = a.forward();
+            if a.is_forward() {
+                g.flow(fwd) == 0
+            } else {
+                g.capacity(fwd) == 0 && g.flow(fwd) == 0
+            }
+        })
+    }
+
+    /// Re-derives every waiting task's declared arc set from the model —
+    /// called on machine-set changes, whose fallout (dead block replicas,
+    /// new preference targets) is not limited to displaced tasks. This is
+    /// what keeps the incremental graph identical to a from-scratch
+    /// rebuild across machine churn; the differential fuzz suite pins it.
+    fn resync_waiting_arcs<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+    ) -> Result<(), PolicyError> {
+        let mut waiting: Vec<TaskId> = state.waiting_tasks().map(|t| t.id).collect();
+        waiting.sort_unstable();
+        for tid in waiting {
+            let Some(tn) = self.base.task_node(tid) else {
+                continue;
+            };
+            let task = state.tasks[&tid].clone();
+            let u = self.base.ensure_unscheduled(task.job)?;
+            self.base.retain_out_arcs(tn, move |_, dst| dst == u)?;
+            self.add_waiting_arcs(model, state, &task)?;
+            self.dirty_tasks.insert(tid);
+        }
+        Ok(())
     }
 
     /// Materializes the waiting arc set a model declares for `task`:
@@ -631,16 +1016,38 @@ impl FlowGraphManager {
 
     /// Returns (creating if needed) the node for a policy-defined
     /// aggregate. On creation, the aggregate's machine arcs are
-    /// materialized by querying the model for every known machine.
+    /// materialized by querying the model for every known machine, and its
+    /// EC→EC children (declared via
+    /// [`CostModel::aggregate_to_aggregate`]) are materialized
+    /// recursively. Fails with [`PolicyError::AggregateCycle`] if the
+    /// declared hierarchy is not a DAG.
     fn ensure_aggregate<C: CostModel>(
         &mut self,
         model: &C,
         state: &ClusterState,
         agg: AggregateId,
     ) -> Result<NodeId, PolicyError> {
+        let mut stack = Vec::new();
+        self.ensure_aggregate_rec(model, state, agg, &mut stack)
+    }
+
+    fn ensure_aggregate_rec<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+        agg: AggregateId,
+        stack: &mut Vec<AggregateId>,
+    ) -> Result<NodeId, PolicyError> {
+        // The stack check must precede the node lookup: an aggregate under
+        // materialization is already in `agg_nodes`, and reaching it again
+        // through its own descendants is exactly the cycle case.
+        if stack.contains(&agg) {
+            return Err(PolicyError::AggregateCycle(agg));
+        }
         if let Some(&n) = self.agg_nodes.get(&agg) {
             return Ok(n);
         }
+        stack.push(agg);
         let an = self.base.graph.add_node(model.aggregate_kind(agg), 0);
         self.agg_nodes.insert(agg, an);
         let dynamic = model.dynamic_aggregate_arcs();
@@ -665,6 +1072,26 @@ impl FlowGraphManager {
                     .insert(agg, arc);
             }
         }
+        // EC→EC children: materialize each declared child (recursively —
+        // hierarchies can be arbitrarily deep) and connect it.
+        for (child, spec) in model.aggregate_to_aggregate(state, agg) {
+            if dynamic && spec.capacity <= 0 {
+                continue;
+            }
+            let cn = self.ensure_aggregate_rec(model, state, child, stack)?;
+            let duplicate = self
+                .agg_agg_arcs
+                .get(&agg)
+                .is_some_and(|m| m.contains_key(&child));
+            if !duplicate {
+                let arc = self
+                    .base
+                    .graph
+                    .add_arc(an, cn, spec.capacity.max(0), spec.cost)?;
+                self.agg_agg_arcs.entry(agg).or_default().insert(child, arc);
+            }
+        }
+        stack.pop();
         Ok(an)
     }
 }
@@ -860,7 +1287,9 @@ mod tests {
     #[test]
     fn refresh_tracks_running_counts_on_dirty_machines() {
         let (mut state, mut mgr) = setup(2, 2);
-        submit(&mut state, &mut mgr, 0, 2);
+        // Three tasks; two get placed, one keeps waiting so the aggregate
+        // retains task in-degree (and survives garbage collection).
+        submit(&mut state, &mut mgr, 0, 3);
         for (tid, m) in [(0u64, 0u64), (1, 0)] {
             let ev = ClusterEvent::TaskPlaced {
                 task: tid,
@@ -933,6 +1362,501 @@ mod tests {
         assert_eq!(mgr.graph().node_count(), nodes);
     }
 
+    /// A two-level hierarchy for manager tests: root `X` → per-rack
+    /// aggregates → machines of that rack (no direct X→machine arcs).
+    struct HierModel;
+    const ROOT: AggregateId = 100;
+    fn rack_of(agg: AggregateId) -> u32 {
+        (agg - 200) as u32
+    }
+    fn hier_rack_agg(rack: u32) -> AggregateId {
+        200 + rack as AggregateId
+    }
+
+    impl CostModel for HierModel {
+        fn name(&self) -> &'static str {
+            "hier-test"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            100_000
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
+            vec![(ArcTarget::Aggregate(ROOT), 0)]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            aggregate: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcSpec> {
+            (aggregate != ROOT && rack_of(aggregate) == machine.rack).then_some(ArcSpec {
+                capacity: machine.slots as i64,
+                cost: 10 * machine.running.len() as i64,
+            })
+        }
+        fn aggregate_to_aggregate(
+            &self,
+            state: &ClusterState,
+            aggregate: AggregateId,
+        ) -> Vec<(AggregateId, ArcSpec)> {
+            if aggregate != ROOT {
+                return Vec::new();
+            }
+            firmament_policies::rack_capacities(state)
+                .into_iter()
+                .map(|(rack, slots, running)| {
+                    (
+                        hier_rack_agg(rack),
+                        ArcSpec {
+                            capacity: slots,
+                            cost: running,
+                        },
+                    )
+                })
+                .collect()
+        }
+        fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
+            if aggregate == ROOT {
+                NodeKind::ClusterAggregator
+            } else {
+                NodeKind::RackAggregator {
+                    rack: rack_of(aggregate),
+                }
+            }
+        }
+    }
+
+    fn hier_setup(
+        machines: usize,
+        per_rack: usize,
+        slots: u32,
+    ) -> (ClusterState, FlowGraphManager) {
+        let state = ClusterState::with_topology(&TopologySpec {
+            machines,
+            machines_per_rack: per_rack,
+            slots_per_machine: slots,
+        });
+        let mut mgr = FlowGraphManager::new();
+        let mut ms: Vec<_> = state.machines.values().cloned().collect();
+        ms.sort_by_key(|m| m.id);
+        for m in ms {
+            mgr.apply_event(
+                &HierModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m },
+            )
+            .unwrap();
+        }
+        (state, mgr)
+    }
+
+    fn hier_submit(state: &mut ClusterState, mgr: &mut FlowGraphManager, job: u64, n: usize) {
+        let j = Job::new(job, JobClass::Batch, 0, state.now);
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| Task::new(job * 1000 + i as u64, job, state.now, 10_000_000))
+            .collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        mgr.apply_event(&HierModel, state, &ev).unwrap();
+    }
+
+    #[test]
+    fn hierarchy_materializes_recursively_without_direct_root_machine_arcs() {
+        // 4 machines in 2 racks of 2.
+        let (mut state, mut mgr) = hier_setup(4, 2, 2);
+        assert!(mgr.aggregate_node(ROOT).is_none());
+        hier_submit(&mut state, &mut mgr, 0, 1);
+        let root = mgr.aggregate_node(ROOT).expect("root materialized");
+        for rack in [0u32, 1] {
+            let rn = mgr
+                .aggregate_node(hier_rack_agg(rack))
+                .expect("rack agg materialized via EC→EC declaration");
+            let arc = mgr
+                .aggregate_to_aggregate_arc(ROOT, hier_rack_agg(rack))
+                .expect("EC→EC arc exists");
+            assert_eq!(mgr.graph().src(arc), root);
+            assert_eq!(mgr.graph().dst(arc), rn);
+            // Capacity propagated: 2 machines × 2 slots per rack.
+            assert_eq!(mgr.graph().capacity(arc), 4);
+        }
+        // The root has exactly its 2 EC→EC arcs — no machine arcs.
+        let root_out: Vec<NodeKind> = mgr
+            .graph()
+            .adj(root)
+            .iter()
+            .copied()
+            .filter(|a| a.is_forward())
+            .map(|a| mgr.graph().kind(mgr.graph().dst(a)))
+            .collect();
+        assert_eq!(root_out.len(), 2);
+        assert!(root_out
+            .iter()
+            .all(|k| matches!(k, NodeKind::RackAggregator { .. })));
+        // Each rack agg reaches exactly its 2 machines.
+        for rack in [0u32, 1] {
+            let rn = mgr.aggregate_node(hier_rack_agg(rack)).unwrap();
+            let machines: Vec<u64> = mgr
+                .graph()
+                .adj(rn)
+                .iter()
+                .copied()
+                .filter(|a| a.is_forward())
+                .filter_map(|a| match mgr.graph().kind(mgr.graph().dst(a)) {
+                    NodeKind::Machine { machine } => Some(machine),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(machines.len(), 2, "rack {rack}");
+            for m in machines {
+                assert_eq!(state.machines[&m].rack, rack);
+            }
+        }
+    }
+
+    #[test]
+    fn ec_ec_costs_and_caps_refresh_through_dirty_propagation() {
+        let (mut state, mut mgr) = hier_setup(4, 2, 2);
+        hier_submit(&mut state, &mut mgr, 0, 3);
+        // Place two tasks on rack-0 machines; the X→R_0 arc must re-price.
+        for (tid, m) in [(0u64, 0u64), (1, 1)] {
+            let ev = ClusterEvent::TaskPlaced {
+                task: tid,
+                machine: m,
+                now: 0,
+            };
+            state.apply(&ev);
+            mgr.apply_event(&HierModel, &state, &ev).unwrap();
+        }
+        mgr.refresh(&HierModel, &state).unwrap();
+        let a0 = mgr
+            .aggregate_to_aggregate_arc(ROOT, hier_rack_agg(0))
+            .unwrap();
+        let a1 = mgr
+            .aggregate_to_aggregate_arc(ROOT, hier_rack_agg(1))
+            .unwrap();
+        assert_eq!(mgr.graph().cost(a0), 2, "two tasks running in rack 0");
+        assert_eq!(mgr.graph().cost(a1), 0, "rack 1 idle");
+    }
+
+    #[test]
+    fn machine_in_new_rack_extends_hierarchy_on_refresh() {
+        let (mut state, mut mgr) = hier_setup(2, 2, 1);
+        hier_submit(&mut state, &mut mgr, 0, 1);
+        assert!(mgr.aggregate_node(hier_rack_agg(7)).is_none());
+        // A machine appears in brand-new rack 7.
+        let m = Machine::new(50, 7, 1);
+        let ev = ClusterEvent::MachineAdded { machine: m };
+        state.apply(&ev);
+        mgr.apply_event(&HierModel, &state, &ev).unwrap();
+        mgr.refresh(&HierModel, &state).unwrap();
+        let rn = mgr
+            .aggregate_node(hier_rack_agg(7))
+            .expect("new rack level materialized by EC→EC re-sync");
+        assert!(mgr
+            .aggregate_to_aggregate_arc(ROOT, hier_rack_agg(7))
+            .is_some());
+        // And the new rack aggregate got its machine arc.
+        let out = mgr
+            .graph()
+            .adj(rn)
+            .iter()
+            .copied()
+            .filter(|a| a.is_forward())
+            .count();
+        assert_eq!(out, 1);
+    }
+
+    #[test]
+    fn aggregates_gc_when_task_indegree_drops_to_zero() {
+        let (mut state, mut mgr) = hier_setup(4, 2, 2);
+        let baseline = mgr.graph().node_count();
+        hier_submit(&mut state, &mut mgr, 0, 2);
+        mgr.refresh(&HierModel, &state).unwrap();
+        assert!(mgr.aggregate_count() > 0);
+        for tid in [0u64, 1] {
+            let ev = ClusterEvent::TaskPlaced {
+                task: tid,
+                machine: tid,
+                now: 5,
+            };
+            state.apply(&ev);
+            mgr.apply_event(&HierModel, &state, &ev).unwrap();
+            let ev = ClusterEvent::TaskCompleted { task: tid, now: 10 };
+            state.apply(&ev);
+            mgr.apply_event(&HierModel, &state, &ev).unwrap();
+        }
+        mgr.refresh(&HierModel, &state).unwrap();
+        // Root, rack aggregates, and the job's U_0 are all unreachable now.
+        assert_eq!(mgr.aggregate_count(), 0, "hierarchy collected");
+        assert_eq!(mgr.graph().node_count(), baseline, "back to sink+machines");
+        assert!(mgr.stats().aggregates_collected >= 4);
+        // Reuse after GC: a new job rematerializes the hierarchy.
+        hier_submit(&mut state, &mut mgr, 1, 1);
+        assert!(mgr.aggregate_node(ROOT).is_some());
+    }
+
+    /// A deliberately cyclic hierarchy: 0 → 1 → 0.
+    struct CyclicModel;
+
+    impl CostModel for CyclicModel {
+        fn name(&self) -> &'static str {
+            "cyclic"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            1
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
+            vec![(ArcTarget::Aggregate(0), 0)]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcSpec> {
+            Some(ArcSpec {
+                capacity: machine.slots as i64,
+                cost: 0,
+            })
+        }
+        fn aggregate_to_aggregate(
+            &self,
+            _: &ClusterState,
+            aggregate: AggregateId,
+        ) -> Vec<(AggregateId, ArcSpec)> {
+            let next = if aggregate == 0 { 1 } else { 0 };
+            vec![(
+                next,
+                ArcSpec {
+                    capacity: 10,
+                    cost: 0,
+                },
+            )]
+        }
+    }
+
+    /// A cycle that only closes *across* separate materializations: agg 0
+    /// declares child 1 only once a third machine exists, while agg 1
+    /// always declares child 0. Agg 0 is materialized alone first; the
+    /// machine addition then makes the refresh re-sync try to connect
+    /// 0 → 1 after materializing 1 (which links 1 → 0) — reachability is
+    /// checked after the child subtree exists, so the loop is caught.
+    struct LateCycleModel;
+
+    impl CostModel for LateCycleModel {
+        fn name(&self) -> &'static str {
+            "late-cycle"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            1
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
+            vec![(ArcTarget::Aggregate(0), 0)]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcSpec> {
+            Some(ArcSpec {
+                capacity: machine.slots as i64,
+                cost: 0,
+            })
+        }
+        fn aggregate_to_aggregate(
+            &self,
+            state: &ClusterState,
+            aggregate: AggregateId,
+        ) -> Vec<(AggregateId, ArcSpec)> {
+            let spec = ArcSpec {
+                capacity: 10,
+                cost: 0,
+            };
+            match aggregate {
+                0 if state.machines.len() >= 3 => vec![(1, spec)],
+                1 => vec![(0, spec)],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_closing_across_materializations_is_rejected() {
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 2,
+            slots_per_machine: 1,
+        });
+        let mut mgr = FlowGraphManager::new();
+        let mut ms: Vec<_> = state.machines.values().cloned().collect();
+        ms.sort_by_key(|m| m.id);
+        for m in ms {
+            mgr.apply_event(
+                &LateCycleModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m },
+            )
+            .unwrap();
+        }
+        // Materialize agg 0 while it declares no children.
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let ev = ClusterEvent::JobSubmitted {
+            job: j,
+            tasks: vec![Task::new(0, 0, 0, 1_000_000)],
+        };
+        state.apply(&ev);
+        mgr.apply_event(&LateCycleModel, &state, &ev).unwrap();
+        mgr.refresh(&LateCycleModel, &state).unwrap();
+        // The third machine makes agg 0 declare agg 1, whose own
+        // materialization links back to agg 0.
+        let ev = ClusterEvent::MachineAdded {
+            machine: Machine::new(10, 0, 1),
+        };
+        state.apply(&ev);
+        mgr.apply_event(&LateCycleModel, &state, &ev).unwrap();
+        let err = mgr.refresh(&LateCycleModel, &state);
+        assert!(
+            matches!(err, Err(PolicyError::AggregateCycle(0))),
+            "late-closing EC→EC cycle must be detected, got {err:?}"
+        );
+        // The cycle-closing arc was never installed: agg 1's materialized
+        // subtree links 1 → 0, but 0 → 1 must be absent, keeping the
+        // network a DAG even on the error path.
+        assert!(mgr.aggregate_to_aggregate_arc(1, 0).is_some());
+        assert!(mgr.aggregate_to_aggregate_arc(0, 1).is_none());
+        // The error is deterministic: retrying re-queries the same
+        // declaration and fails the same way.
+        assert!(matches!(
+            mgr.refresh(&LateCycleModel, &state),
+            Err(PolicyError::AggregateCycle(0))
+        ));
+    }
+
+    /// A gang whose tasks can only reach one 1-slot machine must be
+    /// deferred even though the cluster as a whole has enough slots.
+    struct NarrowGangModel;
+
+    impl CostModel for NarrowGangModel {
+        fn name(&self) -> &'static str {
+            "narrow-gang"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            0
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
+            vec![(ArcTarget::Machine(0), 1)]
+        }
+        fn aggregate_arc(&self, _: &ClusterState, _: AggregateId, _: &Machine) -> Option<ArcSpec> {
+            None
+        }
+        fn job_gang_minimum(&self, _: &ClusterState, _: &Job) -> i64 {
+            2
+        }
+    }
+
+    #[test]
+    fn late_arriving_preference_machine_gets_its_arc() {
+        // NarrowGangModel declares ArcTarget::Machine(0) for every task.
+        // Submit while machine 0 is absent, then add it: the waiting arc
+        // re-derivation on MachineAdded must materialize the preference
+        // arc, exactly as a from-scratch build would.
+        let mut state = ClusterState::default();
+        let mut mgr = FlowGraphManager::new();
+        let ev = ClusterEvent::MachineAdded {
+            machine: Machine::new(7, 0, 1),
+        };
+        state.apply(&ev);
+        mgr.apply_event(&NarrowGangModel, &state, &ev).unwrap();
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let ev = ClusterEvent::JobSubmitted {
+            job: j,
+            tasks: vec![Task::new(0, 0, 0, 1_000_000)],
+        };
+        state.apply(&ev);
+        mgr.apply_event(&NarrowGangModel, &state, &ev).unwrap();
+        let t = mgr.task_node(0).unwrap();
+        assert!(
+            mgr.machine_node(0).is_none(),
+            "preference target not in the cluster yet"
+        );
+        let ev = ClusterEvent::MachineAdded {
+            machine: Machine::new(0, 0, 1),
+        };
+        state.apply(&ev);
+        mgr.apply_event(&NarrowGangModel, &state, &ev).unwrap();
+        let m = mgr.machine_node(0).unwrap();
+        assert!(
+            mgr.base().find_arc(t, m).is_some(),
+            "late-arriving preference machine must get the declared arc"
+        );
+    }
+
+    #[test]
+    fn gang_beyond_reachable_capacity_is_deferred() {
+        // 3 machines × 1 slot = 3 total slots ≥ gang of 2, but the tasks
+        // only have arcs to machine 0 (1 slot).
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 3,
+            machines_per_rack: 20,
+            slots_per_machine: 1,
+        });
+        let mut mgr = FlowGraphManager::new();
+        let mut ms: Vec<_> = state.machines.values().cloned().collect();
+        ms.sort_by_key(|m| m.id);
+        for m in ms {
+            mgr.apply_event(
+                &NarrowGangModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m },
+            )
+            .unwrap();
+        }
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let tasks: Vec<Task> = (0..3).map(|i| Task::new(i, 0, 0, 1_000_000)).collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        mgr.apply_event(&NarrowGangModel, &state, &ev).unwrap();
+        mgr.refresh(&NarrowGangModel, &state).unwrap();
+        assert_eq!(
+            mgr.deferred_gang_jobs(),
+            &[0],
+            "structurally unreachable gang must defer, not go infeasible"
+        );
+        assert_eq!(
+            mgr.graph().capacity(mgr.base().unsched_sink_arcs[&0]),
+            3,
+            "deferred gang leaves U_0 → S unconstrained"
+        );
+    }
+
+    #[test]
+    fn cyclic_hierarchy_is_rejected() {
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 2,
+            slots_per_machine: 1,
+        });
+        let mut mgr = FlowGraphManager::new();
+        for m in state.machines.values() {
+            mgr.apply_event(
+                &CyclicModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m.clone() },
+            )
+            .unwrap();
+        }
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let tasks = vec![Task::new(0, 0, 0, 1_000_000)];
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        let err = mgr.apply_event(&CyclicModel, &state, &ev);
+        assert!(
+            matches!(err, Err(PolicyError::AggregateCycle(0))),
+            "cycle must be detected, got {err:?}"
+        );
+    }
+
     /// Gang constraints squeeze the unscheduled capacity.
     struct GangModel;
 
@@ -988,5 +1912,48 @@ mod tests {
         let ua = mgr.base().unsched_sink_arcs[&0];
         // 3 incomplete tasks − gang minimum 2 = capacity 1.
         assert_eq!(mgr.graph().capacity(ua), 1);
+    }
+
+    #[test]
+    fn gang_beyond_capacity_is_deferred_not_infeasible() {
+        // 3 slots total; two gang-2 jobs demand 4 forced placements.
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 3,
+            machines_per_rack: 20,
+            slots_per_machine: 1,
+        });
+        let mut mgr = FlowGraphManager::new();
+        for m in state.machines.values() {
+            mgr.apply_event(
+                &GangModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m.clone() },
+            )
+            .unwrap();
+        }
+        for job in 0..2u64 {
+            let j = Job::new(job, JobClass::Batch, 0, 0);
+            let tasks: Vec<Task> = (0..3)
+                .map(|i| Task::new(job * 100 + i, job, 0, 1_000_000))
+                .collect();
+            let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+            state.apply(&ev);
+            mgr.apply_event(&GangModel, &state, &ev).unwrap();
+        }
+        mgr.refresh(&GangModel, &state).unwrap();
+        // Job 0 is admitted (cap 3−2=1); job 1 is deferred (cap stays 3).
+        assert_eq!(mgr.deferred_gang_jobs(), &[1]);
+        assert_eq!(mgr.graph().capacity(mgr.base().unsched_sink_arcs[&0]), 1);
+        assert_eq!(mgr.graph().capacity(mgr.base().unsched_sink_arcs[&1]), 3);
+        // Capacity appears: two more machines admit the second gang.
+        for id in [10u64, 11] {
+            let m = Machine::new(id, 0, 1);
+            let ev = ClusterEvent::MachineAdded { machine: m };
+            state.apply(&ev);
+            mgr.apply_event(&GangModel, &state, &ev).unwrap();
+        }
+        mgr.refresh(&GangModel, &state).unwrap();
+        assert!(mgr.deferred_gang_jobs().is_empty());
+        assert_eq!(mgr.graph().capacity(mgr.base().unsched_sink_arcs[&1]), 1);
     }
 }

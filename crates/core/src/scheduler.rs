@@ -14,7 +14,7 @@
 
 use crate::extract::{extract_placements, Placement};
 use crate::graph_manager::FlowGraphManager;
-use firmament_cluster::{ClusterEvent, ClusterState, MachineId, TaskId, TaskState};
+use firmament_cluster::{ClusterEvent, ClusterState, JobId, MachineId, TaskId, TaskState};
 use firmament_flow::FlowGraph;
 use firmament_mcmf::dual::{DualConfig, DualSolver};
 use firmament_mcmf::{AlgorithmKind, SolveError, SolveOptions};
@@ -54,6 +54,13 @@ pub struct RoundOutcome {
     pub placed_tasks: usize,
     /// Tasks left unscheduled by this round.
     pub unscheduled_tasks: usize,
+    /// Gang jobs deferred by admission control this round — the minimum
+    /// exceeded total machine capacity across admitted gangs, or the
+    /// machine capacity reachable from the job's own tasks. Their gang
+    /// constraint was left unenforced (the job queues) instead of making
+    /// the flow network infeasible. Re-admitted automatically once
+    /// capacity appears.
+    pub deferred_gang_jobs: Vec<JobId>,
 }
 
 /// Errors from the scheduler.
@@ -229,6 +236,7 @@ impl<C: CostModel> Firmament<C> {
             objective: outcome.solution.objective,
             placed_tasks: placed,
             unscheduled_tasks: placements.len() - placed,
+            deferred_gang_jobs: self.manager.deferred_gang_jobs().to_vec(),
         })
     }
 }

@@ -32,6 +32,12 @@
 //! 4. **What does a running task's arc cost?**
 //!    [`CostModel::running_arc_cost`] — usually 0 (data already local).
 //!
+//! Multi-level topologies (cluster → rack → machine, rack → machine →
+//! socket, …) add a fifth, optional question: **how do aggregates reach
+//! other aggregates?** [`CostModel::aggregate_to_aggregate`] declares the
+//! EC→EC edges of the hierarchy — a DAG pointing down toward machines,
+//! with per-edge capacities that bound what each subtree can absorb.
+//!
 //! # Examples
 //!
 //! A complete trivial policy — spread over whichever machine has the most
@@ -68,19 +74,22 @@
 //! }
 //! ```
 
-use firmament_cluster::{ClusterState, Job, Machine, MachineId, Task};
+use firmament_cluster::{ClusterState, Job, Machine, MachineId, RackId, Task};
 use firmament_flow::NodeKind;
+use std::collections::BTreeMap;
 
 /// Identifier of a policy-defined aggregator node (an *equivalence class*
 /// in real Firmament's terminology). The namespace is private to each cost
 /// model; the graph manager only uses it as an opaque key.
 ///
-/// Aggregates are **permanent**: once a model first names an id in
-/// [`CostModel::task_arcs`], the manager materializes its node and keeps
-/// it for the lifetime of the scheduler. Keep the id space bounded —
-/// derive ids from racks, request classes, or other cluster-shaped sets,
-/// not from unbounded streams like job or task ids (which would grow the
-/// graph and the refresh scan monotonically over churn).
+/// Aggregates are materialized on demand — the first time a model names an
+/// id in [`CostModel::task_arcs`] or
+/// [`CostModel::aggregate_to_aggregate`] — and **garbage-collected** when
+/// no task can reach them any more (every incoming arc gone or parked at
+/// capacity 0, no residual solver flow). Per-job or otherwise
+/// churn-keyed aggregates are therefore safe: the graph stays proportional
+/// to *live* work. An id collected this round is transparently
+/// rematerialized if the model names it again later.
 pub type AggregateId = u64;
 
 /// Where a declared task arc points.
@@ -145,6 +154,49 @@ pub trait CostModel {
         machine: &Machine,
     ) -> Option<ArcSpec>;
 
+    /// The arcs an aggregate offers toward *other aggregates* — the EC→EC
+    /// edges that build multi-level equivalence-class hierarchies (e.g.
+    /// cluster → rack → machine, or rack → machine → socket in real
+    /// Firmament). Returns `(child, spec)` pairs; flow entering `aggregate`
+    /// can continue through each child toward the machines below it. The
+    /// default (no EC→EC arcs) keeps the flat one-level topology.
+    ///
+    /// # Semantics
+    ///
+    /// - **Direction**: arcs always point *down* the hierarchy, from
+    ///   `aggregate` toward aggregates closer to the machines. Flow must
+    ///   eventually reach machine nodes via [`aggregate_arc`], so at least
+    ///   one aggregate on every path has machine arcs.
+    /// - **Cycles are an error**: the declared EC→EC relation must be a
+    ///   DAG. The manager materializes children recursively and fails with
+    ///   `PolicyError::AggregateCycle` if an aggregate (transitively)
+    ///   declares itself as a descendant.
+    /// - **Capacity propagation**: each spec's capacity bounds the flow the
+    ///   parent may send through the child, exactly like an
+    ///   aggregate → machine arc. Declare the child subtree's real capacity
+    ///   (e.g. the total slots of a rack) so upper levels cannot
+    ///   oversubscribe lower ones.
+    /// - **Refresh**: unlike the static-structure contract of
+    ///   [`aggregate_arc`], EC→EC arc *sets* are re-synchronized whenever
+    ///   the source aggregate is dirty — a machine below it was touched by
+    ///   an event, the machine set changed, or a descendant aggregate was
+    ///   dirtied (dirtiness propagates up the hierarchy). Newly declared
+    ///   pairs are materialized on the spot; pairs the model stops
+    ///   returning are parked at capacity 0 (static models) or removed
+    ///   (models with [`dynamic_aggregate_arcs`]). This lets hierarchies
+    ///   grow when e.g. a machine in a brand-new rack arrives.
+    ///
+    /// [`aggregate_arc`]: CostModel::aggregate_arc
+    /// [`dynamic_aggregate_arcs`]: CostModel::dynamic_aggregate_arcs
+    fn aggregate_to_aggregate(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+    ) -> Vec<(AggregateId, ArcSpec)> {
+        let _ = (state, aggregate);
+        Vec::new()
+    }
+
     /// The [`NodeKind`] to use for an aggregate's graph node. Purely
     /// descriptive (DIMACS export, debugging); defaults to an opaque tag.
     fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
@@ -205,6 +257,14 @@ impl<T: CostModel + ?Sized> CostModel for Box<T> {
         (**self).aggregate_arc(state, aggregate, machine)
     }
 
+    fn aggregate_to_aggregate(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+    ) -> Vec<(AggregateId, ArcSpec)> {
+        (**self).aggregate_to_aggregate(state, aggregate)
+    }
+
     fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
         (**self).aggregate_kind(aggregate)
     }
@@ -220,6 +280,28 @@ impl<T: CostModel + ?Sized> CostModel for Box<T> {
     fn job_gang_minimum(&self, state: &ClusterState, job: &Job) -> i64 {
         (**self).job_gang_minimum(state, job)
     }
+}
+
+/// Per-rack capacity summary in a single pass over the machines: sorted
+/// `(rack, total slots, running tasks)` triples for every rack that
+/// currently has at least one machine.
+///
+/// The shared building block for EC→EC hierarchy models that fan a
+/// cluster root out to rack aggregates (Quincy's `X → R_r`, the
+/// hierarchical topology model): declare one
+/// [`CostModel::aggregate_to_aggregate`] arc per entry, with the slot
+/// total as the capacity so upper levels cannot oversubscribe the rack.
+pub fn rack_capacities(state: &ClusterState) -> Vec<(RackId, i64, i64)> {
+    let mut racks: BTreeMap<RackId, (i64, i64)> = BTreeMap::new();
+    for m in state.machines.values() {
+        let entry = racks.entry(m.rack).or_insert((0, 0));
+        entry.0 += m.slots as i64;
+        entry.1 += m.running.len() as i64;
+    }
+    racks
+        .into_iter()
+        .map(|(rack, (slots, running))| (rack, slots, running))
+        .collect()
 }
 
 /// Linear wait-time cost growth shared by the built-in models: the base

@@ -15,7 +15,11 @@
 //! - [`NetworkAwareCostModel`] (Fig 6c): request aggregators and dynamic
 //!   arcs to machines with spare network bandwidth;
 //! - [`OctopusCostModel`]: idle-preferring placement via quadratic load
-//!   costs (after real Firmament's Octopus model).
+//!   costs (after real Firmament's Octopus model);
+//! - [`HierarchicalTopologyCostModel`]: a cluster → rack → machine
+//!   hierarchy built on EC→EC arcs
+//!   ([`CostModel::aggregate_to_aggregate`]), the reference for
+//!   multi-level equivalence-class topologies.
 //!
 //! # Examples
 //!
@@ -43,12 +47,14 @@
 #![warn(missing_docs)]
 
 pub mod cost_model;
+pub mod hierarchy;
 pub mod load_spreading;
 pub mod network_aware;
 pub mod octopus;
 pub mod quincy;
 
-pub use cost_model::{AggregateId, ArcSpec, ArcTarget, CostModel};
+pub use cost_model::{rack_capacities, AggregateId, ArcSpec, ArcTarget, CostModel};
+pub use hierarchy::{HierarchicalTopologyCostModel, TopologyConfig};
 pub use load_spreading::LoadSpreadingCostModel;
 pub use network_aware::NetworkAwareCostModel;
 pub use octopus::{OctopusConfig, OctopusCostModel};
@@ -84,6 +90,13 @@ pub enum PolicyError {
     DuplicateTask(TaskId),
     /// A machine was added twice.
     DuplicateMachine(MachineId),
+    /// A cost model declared a cyclic EC→EC hierarchy: the named aggregate
+    /// is (transitively) its own descendant via
+    /// [`CostModel::aggregate_to_aggregate`]. The cycle-closing arc is
+    /// never installed — the flow network stays a DAG — but the error is
+    /// a *model bug* and persistent: every retry re-queries the same
+    /// declaration and fails again until the model is fixed.
+    AggregateCycle(AggregateId),
     /// An underlying graph mutation failed.
     Graph(firmament_flow::GraphError),
 }
@@ -101,6 +114,9 @@ impl std::fmt::Display for PolicyError {
             PolicyError::UnknownMachine(m) => write!(f, "unknown machine {m}"),
             PolicyError::DuplicateTask(t) => write!(f, "duplicate task {t}"),
             PolicyError::DuplicateMachine(m) => write!(f, "duplicate machine {m}"),
+            PolicyError::AggregateCycle(a) => {
+                write!(f, "aggregate {a} is part of an EC\u{2192}EC cycle")
+            }
             PolicyError::Graph(e) => write!(f, "graph error: {e}"),
         }
     }

@@ -12,7 +12,9 @@
 //! explores 2 %) controls the number of preference arcs and hence the
 //! graph's size — the knob that separates Firmament from Quincy at scale.
 
-use crate::cost_model::{wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel};
+use crate::cost_model::{
+    rack_capacities, wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel,
+};
 use firmament_cluster::{ClusterState, Machine, RackId, Task};
 use firmament_flow::NodeKind;
 
@@ -135,17 +137,48 @@ impl CostModel for QuincyCostModel {
         arcs
     }
 
+    /// Rack aggregates reach exactly their machines. The cluster aggregate
+    /// `X` reaches no machine directly — its flow descends through the
+    /// rack level (see [`aggregate_to_aggregate`]), matching Quincy's
+    /// original `X → R_r → machine` shape and keeping the graph at
+    /// `O(racks + machines)` aggregate arcs instead of `O(2 × machines)`.
+    ///
+    /// [`aggregate_to_aggregate`]: QuincyCostModel::aggregate_to_aggregate
     fn aggregate_arc(
         &self,
         _state: &ClusterState,
         aggregate: AggregateId,
         machine: &Machine,
     ) -> Option<ArcSpec> {
-        let connects = aggregate == CLUSTER_AGG || aggregate == rack_agg(machine.rack);
-        connects.then_some(ArcSpec {
+        (aggregate == rack_agg(machine.rack)).then_some(ArcSpec {
             capacity: machine.slots as i64,
             cost: 0,
         })
+    }
+
+    /// The EC→EC level of Quincy's network: `X` fans out to every rack
+    /// aggregate with the rack's total slot capacity at zero cost (the
+    /// wildcard fallback is priced on the task → `X` arc, not here).
+    fn aggregate_to_aggregate(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+    ) -> Vec<(AggregateId, ArcSpec)> {
+        if aggregate != CLUSTER_AGG {
+            return Vec::new();
+        }
+        rack_capacities(state)
+            .into_iter()
+            .map(|(rack, slots, _)| {
+                (
+                    rack_agg(rack),
+                    ArcSpec {
+                        capacity: slots,
+                        cost: 0,
+                    },
+                )
+            })
+            .collect()
     }
 
     fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
@@ -260,8 +293,23 @@ mod tests {
         let m4 = &state.machines[&4]; // rack 1
         assert!(model.aggregate_arc(&state, rack_agg(0), m0).is_some());
         assert!(model.aggregate_arc(&state, rack_agg(0), m4).is_none());
-        assert!(model.aggregate_arc(&state, CLUSTER_AGG, m0).is_some());
-        assert!(model.aggregate_arc(&state, CLUSTER_AGG, m4).is_some());
+        // X reaches machines only through the rack level.
+        assert!(model.aggregate_arc(&state, CLUSTER_AGG, m0).is_none());
+        assert!(model.aggregate_arc(&state, CLUSTER_AGG, m4).is_none());
+    }
+
+    #[test]
+    fn cluster_aggregate_fans_out_to_racks_with_subtree_capacity() {
+        let (state, model) = setup();
+        let children = model.aggregate_to_aggregate(&state, CLUSTER_AGG);
+        assert_eq!(children.len(), 2, "two racks of three machines");
+        for (agg, spec) in &children {
+            assert_ne!(*agg, CLUSTER_AGG);
+            assert_eq!(spec.capacity, 6, "3 machines × 2 slots per rack");
+            assert_eq!(spec.cost, 0, "fallback priced on the task→X arc");
+        }
+        // Rack aggregates are EC→EC leaves.
+        assert!(model.aggregate_to_aggregate(&state, rack_agg(0)).is_empty());
     }
 
     #[test]

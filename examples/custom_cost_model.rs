@@ -1,25 +1,39 @@
-//! Writing a scheduling policy in ~40 lines: a custom `CostModel`.
+//! Writing a scheduling policy in ~50 lines: a custom *hierarchical*
+//! `CostModel`.
 //!
-//! The policy here is "rack-affinity batch packing": each job is pinned to
-//! a preferred rack (by job id), tasks schedule anywhere but pay a premium
-//! off-rack, and jobs declare a gang minimum of two tasks. Everything the
-//! policy needs — aggregates, arcs, costs, gang floors — is *declared*;
-//! the `FlowGraphManager` does all the graph work.
+//! The policy is "rack-affinity batch packing", expressed as a 3-level
+//! equivalence-class hierarchy: each task gets a cheap arc to its job's
+//! preferred rack aggregate and an expensive fallback arc to the cluster
+//! root; the root fans out to every rack via EC→EC arcs
+//! (`aggregate_to_aggregate`), and each rack aggregate reaches exactly its
+//! machines with a packing cost. Jobs declare a gang minimum of two tasks.
+//! Everything — the two aggregator levels, capacities, costs, gang floors
+//! — is *declared*; the `FlowGraphManager` materializes the hierarchy,
+//! detects cycles, propagates capacities, and keeps costs fresh.
 //!
 //! Run with: `cargo run --example custom_cost_model`
 
 use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Machine, Task, TopologySpec};
 use firmament::core::{Firmament, SchedulingAction};
-use firmament::policies::{AggregateId, ArcSpec, ArcTarget, CostModel};
+use firmament::policies::{rack_capacities, AggregateId, ArcSpec, ArcTarget, CostModel};
 
-/// Rack-affinity packing: jobs prefer "their" rack, gang-schedule ≥ 2.
+/// The cluster root; rack `r` is aggregate `1 + r`.
+const ROOT: AggregateId = 0;
+
+/// Rack-affinity packing over a cluster → rack → machine hierarchy.
 struct RackAffinity {
     racks: u64,
 }
 
+impl RackAffinity {
+    fn preferred(&self, job: u64) -> AggregateId {
+        1 + job % self.racks
+    }
+}
+
 impl CostModel for RackAffinity {
     fn name(&self) -> &'static str {
-        "rack-affinity"
+        "rack-affinity-hierarchy"
     }
 
     fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
@@ -29,13 +43,34 @@ impl CostModel for RackAffinity {
     }
 
     fn task_arcs(&self, _state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
-        // One aggregate per rack; the job's preferred rack is cheap, every
-        // other rack pays an off-rack premium.
-        let preferred = task.job % self.racks;
-        (0..self.racks)
-            .map(|rack| {
-                let premium = if rack == preferred { 0 } else { 100 };
-                (ArcTarget::Aggregate(rack), 1 + premium)
+        // Cheap entry at the job's preferred rack; off-rack placements pay
+        // a premium through the cluster root.
+        vec![
+            (ArcTarget::Aggregate(self.preferred(task.job)), 1),
+            (ArcTarget::Aggregate(ROOT), 101),
+        ]
+    }
+
+    /// The EC→EC level: the root reaches every rack with the rack's real
+    /// slot capacity, so the fallback path can never oversubscribe a rack.
+    fn aggregate_to_aggregate(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+    ) -> Vec<(AggregateId, ArcSpec)> {
+        if aggregate != ROOT {
+            return Vec::new(); // racks are hierarchy leaves
+        }
+        rack_capacities(state)
+            .into_iter()
+            .map(|(rack, slots, _)| {
+                (
+                    1 + rack as u64,
+                    ArcSpec {
+                        capacity: slots,
+                        cost: 0,
+                    },
+                )
             })
             .collect()
     }
@@ -47,8 +82,9 @@ impl CostModel for RackAffinity {
         machine: &Machine,
     ) -> Option<ArcSpec> {
         // A rack aggregate reaches exactly its machines; packing (not
-        // spreading): already-busy machines are slightly cheaper.
-        (machine.rack as u64 == aggregate).then_some(ArcSpec {
+        // spreading): already-busy machines are slightly cheaper. The root
+        // touches no machine directly.
+        (aggregate == 1 + machine.rack as u64).then_some(ArcSpec {
             capacity: machine.slots as i64,
             cost: 10 - (machine.running.len() as i64).min(9),
         })
@@ -109,4 +145,14 @@ fn main() {
     println!("{in_preferred}/{total} placements in the job's preferred rack");
     assert_eq!(outcome.placed_tasks, 12, "capacity exists for everything");
     assert_eq!(in_preferred, total, "rack affinity should be perfect here");
+    // The hierarchy did the routing: the root and rack aggregates exist,
+    // and the graph holds EC→EC arcs from the root to all three racks.
+    let mgr = scheduler.manager();
+    assert!(mgr.aggregate_node(ROOT).is_some());
+    for rack in 0..3u64 {
+        assert!(
+            mgr.aggregate_to_aggregate_arc(ROOT, 1 + rack).is_some(),
+            "root → rack {rack} EC→EC arc"
+        );
+    }
 }

@@ -16,13 +16,42 @@
 
 use firmament::cluster::{ClusterEvent, ClusterState, Job, Task};
 use firmament::core::{Firmament, SchedulingAction};
+use firmament::flow::{FlowGraph, NodeKind};
 use firmament::mcmf::{DualConfig, SolverKind};
 mod common;
 use common::{apply, cluster, register, submit};
 use firmament::policies::{
-    CostModel, LoadSpreadingCostModel, NetworkAwareCostModel, OctopusCostModel, QuincyConfig,
-    QuincyCostModel,
+    CostModel, HierarchicalTopologyCostModel, LoadSpreadingCostModel, NetworkAwareCostModel,
+    OctopusCostModel, QuincyConfig, QuincyCostModel,
 };
+
+/// Flow conservation at every aggregator level: for each non-terminal
+/// node (aggregates, rack/cluster/request aggregators, unscheduled
+/// aggregators — anything between tasks and the sink), inflow must equal
+/// outflow. With EC→EC hierarchies, flow crosses *multiple* aggregator
+/// hops, and a refresh bug at any level would strand or invent flow.
+fn assert_aggregator_flow_conservation(g: &FlowGraph, policy: &str) {
+    for n in g.node_ids() {
+        let kind = g.kind(n);
+        if !kind.is_aggregator() && !kind.is_machine() {
+            continue;
+        }
+        let mut inflow = 0i64;
+        let mut outflow = 0i64;
+        for &a in g.adj(n) {
+            let f = g.flow(a.forward());
+            if a.is_forward() {
+                outflow += f;
+            } else {
+                inflow += f;
+            }
+        }
+        assert_eq!(
+            inflow, outflow,
+            "{policy}: node {kind} violates flow conservation ({inflow} in, {outflow} out)"
+        );
+    }
+}
 
 fn assert_no_overcommit(state: &ClusterState, policy: &str) {
     for m in state.machines.values() {
@@ -48,6 +77,7 @@ fn run_script<C: CostModel>(mut f: Firmament<C>) -> Vec<SchedulingAction> {
     // Round 1: a job that fits.
     submit(&mut state, &mut f, 0, 10);
     let o = f.schedule(&state).unwrap();
+    assert_aggregator_flow_conservation(f.graph(), policy);
     assert_eq!(o.placed_tasks, 10, "{policy}: round 1 places everything");
     assert_eq!(o.placed_tasks + o.unscheduled_tasks, 10, "{policy}");
     apply(&mut state, &mut f, &o.actions);
@@ -56,6 +86,7 @@ fn run_script<C: CostModel>(mut f: Firmament<C>) -> Vec<SchedulingAction> {
 
     // No-thrash: nothing changed, nothing moves.
     let o = f.schedule(&state).unwrap();
+    assert_aggregator_flow_conservation(f.graph(), policy);
     assert!(
         o.actions.is_empty(),
         "{policy}: stable round must be action-free, got {:?}",
@@ -65,6 +96,7 @@ fn run_script<C: CostModel>(mut f: Firmament<C>) -> Vec<SchedulingAction> {
     // Oversubscribe: a second job beyond capacity.
     submit(&mut state, &mut f, 1, 10);
     let o = f.schedule(&state).unwrap();
+    assert_aggregator_flow_conservation(f.graph(), policy);
     assert_eq!(
         o.placed_tasks + o.unscheduled_tasks,
         20,
@@ -88,6 +120,7 @@ fn run_script<C: CostModel>(mut f: Firmament<C>) -> Vec<SchedulingAction> {
         f.handle_event(&state, &ev).unwrap();
     }
     let o = f.schedule(&state).unwrap();
+    assert_aggregator_flow_conservation(f.graph(), policy);
     assert_eq!(o.placed_tasks, 16, "{policy}: freed slots refill");
     apply(&mut state, &mut f, &o.actions);
     assert_no_overcommit(&state, policy);
@@ -110,6 +143,7 @@ fn run_script<C: CostModel>(mut f: Firmament<C>) -> Vec<SchedulingAction> {
     state.apply(&ev);
     f.handle_event(&state, &ev).unwrap();
     let o = f.schedule(&state).unwrap();
+    assert_aggregator_flow_conservation(f.graph(), policy);
     apply(&mut state, &mut f, &o.actions);
     assert_no_overcommit(&state, policy);
     assert_eq!(
@@ -127,6 +161,7 @@ fn run_script<C: CostModel>(mut f: Firmament<C>) -> Vec<SchedulingAction> {
     state.apply(&ev);
     f.handle_event(&state, &ev).unwrap();
     let o = f.schedule(&state).unwrap();
+    assert_aggregator_flow_conservation(f.graph(), policy);
     apply(&mut state, &mut f, &o.actions);
     assert_no_overcommit(&state, policy);
     assert_eq!(
@@ -209,6 +244,7 @@ fn solver_kinds_agree_for_every_model() {
         objectives(|| QuincyCostModel::new(QuincyConfig::default())),
         objectives(NetworkAwareCostModel::new),
         objectives(OctopusCostModel::new),
+        objectives(HierarchicalTopologyCostModel::new),
     ] {
         assert_eq!(objs[0], objs[1]);
         assert_eq!(objs[1], objs[2]);
@@ -253,6 +289,7 @@ fn gang_minimum_forces_placements() {
     register(&state, &mut f);
     submit(&mut state, &mut f, 0, 5);
     let o = f.schedule(&state).unwrap();
+    assert_aggregator_flow_conservation(f.graph(), "gang-test");
     // Placing costs 100+ per task while unscheduled is free, so without
     // the gang floor the solver would place nothing.
     assert!(
@@ -264,4 +301,210 @@ fn gang_minimum_forces_placements() {
         o.placed_tasks < 5,
         "free unscheduled flow keeps the rest waiting"
     );
+}
+
+/// The EC→EC hierarchy model upholds every invariant of the shared
+/// script: placements are extracted through two aggregator hops (task →
+/// cluster root → rack → machine) with flow conserved at both levels.
+#[test]
+fn hierarchical_topology_conforms() {
+    run_script(Firmament::new(HierarchicalTopologyCostModel::new()));
+}
+
+#[test]
+fn hierarchical_topology_is_deterministic() {
+    let a = run_script(Firmament::new(HierarchicalTopologyCostModel::new()));
+    let b = run_script(Firmament::new(HierarchicalTopologyCostModel::new()));
+    assert_eq!(a, b, "hierarchy runs diverged");
+}
+
+/// End-to-end 3-level scheduling: every placement's flow crosses the
+/// cluster root *and* a rack aggregate (no task or root arc touches a
+/// machine directly), and both levels conserve flow exactly.
+#[test]
+fn hierarchy_places_through_two_aggregator_hops() {
+    let mut state = cluster(6, 2, 3); // 2 racks × 3 machines × 2 slots
+    let mut f = Firmament::new(HierarchicalTopologyCostModel::new());
+    register(&state, &mut f);
+    submit(&mut state, &mut f, 0, 9);
+    let o = f.schedule(&state).unwrap();
+    assert_eq!(o.placed_tasks, 9, "capacity exists for the whole job");
+    assert_aggregator_flow_conservation(f.graph(), "hierarchical-topology");
+    let g = f.graph();
+    // All placed flow funnels through the single cluster root...
+    let root = g
+        .node_ids()
+        .find(|&n| matches!(g.kind(n), NodeKind::ClusterAggregator))
+        .expect("root materialized");
+    let root_out: i64 = g
+        .adj(root)
+        .iter()
+        .filter(|a| a.is_forward())
+        .map(|&a| g.flow(a))
+        .sum();
+    assert_eq!(root_out, 9, "all placements route through the root");
+    // ...then through rack aggregates, never skipping a level.
+    for &a in g.adj(root) {
+        if a.is_forward() && g.flow(a) > 0 {
+            assert!(
+                matches!(g.kind(g.dst(a)), NodeKind::RackAggregator { .. }),
+                "root flow must descend to a rack aggregate"
+            );
+        }
+    }
+    let rack_to_machine: i64 = g
+        .node_ids()
+        .filter(|&n| matches!(g.kind(n), NodeKind::RackAggregator { .. }))
+        .flat_map(|n| g.adj(n).to_vec())
+        .filter(|a| a.is_forward())
+        .map(|a| g.flow(a))
+        .sum();
+    assert_eq!(rack_to_machine, 9, "every unit crosses the rack level too");
+    // Cross-rack spreading: with 9 tasks over 2 racks of 6 slots, the
+    // load-priced rack arcs split the job across racks.
+    apply(&mut state, &mut f, &o.actions);
+    let mut per_rack = std::collections::HashMap::new();
+    for m in state.machines.values() {
+        *per_rack.entry(m.rack).or_insert(0usize) += m.running.len();
+    }
+    assert!(
+        per_rack.values().all(|&n| n >= 3),
+        "rack load costs must spread the job, got {per_rack:?}"
+    );
+}
+
+/// A gang minimum beyond total capacity used to surface as a solver
+/// infeasibility error; admission control now queues the job instead and
+/// admits it automatically once capacity appears (ROADMAP item).
+struct HungryGangModel;
+
+impl CostModel for HungryGangModel {
+    fn name(&self) -> &'static str {
+        "hungry-gang"
+    }
+    fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+        0
+    }
+    fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(firmament::policies::ArcTarget, i64)> {
+        vec![(firmament::policies::ArcTarget::Aggregate(0), 1)]
+    }
+    fn aggregate_arc(
+        &self,
+        _: &ClusterState,
+        _: firmament::policies::AggregateId,
+        machine: &firmament::cluster::Machine,
+    ) -> Option<firmament::policies::ArcSpec> {
+        Some(firmament::policies::ArcSpec {
+            capacity: machine.slots as i64,
+            cost: 100,
+        })
+    }
+    fn job_gang_minimum(&self, _: &ClusterState, _: &Job) -> i64 {
+        6
+    }
+}
+
+#[test]
+fn gang_beyond_capacity_queues_instead_of_erroring() {
+    // 4 slots total, gang minimum 6: enforcing it would make the network
+    // infeasible.
+    let mut state = cluster(4, 1, 4);
+    let mut f = Firmament::new(HungryGangModel);
+    register(&state, &mut f);
+    submit(&mut state, &mut f, 0, 6);
+    let o = f
+        .schedule(&state)
+        .expect("oversized gang must not produce a solver error");
+    assert_eq!(o.deferred_gang_jobs, vec![0], "the job is queued");
+    assert_eq!(
+        o.placed_tasks, 0,
+        "unconstrained free-unscheduled flow places nothing"
+    );
+    // Capacity arrives: four more machines make the gang feasible.
+    for id in 100..104u64 {
+        let m = firmament::cluster::Machine::new(id, 0, 1);
+        let ev = ClusterEvent::MachineAdded { machine: m };
+        state.apply(&ev);
+        f.handle_event(&state, &ev).unwrap();
+    }
+    let o = f.schedule(&state).unwrap();
+    assert!(o.deferred_gang_jobs.is_empty(), "gang admitted");
+    assert!(
+        o.placed_tasks >= 6,
+        "admitted gang forces ≥6 placements, got {}",
+        o.placed_tasks
+    );
+}
+
+/// A model that keys an aggregate per *job* — exactly the pattern the old
+/// permanent-aggregate contract warned against. With garbage collection,
+/// job churn must no longer grow the graph without bound.
+struct PerJobAggModel;
+
+impl CostModel for PerJobAggModel {
+    fn name(&self) -> &'static str {
+        "per-job-agg"
+    }
+    fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+        100_000
+    }
+    fn task_arcs(
+        &self,
+        _: &ClusterState,
+        task: &Task,
+    ) -> Vec<(firmament::policies::ArcTarget, i64)> {
+        vec![(firmament::policies::ArcTarget::Aggregate(task.job), 1)]
+    }
+    fn aggregate_arc(
+        &self,
+        _: &ClusterState,
+        _: firmament::policies::AggregateId,
+        machine: &firmament::cluster::Machine,
+    ) -> Option<firmament::policies::ArcSpec> {
+        Some(firmament::policies::ArcSpec {
+            capacity: machine.slots as i64,
+            cost: machine.running.len() as i64,
+        })
+    }
+}
+
+#[test]
+fn aggregate_gc_bounds_graph_over_job_churn() {
+    let mut state = cluster(4, 2, 4);
+    let mut f = Firmament::new(PerJobAggModel);
+    register(&state, &mut f);
+    let baseline = f.graph().node_count();
+    let mut peak = 0usize;
+    for job in 0..30u64 {
+        submit(&mut state, &mut f, job, 4);
+        let o = f.schedule(&state).unwrap();
+        assert_eq!(o.placed_tasks, 4, "job {job} fits");
+        apply(&mut state, &mut f, &o.actions);
+        peak = peak.max(f.graph().node_count());
+        // Complete the whole job.
+        let mut running: Vec<u64> = state.running_tasks().map(|t| t.id).collect();
+        running.sort_unstable();
+        for t in running {
+            state.now += 1;
+            let ev = ClusterEvent::TaskCompleted {
+                task: t,
+                now: state.now,
+            };
+            state.apply(&ev);
+            f.handle_event(&state, &ev).unwrap();
+        }
+        f.schedule(&state).unwrap();
+    }
+    // Per-job aggregates and U_j nodes are freed as their jobs drain: the
+    // graph never accumulates more than one job's worth of extra nodes.
+    assert!(
+        peak <= baseline + 4 /* tasks */ + 1 /* aggregate */ + 1 /* U_j */ + 2,
+        "graph grew over churn: baseline {baseline}, peak {peak}"
+    );
+    assert_eq!(
+        f.graph().node_count(),
+        baseline,
+        "after all jobs drain, only sink + machines remain"
+    );
+    assert!(f.manager().stats().aggregates_collected >= 30);
 }

@@ -98,6 +98,101 @@ fn prop_green_changes_preserve_optimality() {
     }
 }
 
+/// Builds a `depth`-level aggregator chain: `tasks` task nodes → X →
+/// A_1 → … → A_{depth−1} → machines → sink, solves it, and returns the
+/// solved graph. Every level has capacity exactly `tasks`, so all flow
+/// must traverse the full chain.
+fn deep_chain(tasks: usize, machines: usize, depth: usize) -> firmament::flow::FlowGraph {
+    use firmament::flow::{FlowGraph, NodeKind};
+    let mut g = FlowGraph::new();
+    let task_nodes: Vec<_> = (0..tasks)
+        .map(|i| g.add_node(NodeKind::Task { task: i as u64 }, 1))
+        .collect();
+    let mut levels = vec![g.add_node(NodeKind::ClusterAggregator, 0)];
+    for l in 1..depth {
+        levels.push(g.add_node(NodeKind::Other { tag: l as u64 }, 0));
+    }
+    let machine_nodes: Vec<_> = (0..machines)
+        .map(|m| g.add_node(NodeKind::Machine { machine: m as u64 }, 0))
+        .collect();
+    let sink = g.add_node(NodeKind::Sink, -(tasks as i64));
+    for (i, &t) in task_nodes.iter().enumerate() {
+        g.add_arc(t, levels[0], 1, 1 + i as i64).unwrap();
+    }
+    for w in levels.windows(2) {
+        g.add_arc(w[0], w[1], tasks as i64, 2).unwrap();
+    }
+    let per_machine = tasks.div_ceil(machines) as i64;
+    for (m, &mn) in machine_nodes.iter().enumerate() {
+        g.add_arc(*levels.last().unwrap(), mn, per_machine, m as i64)
+            .unwrap();
+        g.add_arc(mn, sink, per_machine, 0).unwrap();
+    }
+    ssp::solve(&mut g, &SolveOptions::unlimited()).unwrap();
+    g
+}
+
+/// Placements decompose through arbitrary aggregator depth: a chain of 2,
+/// 3, and 5 aggregator levels between tasks and machines extracts every
+/// task, with per-machine counts equal to the machine → sink flow and
+/// flow conserved at every intermediate level.
+#[test]
+fn extraction_decomposes_through_arbitrary_aggregator_depth() {
+    for depth in [2usize, 3, 5] {
+        let g = deep_chain(12, 4, depth);
+        let placements = extract_placements(&g);
+        assert_eq!(placements.len(), 12, "depth {depth}");
+        let placed: Vec<u64> = placements
+            .values()
+            .filter_map(|p| match p {
+                Placement::OnMachine(m) => Some(*m),
+                Placement::Unscheduled => None,
+            })
+            .collect();
+        assert_eq!(placed.len(), 12, "depth {depth}: everything places");
+        // Per-machine counts equal the machine→sink flow.
+        use std::collections::HashMap;
+        let mut counts: HashMap<u64, i64> = HashMap::new();
+        for m in &placed {
+            *counts.entry(*m).or_insert(0) += 1;
+        }
+        for n in g.node_ids() {
+            use firmament::flow::NodeKind;
+            match g.kind(n) {
+                NodeKind::Machine { machine } => {
+                    let outflow: i64 = g
+                        .adj(n)
+                        .iter()
+                        .copied()
+                        .filter(|a| a.is_forward())
+                        .map(|a| g.flow(a))
+                        .sum();
+                    assert_eq!(
+                        counts.get(&machine).copied().unwrap_or(0),
+                        outflow,
+                        "depth {depth} machine {machine}"
+                    );
+                }
+                NodeKind::ClusterAggregator | NodeKind::Other { .. } => {
+                    let mut inflow = 0i64;
+                    let mut outflow = 0i64;
+                    for &a in g.adj(n) {
+                        let f = g.flow(a.forward());
+                        if a.is_forward() {
+                            outflow += f;
+                        } else {
+                            inflow += f;
+                        }
+                    }
+                    assert_eq!(inflow, outflow, "depth {depth}: level unbalanced");
+                    assert_eq!(inflow, 12, "depth {depth}: all flow crosses each level");
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 /// Extraction accounts for exactly the machine→sink flow.
 #[test]
 fn prop_extraction_matches_flow() {

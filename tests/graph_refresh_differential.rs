@@ -1,0 +1,387 @@
+//! Differential graph-refresh fuzzing: the incrementally maintained flow
+//! network must stay semantically identical to a from-scratch rebuild.
+//!
+//! The `FlowGraphManager` applies cluster events as graph *deltas* and
+//! refreshes only dirty nodes (§6.3) — dozens of code paths that can
+//! silently diverge from the declarative [`CostModel`] intent, especially
+//! now that EC→EC hierarchy arcs multiply the refresh surface. Each test
+//! drives one cost model through 50 seeded random event scripts (machine
+//! add/remove, job submission, task placement/completion/preemption, clock
+//! advance) and, after *every* refresh round, rebuilds the graph from
+//! scratch out of current cluster state and asserts the two are identical
+//! under a canonical form:
+//!
+//! - same node kinds (aggregate GC must leave exactly the reachable set),
+//! - same per-kind supplies,
+//! - same positive-capacity arcs with equal capacity and cost (parked
+//!   capacity-0 arcs are semantic no-ops, so both sides drop them).
+//!
+//! Failures print the model, seed, and round, so every divergence is a
+//! deterministic one-line reproduction.
+
+use firmament::cluster::{
+    ClusterEvent, ClusterState, Job, JobClass, Machine, Task, TaskState, TopologySpec,
+};
+use firmament::core::FlowGraphManager;
+use firmament::flow::testgen::XorShift64;
+use firmament::flow::FlowGraph;
+use firmament::policies::{
+    CostModel, HierarchicalTopologyCostModel, LoadSpreadingCostModel, NetworkAwareCostModel,
+    OctopusCostModel, QuincyConfig, QuincyCostModel,
+};
+
+const SCRIPTS_PER_MODEL: u64 = 50;
+const ROUNDS_PER_SCRIPT: usize = 15;
+
+/// Canonical, id-independent form of a scheduling flow network: sorted
+/// node kinds, sorted nonzero supplies by kind, and sorted
+/// positive-capacity forward arcs as `(src kind, dst kind, cap, cost)`.
+type Canonical = (
+    Vec<String>,
+    Vec<(String, i64)>,
+    Vec<(String, String, i64, i64)>,
+);
+
+fn canonical(g: &FlowGraph) -> Canonical {
+    let mut nodes: Vec<String> = g.node_ids().map(|n| g.kind(n).to_string()).collect();
+    nodes.sort();
+    let mut supplies: Vec<(String, i64)> = g
+        .node_ids()
+        .filter(|&n| g.supply(n) != 0)
+        .map(|n| (g.kind(n).to_string(), g.supply(n)))
+        .collect();
+    supplies.sort();
+    let mut arcs: Vec<(String, String, i64, i64)> = g
+        .arc_ids()
+        .filter(|&a| g.capacity(a) > 0)
+        .map(|a| {
+            (
+                g.kind(g.src(a)).to_string(),
+                g.kind(g.dst(a)).to_string(),
+                g.capacity(a),
+                g.cost(a),
+            )
+        })
+        .collect();
+    arcs.sort();
+    (nodes, supplies, arcs)
+}
+
+/// Builds a manager from scratch out of the current cluster state, as if
+/// the scheduler had just started: machines first, then every job's
+/// incomplete tasks, then the placements of running tasks, then a refresh.
+fn rebuild<C: CostModel>(model: &C, state: &ClusterState) -> FlowGraphManager {
+    let mut mgr = FlowGraphManager::new();
+    let mut machines: Vec<Machine> = state.machines.values().cloned().collect();
+    machines.sort_by_key(|m| m.id);
+    for m in machines {
+        mgr.apply_event(model, state, &ClusterEvent::MachineAdded { machine: m })
+            .expect("rebuild: machine");
+    }
+    let mut jobs: Vec<&Job> = state.jobs.values().collect();
+    jobs.sort_by_key(|j| j.id);
+    for job in jobs {
+        let tasks: Vec<Task> = job
+            .tasks
+            .iter()
+            .filter_map(|t| state.tasks.get(t))
+            .filter(|t| t.state != TaskState::Completed)
+            .cloned()
+            .collect();
+        if tasks.is_empty() {
+            continue;
+        }
+        mgr.apply_event(
+            model,
+            state,
+            &ClusterEvent::JobSubmitted {
+                job: job.clone(),
+                tasks,
+            },
+        )
+        .expect("rebuild: job");
+    }
+    let mut running: Vec<&Task> = state.running_tasks().collect();
+    running.sort_by_key(|t| t.id);
+    for t in running {
+        mgr.apply_event(
+            model,
+            state,
+            &ClusterEvent::TaskPlaced {
+                task: t.id,
+                machine: t.machine.expect("running task has a machine"),
+                now: state.now,
+            },
+        )
+        .expect("rebuild: placement");
+    }
+    mgr.refresh(model, state).expect("rebuild: refresh");
+    mgr
+}
+
+/// Id allocation for fuzz-generated entities. Removed machine ids are
+/// remembered so some additions *reuse* them: waiting arc sets are
+/// re-derived on every machine-set change, so a re-added id must converge
+/// to exactly what a from-scratch build declares.
+struct Ids {
+    next_task: u64,
+    next_job: u64,
+    next_machine: u64,
+    next_rack: u32,
+    removed_machines: Vec<u64>,
+}
+
+fn apply_both<C: CostModel>(
+    state: &mut ClusterState,
+    mgr: &mut FlowGraphManager,
+    model: &C,
+    ev: &ClusterEvent,
+) {
+    state.apply(ev);
+    mgr.apply_event(model, state, ev)
+        .unwrap_or_else(|e| panic!("{}: event {ev:?} failed: {e}", model.name()));
+}
+
+fn random_event<C: CostModel>(
+    rng: &mut XorShift64,
+    ids: &mut Ids,
+    state: &mut ClusterState,
+    mgr: &mut FlowGraphManager,
+    model: &C,
+) {
+    match rng.below(100) {
+        // Submit a small job; some tasks carry input blocks (exercising
+        // locality preference arcs) and bandwidth requests (request
+        // classes).
+        0..=29 => {
+            let job_id = ids.next_job;
+            ids.next_job += 1;
+            let n = 1 + rng.below(4) as usize;
+            let job = Job::new(job_id, JobClass::Batch, 0, state.now);
+            let mut tasks = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tid = ids.next_task;
+                ids.next_task += 1;
+                let mut t = Task::new(tid, job_id, state.now, 1_000_000 + rng.below(60_000_000));
+                t.request.net_mbps = 100 + rng.below(1900);
+                if rng.below(2) == 0 && !state.machines.is_empty() {
+                    let mut holders: Vec<u64> = state.machines.keys().copied().collect();
+                    holders.sort_unstable();
+                    let k = 1 + rng.below(3.min(holders.len() as u64)) as usize;
+                    let mut picked = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        picked.push(holders[rng.below(holders.len() as u64) as usize]);
+                    }
+                    t.input_blocks = vec![state.blocks.place_block(picked)];
+                    t.input_bytes = 1_000_000_000 + rng.below(3_000_000_000);
+                }
+                tasks.push(t);
+            }
+            apply_both(
+                state,
+                mgr,
+                model,
+                &ClusterEvent::JobSubmitted { job, tasks },
+            );
+        }
+        // Place a waiting task on a machine with a free slot (synthetic
+        // scheduler decision — the manager must cope with any placement).
+        30..=49 => {
+            let mut waiting: Vec<u64> = state.waiting_tasks().map(|t| t.id).collect();
+            waiting.sort_unstable();
+            let mut free: Vec<u64> = state
+                .machines
+                .values()
+                .filter(|m| m.has_free_slot())
+                .map(|m| m.id)
+                .collect();
+            free.sort_unstable();
+            if waiting.is_empty() || free.is_empty() {
+                return;
+            }
+            let task = waiting[rng.below(waiting.len() as u64) as usize];
+            let machine = free[rng.below(free.len() as u64) as usize];
+            apply_both(
+                state,
+                mgr,
+                model,
+                &ClusterEvent::TaskPlaced {
+                    task,
+                    machine,
+                    now: state.now,
+                },
+            );
+        }
+        // Complete a running task.
+        50..=64 => {
+            let mut running: Vec<u64> = state.running_tasks().map(|t| t.id).collect();
+            running.sort_unstable();
+            if running.is_empty() {
+                return;
+            }
+            let task = running[rng.below(running.len() as u64) as usize];
+            apply_both(
+                state,
+                mgr,
+                model,
+                &ClusterEvent::TaskCompleted {
+                    task,
+                    now: state.now,
+                },
+            );
+        }
+        // Preempt (≈ fail) a running task back into the waiting pool.
+        65..=74 => {
+            let mut running: Vec<u64> = state.running_tasks().map(|t| t.id).collect();
+            running.sort_unstable();
+            if running.is_empty() {
+                return;
+            }
+            let task = running[rng.below(running.len() as u64) as usize];
+            apply_both(
+                state,
+                mgr,
+                model,
+                &ClusterEvent::TaskPreempted {
+                    task,
+                    now: state.now,
+                },
+            );
+        }
+        // Advance the virtual clock (drifts every waiting cost).
+        75..=84 => {
+            let now = state.now + 1_000_000 * (1 + rng.below(30));
+            apply_both(state, mgr, model, &ClusterEvent::Tick { now });
+        }
+        // Add a machine — sometimes into a brand-new rack (growing the
+        // hierarchy a level-0 aggregate must pick up on refresh),
+        // sometimes reusing a previously removed id (waiting arc sets
+        // must re-converge on the rebuilt declarations).
+        85..=92 => {
+            let id = if !ids.removed_machines.is_empty() && rng.below(3) == 0 {
+                ids.removed_machines
+                    .swap_remove(rng.below(ids.removed_machines.len() as u64) as usize)
+            } else {
+                ids.next_machine += 1;
+                ids.next_machine - 1
+            };
+            let rack = if rng.below(2) == 0 || state.machines.is_empty() {
+                ids.next_rack += 1;
+                ids.next_rack
+            } else {
+                let mut racks: Vec<u32> = state.machines.values().map(|m| m.rack).collect();
+                racks.sort_unstable();
+                racks.dedup();
+                racks[rng.below(racks.len() as u64) as usize]
+            };
+            let machine = Machine::new(id, rack, 1 + rng.below(3) as u32);
+            apply_both(state, mgr, model, &ClusterEvent::MachineAdded { machine });
+        }
+        // Remove a machine, displacing whatever ran on it.
+        _ => {
+            if state.machines.len() <= 1 {
+                return;
+            }
+            let mut ms: Vec<u64> = state.machines.keys().copied().collect();
+            ms.sort_unstable();
+            let machine = ms[rng.below(ms.len() as u64) as usize];
+            ids.removed_machines.push(machine);
+            apply_both(
+                state,
+                mgr,
+                model,
+                &ClusterEvent::MachineRemoved {
+                    machine,
+                    now: state.now,
+                },
+            );
+        }
+    }
+}
+
+/// One seeded script: a small cluster, `ROUNDS_PER_SCRIPT` rounds of 1–3
+/// random events each, a refresh after every round, and a full
+/// incremental-vs-rebuild comparison after every refresh.
+fn run_script<C: CostModel>(model: &C, seed: u64) {
+    let mut rng = XorShift64::new(seed);
+    let mut state = ClusterState::with_topology(&TopologySpec {
+        machines: 4 + rng.below(5) as usize,
+        machines_per_rack: 2 + rng.below(2) as usize,
+        slots_per_machine: 2,
+    });
+    let mut ids = Ids {
+        next_task: 0,
+        next_job: 0,
+        next_machine: 1000,
+        next_rack: 100,
+        removed_machines: Vec::new(),
+    };
+    let mut mgr = FlowGraphManager::new();
+    let mut machines: Vec<Machine> = state.machines.values().cloned().collect();
+    machines.sort_by_key(|m| m.id);
+    for m in machines {
+        mgr.apply_event(model, &state, &ClusterEvent::MachineAdded { machine: m })
+            .expect("initial machine");
+    }
+    for round in 0..ROUNDS_PER_SCRIPT {
+        let events = 1 + rng.below(3);
+        for _ in 0..events {
+            random_event(&mut rng, &mut ids, &mut state, &mut mgr, model);
+        }
+        mgr.refresh(model, &state)
+            .unwrap_or_else(|e| panic!("{} seed {seed} round {round}: refresh: {e}", model.name()));
+        let fresh = rebuild(model, &state);
+        let inc = canonical(mgr.graph());
+        let scratch = canonical(fresh.graph());
+        assert_eq!(
+            inc.0,
+            scratch.0,
+            "{} seed {seed} round {round}: node sets diverged",
+            model.name()
+        );
+        assert_eq!(
+            inc.1,
+            scratch.1,
+            "{} seed {seed} round {round}: supplies diverged",
+            model.name()
+        );
+        assert_eq!(
+            inc.2,
+            scratch.2,
+            "{} seed {seed} round {round}: arcs diverged",
+            model.name()
+        );
+    }
+}
+
+fn run_model<C: CostModel>(make: impl Fn() -> C, salt: u64) {
+    for i in 0..SCRIPTS_PER_MODEL {
+        let model = make();
+        run_script(&model, salt.wrapping_add(i * 0x9E37).max(1));
+    }
+}
+
+#[test]
+fn differential_load_spreading() {
+    run_model(LoadSpreadingCostModel::new, 0x10AD);
+}
+
+#[test]
+fn differential_quincy() {
+    run_model(|| QuincyCostModel::new(QuincyConfig::default()), 0x0116C7);
+}
+
+#[test]
+fn differential_octopus() {
+    run_model(OctopusCostModel::new, 0x0C107);
+}
+
+#[test]
+fn differential_network_aware() {
+    run_model(NetworkAwareCostModel::new, 0x6E7B);
+}
+
+#[test]
+fn differential_hierarchy() {
+    run_model(HierarchicalTopologyCostModel::new, 0x417AC);
+}
