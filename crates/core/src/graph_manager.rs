@@ -18,6 +18,7 @@
 //! bookkeeping below are written once instead of once per policy.
 
 use firmament_cluster::{ClusterEvent, ClusterState, JobId, MachineId, TaskId, Time};
+use firmament_flow::delta::DeltaBatch;
 use firmament_flow::{ArcId, FlowGraph, NodeId, NodeKind};
 use firmament_mcmf::incremental::drain_task_flow;
 use firmament_policies::{AggregateId, ArcTarget, CostModel, PolicyError};
@@ -45,9 +46,12 @@ pub struct GraphBase {
 }
 
 impl GraphBase {
-    /// Creates an empty base with a sink node.
+    /// Creates an empty base with a sink node. Change tracking is enabled
+    /// from the start: the manager's graph records every mutation so each
+    /// round's [`DeltaBatch`] can be handed to the incremental solver.
     pub fn new() -> Self {
         let mut base = GraphBase::default();
+        base.graph.set_change_tracking(true);
         let sink = base.graph.add_node(NodeKind::Sink, 0);
         base.sink = Some(sink);
         base
@@ -248,6 +252,18 @@ pub struct FlowGraphManager {
     /// Virtual time of the last refresh; when unchanged, waiting-task
     /// costs cannot have drifted and are skipped.
     last_refresh_now: Option<Time>,
+    /// Whether the model has *ever* declared an EC→EC child. Flat models
+    /// (the common case) never do, so machine-set events skip the blanket
+    /// aggregate-dirtying that exists only to re-sync hierarchy arcs and
+    /// their subtree capacities. Sticky: once a hierarchy is seen, machine
+    /// events always re-dirty every aggregate (hierarchies may grow with
+    /// the machine set). Known limit: a model that has never declared any
+    /// EC→EC child and whose *first* declaration appears, in response to
+    /// a machine-set change, on an existing aggregate with no arc to the
+    /// touched machine is not re-queried (the flag can only flip inside a
+    /// query). No shipped model behaves this way; the differential fuzz
+    /// suite would flag the divergence if one did.
+    hierarchy_declared: bool,
     stats: RefreshStats,
 }
 
@@ -326,6 +342,15 @@ impl FlowGraphManager {
         self.stats
     }
 
+    /// Drains and compacts the graph changes recorded since the last call
+    /// — the typed feed the incremental solver warm-starts from. The
+    /// scheduler core calls this once per round, after the refresh and
+    /// before [`take_graph`](Self::take_graph), so the batch covers
+    /// exactly one handoff window.
+    pub fn take_deltas(&mut self) -> DeltaBatch {
+        DeltaBatch::compact(self.base.graph.take_changes())
+    }
+
     /// Takes the graph out of the manager for an owned (zero-copy) solve.
     /// The caller **must** return it — or the solver's derived copy, which
     /// preserves node/arc ids — via [`adopt_graph`](Self::adopt_graph)
@@ -381,8 +406,17 @@ impl FlowGraphManager {
                 // Machine-set changes can alter EC→EC capacities (which
                 // aggregate subtree slots) and even create hierarchy levels
                 // (first machine of a new rack), so every aggregate's
-                // EC→EC arcs are re-synced at the next refresh.
-                self.dirty_aggs.extend(self.agg_nodes.keys().copied());
+                // EC→EC arcs are re-synced at the next refresh — but only
+                // for models that have ever declared a hierarchy. Flat
+                // aggregates have no EC→EC arcs to re-sync, so dirtying
+                // them here would only trigger no-op model queries. (A
+                // model that has *never* declared any EC→EC child and
+                // whose first declaration would come from an aggregate not
+                // adjacent to the touched machine is not re-queried — see
+                // `hierarchy_declared` for the documented limits.)
+                if self.hierarchy_declared {
+                    self.dirty_aggs.extend(self.agg_nodes.keys().copied());
+                }
                 // And they can change waiting tasks' declared arc *sets*:
                 // a model that names this machine (or its rack) as a
                 // preference target would declare arcs a from-scratch
@@ -391,7 +425,11 @@ impl FlowGraphManager {
             }
             ClusterEvent::MachineRemoved { machine, .. } => {
                 self.machine_agg_arcs.remove(machine);
-                self.dirty_aggs.extend(self.agg_nodes.keys().copied());
+                // See `MachineAdded`: the blanket re-sync only exists for
+                // EC→EC hierarchies.
+                if self.hierarchy_declared {
+                    self.dirty_aggs.extend(self.agg_nodes.keys().copied());
+                }
                 self.running_on.retain(|_, m| *m != *machine);
                 self.dirty_machines.remove(machine);
                 self.base.remove_machine(*machine)?;
@@ -741,6 +779,9 @@ impl FlowGraphManager {
             return Ok(());
         };
         let declared = model.aggregate_to_aggregate(state, agg);
+        if !declared.is_empty() {
+            self.hierarchy_declared = true;
+        }
         let mut seen: BTreeSet<AggregateId> = BTreeSet::new();
         for (child, spec) in declared {
             if child == agg {
@@ -1074,7 +1115,11 @@ impl FlowGraphManager {
         }
         // EC→EC children: materialize each declared child (recursively —
         // hierarchies can be arbitrarily deep) and connect it.
-        for (child, spec) in model.aggregate_to_aggregate(state, agg) {
+        let declared = model.aggregate_to_aggregate(state, agg);
+        if !declared.is_empty() {
+            self.hierarchy_declared = true;
+        }
+        for (child, spec) in declared {
             if dynamic && spec.capacity <= 0 {
                 continue;
             }
@@ -1955,5 +2000,167 @@ mod tests {
         mgr.refresh(&GangModel, &state).unwrap();
         assert!(mgr.deferred_gang_jobs().is_empty());
         assert_eq!(mgr.graph().capacity(mgr.base().unsched_sink_arcs[&1]), 1);
+    }
+
+    /// A flat model that counts its `aggregate_to_aggregate` queries, to
+    /// pin the dirty-set narrowing: machine events on hierarchy-free
+    /// models must not trigger per-aggregate no-op EC→EC queries.
+    struct CountingFlatModel {
+        a2a_queries: std::cell::Cell<u64>,
+    }
+
+    impl CostModel for CountingFlatModel {
+        fn name(&self) -> &'static str {
+            "counting-flat"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            10_000
+        }
+        fn task_arcs(&self, _: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
+            // Per-job aggregates, so the manager holds many flat aggregates.
+            vec![(ArcTarget::Aggregate(500 + task.job), 1)]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcSpec> {
+            Some(ArcSpec {
+                capacity: machine.slots as i64,
+                cost: 1,
+            })
+        }
+        fn aggregate_to_aggregate(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+        ) -> Vec<(AggregateId, ArcSpec)> {
+            self.a2a_queries.set(self.a2a_queries.get() + 1);
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn flat_models_skip_aggregate_resync_on_machine_events() {
+        let model = CountingFlatModel {
+            a2a_queries: std::cell::Cell::new(0),
+        };
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 20,
+            slots_per_machine: 2,
+        });
+        let mut mgr = FlowGraphManager::new();
+        for m in state.machines.values().cloned().collect::<Vec<_>>() {
+            mgr.apply_event(&model, &state, &ClusterEvent::MachineAdded { machine: m })
+                .unwrap();
+        }
+        // Ten jobs → ten flat per-job aggregates (queried once each at
+        // materialization).
+        for job in 0..10u64 {
+            let j = Job::new(job, JobClass::Batch, 0, 0);
+            let tasks = vec![Task::new(job * 100, job, 0, 1_000_000)];
+            let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+            state.apply(&ev);
+            mgr.apply_event(&model, &state, &ev).unwrap();
+        }
+        mgr.refresh(&model, &state).unwrap();
+        let before = model.a2a_queries.get();
+
+        // A machine joins and another leaves. Without narrowing, every
+        // one of the ten aggregates would be re-synced (one EC→EC query
+        // each, twice); with it, only aggregates adjacent to the touched
+        // machine are — and their sync cost is already paid by the
+        // machine-arc pass.
+        let m = Machine::new(77, 0, 2);
+        let ev = ClusterEvent::MachineAdded { machine: m };
+        state.apply(&ev);
+        mgr.apply_event(&model, &state, &ev).unwrap();
+        mgr.refresh(&model, &state).unwrap();
+        let ev = ClusterEvent::MachineRemoved {
+            machine: 77,
+            now: 5,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&model, &state, &ev).unwrap();
+        mgr.refresh(&model, &state).unwrap();
+
+        let after = model.a2a_queries.get();
+        // The machine-add still syncs aggregates that gained an arc to the
+        // new machine (they become dirty through adjacency); the blanket
+        // all-aggregate sweep — 20 queries here — must be gone. Machine
+        // *removal* must trigger none at all.
+        assert!(
+            after - before <= 10,
+            "machine events triggered {} EC→EC queries on a flat model",
+            after - before
+        );
+    }
+
+    #[test]
+    fn hierarchical_models_still_resync_on_machine_events() {
+        // The narrowing must not regress hierarchy growth: this is the
+        // `machine_in_new_rack_extends_hierarchy_on_refresh` scenario,
+        // re-checked here because it is exactly what the blanket dirtying
+        // existed for.
+        let (mut state, mut mgr) = hier_setup(2, 2, 1);
+        hier_submit(&mut state, &mut mgr, 0, 1);
+        let m = Machine::new(50, 7, 1);
+        let ev = ClusterEvent::MachineAdded { machine: m };
+        state.apply(&ev);
+        mgr.apply_event(&HierModel, &state, &ev).unwrap();
+        mgr.refresh(&HierModel, &state).unwrap();
+        assert!(mgr.aggregate_node(hier_rack_agg(7)).is_some());
+    }
+
+    #[test]
+    fn take_deltas_covers_one_handoff_window() {
+        let (mut state, mut mgr) = setup(2, 2);
+        // Drain the build-up batch (sink + machines).
+        let initial = mgr.take_deltas();
+        assert!(!initial.is_empty());
+        // A quiescent window records nothing.
+        mgr.refresh(&TestModel, &state).unwrap();
+        assert!(mgr.take_deltas().is_empty());
+        // A job submission lands in the next batch exactly once.
+        submit(&mut state, &mut mgr, 0, 2);
+        mgr.refresh(&TestModel, &state).unwrap();
+        let batch = mgr.take_deltas();
+        assert!(!batch.is_empty());
+        assert!(batch.raw_len() >= batch.len(), "compaction never grows");
+        assert!(mgr.take_deltas().is_empty(), "batch drained");
+    }
+
+    #[test]
+    fn take_deltas_replays_onto_snapshot() {
+        let (mut state, mut mgr) = setup(3, 2);
+        mgr.take_deltas();
+        let mut snapshot = mgr.graph().clone();
+        submit(&mut state, &mut mgr, 0, 3);
+        let ev = ClusterEvent::TaskPlaced {
+            task: 0,
+            machine: 1,
+            now: 50,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        mgr.refresh(&TestModel, &state).unwrap();
+        mgr.take_deltas().replay(&mut snapshot).unwrap();
+        let live = mgr.graph();
+        for n in live.node_ids() {
+            assert!(snapshot.node_alive(n));
+            assert_eq!(snapshot.kind(n), live.kind(n));
+            assert_eq!(snapshot.supply(n), live.supply(n));
+        }
+        assert_eq!(snapshot.node_count(), live.node_count());
+        assert_eq!(snapshot.arc_count(), live.arc_count());
+        for a in live.arc_ids() {
+            assert!(snapshot.arc_alive(a));
+            assert_eq!(snapshot.src(a), live.src(a));
+            assert_eq!(snapshot.dst(a), live.dst(a));
+            assert_eq!(snapshot.capacity(a), live.capacity(a));
+            assert_eq!(snapshot.cost(a), live.cost(a));
+        }
     }
 }

@@ -17,11 +17,18 @@
 //!                     CostModel (pure)                    │
 //!                        ▼                                │
 //!  schedule():  manager.refresh (two-pass, dirty nodes only)
-//!                                                         │
-//!                          DualSolver (relaxation ∥ inc. cost scaling)
+//!                        │ take_deltas() + take_graph()
+//!                        ▼
+//!        DeltaBatch ─► DualSolver (relaxation ∥ delta-fed inc. CS)
 //!                                                         │ optimal flow
 //!                 placements ◄── extract (Listing 1) ◄────┘
 //! ```
+//!
+//! The manager's graph records its own change log; `schedule` drains it
+//! as a compacted [`firmament_flow::delta::DeltaBatch`] each round and
+//! the incremental solver warm-starts from the deltas natively instead of
+//! diffing the graph (per-round telemetry on
+//! [`RoundOutcome::solver`](scheduler::RoundOutcome::solver)).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,4 +39,4 @@ pub mod scheduler;
 
 pub use extract::{extract_placements, Placement};
 pub use graph_manager::{FlowGraphManager, GraphBase, RefreshStats};
-pub use scheduler::{Firmament, RoundOutcome, SchedulerError, SchedulingAction};
+pub use scheduler::{Firmament, RoundOutcome, SchedulerError, SchedulingAction, SolverStats};

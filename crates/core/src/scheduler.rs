@@ -39,6 +39,32 @@ pub enum SchedulingAction {
     },
 }
 
+/// Per-round solver telemetry: how the change feed reached the solver and
+/// how much of the graph the warm start actually visited. This is what
+/// lets experiments (fig11/fig14) show the incremental path scaling with
+/// *change* size rather than graph size.
+#[derive(Debug, Clone, Default)]
+pub struct SolverStats {
+    /// Compacted [`firmament_flow::delta::GraphDelta`]s handed to the
+    /// solver this round.
+    pub deltas_fed: usize,
+    /// Raw change-log entries the batch was compacted from.
+    pub raw_changes: usize,
+    /// Nodes the incremental cost-scaling solver activated (its honest
+    /// work measure); 0 when it went cold, was cancelled, or lost the
+    /// race before finishing.
+    pub nodes_touched: u64,
+    /// Iterations the incremental solver spent (push/relabel steps).
+    pub iterations: u64,
+    /// Warm-start safety-valve trips this round (the warm attempt was
+    /// abandoned for a bounded cold re-solve).
+    pub bailouts: u64,
+    /// Which MCMF algorithm won the speculative race — a convenience copy
+    /// of [`RoundOutcome::winner`] so this struct is self-contained when
+    /// logged on its own.
+    pub winner: Option<AlgorithmKind>,
+}
+
 /// The outcome of one scheduling round.
 #[derive(Debug)]
 pub struct RoundOutcome {
@@ -48,6 +74,8 @@ pub struct RoundOutcome {
     pub algorithm_runtime: Duration,
     /// Which MCMF algorithm won the speculative race.
     pub winner: AlgorithmKind,
+    /// Delta-feed and warm-start telemetry for this round.
+    pub solver: SolverStats,
     /// Objective value of the optimal flow.
     pub objective: i64,
     /// Total tasks currently placed somewhere after this round.
@@ -170,6 +198,13 @@ impl<C: CostModel> Firmament<C> {
         &self.manager
     }
 
+    /// Mutable access to the flow-graph manager, for benchmarks and tests
+    /// that drive the take-graph/adopt-graph/take-deltas handoff manually
+    /// instead of through [`schedule`](Self::schedule).
+    pub fn manager_mut(&mut self) -> &mut FlowGraphManager {
+        &mut self.manager
+    }
+
     /// The current flow network.
     pub fn graph(&self) -> &FlowGraph {
         self.manager.graph()
@@ -207,20 +242,31 @@ impl<C: CostModel> Firmament<C> {
     /// Runs one scheduling round: refresh costs, solve, extract, diff.
     pub fn schedule(&mut self, state: &ClusterState) -> Result<RoundOutcome, SchedulerError> {
         self.manager.refresh(&self.model, state)?;
+        // Drain the typed change feed recorded since the last handoff —
+        // the incremental solver warm-starts from it natively instead of
+        // diffing the graph against its warm state.
+        let deltas = self.manager.take_deltas();
         // Hand the solver ownership of the graph: single-algorithm runs
         // solve in place and dual runs clone once instead of twice, and
         // adopting the winning flow is a move either way.
         let graph = self.manager.take_graph();
-        let outcome = match self.solver.solve_owned(graph, &self.solve_options) {
-            Ok(outcome) => outcome,
-            Err((err, mut graph)) => {
-                // Restore the network so the manager stays consistent; the
-                // failed run may have left partial flow behind.
-                graph.reset_flow();
-                self.manager.adopt_graph(graph);
-                return Err(err.into());
-            }
-        };
+        let outcome =
+            match self
+                .solver
+                .solve_owned_with_deltas(graph, Some(&deltas), &self.solve_options)
+            {
+                Ok(outcome) => outcome,
+                Err((err, mut graph)) => {
+                    // Restore the network so the manager stays consistent; the
+                    // failed run may have left partial flow behind. (The
+                    // drained delta batch is intentionally dropped: the
+                    // incremental solver went cold, so the next round solves
+                    // from scratch and needs no feed.)
+                    graph.reset_flow();
+                    self.manager.adopt_graph(graph);
+                    return Err(err.into());
+                }
+            };
         self.manager.adopt_graph(outcome.graph);
         let placements = extract_placements(self.manager.graph());
         let actions = diff_placements(state, &placements);
@@ -229,10 +275,19 @@ impl<C: CostModel> Firmament<C> {
             .values()
             .filter(|p| matches!(p, Placement::OnMachine(_)))
             .count();
+        let cs = outcome.cs_stats.as_ref();
         Ok(RoundOutcome {
             actions,
             algorithm_runtime: outcome.solution.runtime,
             winner: outcome.winner,
+            solver: SolverStats {
+                deltas_fed: deltas.len(),
+                raw_changes: deltas.raw_len(),
+                nodes_touched: cs.map(|s| s.nodes_touched).unwrap_or(0),
+                iterations: cs.map(|s| s.iterations).unwrap_or(0),
+                bailouts: cs.map(|s| s.bailouts).unwrap_or(0),
+                winner: Some(outcome.winner),
+            },
             objective: outcome.solution.objective,
             placed_tasks: placed,
             unscheduled_tasks: placements.len() - placed,

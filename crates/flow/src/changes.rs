@@ -86,6 +86,14 @@ pub enum GraphChange {
         /// New cost.
         new: i64,
     },
+    /// Flow was moved at this node outside a solver run (e.g. a §5.3.2
+    /// task-removal drain ended here), so its excess may be non-zero even
+    /// though no structural change names it. Purely a marker for the
+    /// incremental solver's dirty set; carries no replayable effect.
+    FlowDisturbed {
+        /// The node whose conservation may have been broken.
+        node: NodeId,
+    },
 }
 
 impl GraphChange {

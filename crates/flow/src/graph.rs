@@ -86,6 +86,10 @@ pub enum GraphError {
     SelfLoop(NodeId),
     /// A negative capacity was requested.
     NegativeCapacity(i64),
+    /// A restore targeted a node slot that is currently alive.
+    OccupiedNode(NodeId),
+    /// A restore targeted an arc slot that is currently alive.
+    OccupiedArc(ArcId),
 }
 
 impl std::fmt::Display for GraphError {
@@ -95,6 +99,8 @@ impl std::fmt::Display for GraphError {
             GraphError::DeadArc(a) => write!(f, "arc {a} is not alive"),
             GraphError::SelfLoop(n) => write!(f, "self-loop on {n} is not allowed"),
             GraphError::NegativeCapacity(c) => write!(f, "negative capacity {c}"),
+            GraphError::OccupiedNode(n) => write!(f, "node slot {n} is occupied"),
+            GraphError::OccupiedArc(a) => write!(f, "arc slot {a} is occupied"),
         }
     }
 }
@@ -208,6 +214,50 @@ impl FlowGraph {
         self.free_nodes.push(node);
         self.record(GraphChange::RemoveNode { node, supply });
         Ok(removed)
+    }
+
+    /// Revives a node in an exact slot — the id-faithful insertion used by
+    /// change-log replay ([`crate::delta::DeltaBatch::replay`]): unlike
+    /// [`add_node`](Self::add_node), which allocates from the free list,
+    /// this places the node at `node` regardless of allocation history, so
+    /// a replayed snapshot reproduces the live graph's ids exactly.
+    ///
+    /// Fails with [`GraphError::OccupiedNode`] if the slot is alive. Slots
+    /// between the current bound and `node` are created dead (they mirror
+    /// live slots whose occupants cancelled out within the batch).
+    pub fn restore_node(
+        &mut self,
+        node: NodeId,
+        kind: NodeKind,
+        supply: i64,
+    ) -> Result<(), GraphError> {
+        while self.nodes.len() <= node.index() {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(NodeSlot {
+                alive: false,
+                kind: NodeKind::Sink,
+                supply: 0,
+            });
+            self.adj.push(Vec::new());
+            if id != node {
+                self.free_nodes.push(id);
+            }
+        }
+        if self.nodes[node.index()].alive {
+            return Err(GraphError::OccupiedNode(node));
+        }
+        if let Some(pos) = self.free_nodes.iter().position(|&n| n == node) {
+            self.free_nodes.swap_remove(pos);
+        }
+        self.nodes[node.index()] = NodeSlot {
+            alive: true,
+            kind,
+            supply,
+        };
+        self.adj[node.index()].clear();
+        self.alive_nodes += 1;
+        self.record(GraphChange::AddNode { node, kind, supply });
+        Ok(())
     }
 
     /// Changes the supply of a node.
@@ -353,6 +403,81 @@ impl FlowGraph {
             cost,
         });
         Ok(fwd)
+    }
+
+    /// Revives an arc pair in an exact slot — the id-faithful counterpart
+    /// of [`restore_node`](Self::restore_node) for change-log replay. The
+    /// new pair carries no flow.
+    ///
+    /// Fails with [`GraphError::OccupiedArc`] if the pair's forward slot is
+    /// alive. Pairs between the current bound and `arc` are created dead.
+    pub fn restore_arc(
+        &mut self,
+        arc: ArcId,
+        src: NodeId,
+        dst: NodeId,
+        capacity: i64,
+        cost: i64,
+    ) -> Result<(), GraphError> {
+        let fwd = arc.forward();
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Err(GraphError::SelfLoop(src));
+        }
+        if capacity < 0 {
+            return Err(GraphError::NegativeCapacity(capacity));
+        }
+        while self.arcs.len() <= fwd.index() + 1 {
+            let base = self.arcs.len() as u32;
+            debug_assert_eq!(base % 2, 0);
+            for _ in 0..2 {
+                self.arcs.push(ArcSlot {
+                    alive: false,
+                    src: NodeId(0),
+                    dst: NodeId(0),
+                    cost: 0,
+                    rescap: 0,
+                    capacity: 0,
+                });
+            }
+            if base != fwd.0 {
+                self.free_arc_pairs.push(base);
+            }
+        }
+        if self.arcs[fwd.index()].alive {
+            return Err(GraphError::OccupiedArc(fwd));
+        }
+        if let Some(pos) = self.free_arc_pairs.iter().position(|&b| b == fwd.0) {
+            self.free_arc_pairs.swap_remove(pos);
+        }
+        self.arcs[fwd.index()] = ArcSlot {
+            alive: true,
+            src,
+            dst,
+            cost,
+            rescap: capacity,
+            capacity,
+        };
+        self.arcs[fwd.index() + 1] = ArcSlot {
+            alive: true,
+            src: dst,
+            dst: src,
+            cost: -cost,
+            rescap: 0,
+            capacity: 0,
+        };
+        self.adj[src.index()].push(fwd);
+        self.adj[dst.index()].push(fwd.sister());
+        self.alive_arc_pairs += 1;
+        self.record(GraphChange::AddArc {
+            arc: fwd,
+            src,
+            dst,
+            capacity,
+            cost,
+        });
+        Ok(())
     }
 
     /// Removes an arc pair given either of its residual arc ids.
@@ -523,6 +648,15 @@ impl FlowGraph {
         );
         self.arcs[arc.index()].rescap -= delta;
         self.arcs[arc.index() ^ 1].rescap += delta;
+    }
+
+    /// Notes in the change log that flow was moved at `node` outside a
+    /// solver run (e.g. a §5.3.2 drain terminated here), so incremental
+    /// solvers re-derive its excess. No-op when tracking is off.
+    pub fn note_flow_disturbance(&mut self, node: NodeId) {
+        if self.node_alive(node) {
+            self.record(GraphChange::FlowDisturbed { node });
+        }
     }
 
     /// Sets the flow on a pair directly (clamped to `[0, capacity]`).

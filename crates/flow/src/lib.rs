@@ -8,9 +8,13 @@
 //! - [`FlowGraph`]: a mutable residual-network representation designed for
 //!   min-cost max-flow solvers (paired forward/reverse arcs, flat arenas,
 //!   slot reuse for removed nodes/arcs);
-//! - [`changes::GraphChange`]: the change log consumed by
-//!   incremental solvers (§5.2), and the Table 3 analysis of which arc
-//!   changes require reoptimization;
+//! - [`changes::GraphChange`]: the raw mutation log recorded by a tracked
+//!   graph (§5.2), and the Table 3 analysis of which arc changes require
+//!   reoptimization;
+//! - [`delta::DeltaBatch`]: the *compacted*, typed change feed handed to
+//!   incremental solvers once per scheduling round — add-then-remove pairs
+//!   cancel, repeated re-pricings merge, and the batch replays exactly
+//!   onto a snapshot (see the [`delta`] module docs for the contract);
 //! - [`SchedulingGraphBuilder`]: ergonomic construction of scheduling-shaped
 //!   networks (tasks, machines, aggregators, unscheduled aggregators, sink);
 //! - DIMACS min-cost-flow import/export ([`dimacs`]);
@@ -40,6 +44,7 @@
 
 pub mod builder;
 pub mod changes;
+pub mod delta;
 pub mod dimacs;
 pub mod graph;
 pub mod ids;
@@ -49,6 +54,7 @@ pub mod validate;
 
 pub use builder::SchedulingGraphBuilder;
 pub use changes::{ArcChangeKind, GraphChange, ReoptEffect};
+pub use delta::{DeltaBatch, GraphDelta};
 pub use graph::{FlowGraph, GraphError};
 pub use ids::{ArcId, NodeId};
 pub use node::NodeKind;

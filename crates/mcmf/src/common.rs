@@ -102,6 +102,15 @@ pub struct SolveStats {
     pub phases: u64,
     /// Flow augmentations performed.
     pub augmentations: u64,
+    /// Node activations (entries into a discharge work queue). For
+    /// delta-fed incremental solves this is the honest "how much of the
+    /// graph did the solver visit" measure: it scales with the change
+    /// size, not the graph size.
+    pub nodes_touched: u64,
+    /// Warm-start safety-valve trips: the warm attempt exceeded its work
+    /// bound (or hit a spurious infeasibility) and the solver fell back to
+    /// a from-scratch solve.
+    pub bailouts: u64,
 }
 
 /// A completed (or early-terminated) solver run.

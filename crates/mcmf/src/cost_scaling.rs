@@ -163,7 +163,7 @@ pub fn run_phases(
     })
 }
 
-enum RefineStop {
+pub(crate) enum RefineStop {
     Cancelled,
     Exhausted,
     Infeasible,
@@ -210,27 +210,60 @@ fn refine(
         if excess[u.index()] > 0 {
             active.push_back(u.index() as u32);
             in_active[u.index()] = true;
+            stats.nodes_touched += 1;
         }
     }
     let mut current_arc = vec![0usize; n];
+    let mut relabeled = Vec::new();
+    discharge(
+        graph,
+        state,
+        eps,
+        &mut excess,
+        &mut active,
+        &mut in_active,
+        &mut current_arc,
+        &mut relabeled,
+        budget,
+        stats,
+    )
+}
+
+/// FIFO push/relabel discharge of the active set at ε: the shared engine
+/// of [`refine`] (which seeds it with a global saturation pass) and the
+/// delta-targeted warm phases in [`crate::incremental`] (which seed it
+/// from the change feed).
+///
+/// Every node whose price drops is appended to `relabeled` — the targeted
+/// phase loop uses this to grow its dirty region, since relabels are the
+/// only way new reduced-cost violations appear. Current-arc cursors stay
+/// valid across calls that share `state`'s prices: an arc skipped by a
+/// cursor can only become admissible when its tail is relabeled, which
+/// resets that cursor.
+#[allow(clippy::too_many_arguments)] // internal engine; the buffers are the point
+pub(crate) fn discharge(
+    graph: &mut FlowGraph,
+    state: &mut CostScalingState,
+    eps: i64,
+    excess: &mut [i64],
+    active: &mut VecDeque<u32>,
+    in_active: &mut [bool],
+    current_arc: &mut [usize],
+    relabeled: &mut Vec<u32>,
+    budget: &mut Budget,
+    stats: &mut SolveStats,
+) -> Result<(), RefineStop> {
+    let n = graph.node_bound();
+    let scale = state.scale;
+    let pot = &mut state.potentials;
     // Price floor for infeasibility detection. From-scratch theory bounds
     // the drop per refine by 3·n·ε, but warm starts add two slack terms:
     // fresh nodes enter at price 0 above a landscape that sank over many
     // incremental rounds, and a single relabel may jump by a full scaled
     // arc cost. Truly unroutable excess sinks forever and still crosses
-    // any finite floor.
-    let min_pot = nodes.iter().map(|u| pot[u.index()]).min().unwrap_or(0);
-    let max_span = nodes
-        .iter()
-        .map(|u| pot[u.index()])
-        .max()
-        .unwrap_or(0)
-        .saturating_sub(min_pot);
-    let slack = scale.saturating_mul(graph.max_cost() + 1);
-    let floor = min_pot
-        .saturating_sub((3 * (n as i64 + 1)).saturating_mul(eps.max(slack)))
-        .saturating_sub(max_span)
-        - 1;
+    // any finite floor. Computed lazily on the first relabel so quiescent
+    // targeted repairs never pay the O(n + m) scan.
+    let mut floor: Option<i64> = None;
 
     while let Some(ui) = active.pop_front() {
         let u = NodeId::from_index(ui as usize);
@@ -260,6 +293,7 @@ fn refine(
                         if was <= 0 && excess[v.index()] > 0 && !in_active[v.index()] {
                             active.push_back(v.index() as u32);
                             in_active[v.index()] = true;
+                            stats.nodes_touched += 1;
                         }
                         continue;
                     }
@@ -285,6 +319,21 @@ fn refine(
                 pot[ui as usize] = best - eps;
                 stats.price_updates += 1;
                 current_arc[ui as usize] = 0;
+                relabeled.push(ui);
+                let floor = *floor.get_or_insert_with(|| {
+                    let min_pot = graph.node_ids().map(|u| pot[u.index()]).min().unwrap_or(0);
+                    let max_span = graph
+                        .node_ids()
+                        .map(|u| pot[u.index()])
+                        .max()
+                        .unwrap_or(0)
+                        .saturating_sub(min_pot);
+                    let slack = scale.saturating_mul(graph.max_cost() + 1);
+                    min_pot
+                        .saturating_sub((3 * (n as i64 + 1)).saturating_mul(eps.max(slack)))
+                        .saturating_sub(max_span)
+                        - 1
+                });
                 if pot[ui as usize] < floor {
                     return Err(RefineStop::Infeasible);
                 }

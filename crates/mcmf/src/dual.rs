@@ -15,6 +15,7 @@
 use crate::common::{AlgorithmKind, CancelToken, Solution, SolveError, SolveOptions};
 use crate::incremental::{IncrementalConfig, IncrementalCostScaling};
 use crate::relaxation::{self, RelaxationConfig};
+use firmament_flow::delta::DeltaBatch;
 use firmament_flow::FlowGraph;
 
 /// Which algorithms the dual solver may run.
@@ -63,6 +64,10 @@ pub struct DualOutcome {
     pub graph: FlowGraph,
     /// Which algorithm finished first.
     pub winner: AlgorithmKind,
+    /// Statistics of the incremental cost-scaling run when it completed
+    /// (even as the race loser) — the delta-fed warm-start telemetry
+    /// (nodes touched, bailouts) surfaced on `RoundOutcome`.
+    pub cs_stats: Option<crate::common::SolveStats>,
 }
 
 /// Firmament's MCMF solver: speculative execution of relaxation and
@@ -127,6 +132,20 @@ impl DualSolver {
         graph: FlowGraph,
         opts: &SolveOptions,
     ) -> Result<DualOutcome, (SolveError, FlowGraph)> {
+        self.solve_owned_with_deltas(graph, None, opts)
+    }
+
+    /// Like [`solve_owned`](Self::solve_owned), but hands the incremental
+    /// cost-scaling side the typed change feed recorded since the last
+    /// handoff, so its warm start consumes deltas natively instead of
+    /// diffing the whole graph (relaxation ignores the feed).
+    #[allow(clippy::result_large_err)] // see solve_owned
+    pub fn solve_owned_with_deltas(
+        &mut self,
+        graph: FlowGraph,
+        deltas: Option<&DeltaBatch>,
+        opts: &SolveOptions,
+    ) -> Result<DualOutcome, (SolveError, FlowGraph)> {
         match self.config.kind {
             SolverKind::RelaxationOnly => {
                 let mut g = graph;
@@ -135,22 +154,24 @@ impl DualSolver {
                         winner: sol.algorithm,
                         solution: sol,
                         graph: g,
+                        cs_stats: None,
                     }),
                     Err(e) => Err((e, g)),
                 }
             }
             SolverKind::CostScalingOnly => {
                 let mut g = graph;
-                match self.incremental.solve(&mut g, opts) {
+                match self.incremental.solve_with_deltas(&mut g, deltas, opts) {
                     Ok(sol) => Ok(DualOutcome {
                         winner: sol.algorithm,
+                        cs_stats: Some(sol.stats.clone()),
                         solution: sol,
                         graph: g,
                     }),
                     Err(e) => Err((e, g)),
                 }
             }
-            SolverKind::Dual => self.solve_dual(graph, opts),
+            SolverKind::Dual => self.solve_dual(graph, deltas, opts),
         }
     }
 
@@ -158,6 +179,7 @@ impl DualSolver {
     fn solve_dual(
         &mut self,
         graph: FlowGraph,
+        deltas: Option<&DeltaBatch>,
         opts: &SolveOptions,
     ) -> Result<DualOutcome, (SolveError, FlowGraph)> {
         let cancel_relax = CancelToken::new();
@@ -178,7 +200,7 @@ impl DualSolver {
                 (r, g_relax)
             });
             let cs_handle = scope.spawn(move || {
-                let r = incremental.solve(&mut g_cs, &cs_opts);
+                let r = incremental.solve_with_deltas(&mut g_cs, deltas, &cs_opts);
                 (r, g_cs)
             });
             // Whichever thread finishes first cancels the other — but only
@@ -230,6 +252,10 @@ impl DualSolver {
 
         // Prefer whichever produced a real (non-cancelled) solution; if
         // both finished, take the faster one.
+        let cs_stats = match &cs_result {
+            (Ok(cs), _) => Some(cs.stats.clone()),
+            _ => None,
+        };
         let outcome = match (relax_result, cs_result) {
             ((Ok(rs), rg), (Ok(cs), cg)) => {
                 if rs.runtime <= cs.runtime {
@@ -237,12 +263,14 @@ impl DualSolver {
                         winner: rs.algorithm,
                         solution: rs,
                         graph: rg,
+                        cs_stats,
                     }
                 } else {
                     DualOutcome {
                         winner: cs.algorithm,
                         solution: cs,
                         graph: cg,
+                        cs_stats,
                     }
                 }
             }
@@ -250,11 +278,13 @@ impl DualSolver {
                 winner: rs.algorithm,
                 solution: rs,
                 graph: rg,
+                cs_stats,
             },
             ((Err(_), _), (Ok(cs), cg)) => DualOutcome {
                 winner: cs.algorithm,
                 solution: cs,
                 graph: cg,
+                cs_stats,
             },
             ((Err(re), _), (Err(ce), cg)) => {
                 // Both failed: propagate the more informative error and

@@ -8,14 +8,51 @@
 //! graph changes introduced, and restarts the ε-scaling loop at an ε
 //! proportional to the *largest violation* rather than the largest cost —
 //! 25–50 % faster than from-scratch cost scaling (Fig 11).
+//!
+//! # The delta feed
+//!
+//! [`IncrementalCostScaling::solve_with_deltas`] consumes the typed
+//! [`DeltaBatch`] the graph owner recorded since the last handoff, instead
+//! of diffing the whole graph against its warm state:
+//!
+//! 1. **Targeted price refine on new nodes**: each node added since the
+//!    last solve gets the price that makes its residual out-arcs
+//!    non-violating (`π(u) = max_a π(dst a) − F·c(a)`). Without this, new
+//!    nodes sit at price 0 above a landscape that sank over many rounds,
+//!    their arcs report reduced-cost violations close to `F·C`, and the
+//!    ε-schedule restarts from the top — the warm start degenerates into a
+//!    from-scratch solve (the fig11 pathology).
+//! 2. **Dirty-region violation scan**: the starting ε is the largest
+//!    complementary-slackness violation over the residual out-arcs of the
+//!    *dirty region* (nodes the batch names, endpoints of changed arcs,
+//!    and nodes flow moves disturbed) — O(Σ degree) in the change size.
+//!    Unchanged arcs elsewhere kept their reduced cost from the previous
+//!    1-optimal certificate, so they cannot violate more than 1.
+//! 3. **Arc-local pseudoflow repair**: feasibility damage (supply changes,
+//!    removed flow-carrying arcs, capacity spills, drains) is computed as
+//!    exact excesses by O(degree) local scans of the dirty nodes — never a
+//!    full-graph excess pass.
+//! 4. **Targeted ε-schedule**: ε shrinks by α per phase from the costliest
+//!    change down to 1 exactly as in [`run_phases`] (§6.2), but each
+//!    phase's saturation pass visits only arcs adjacent to the dirty
+//!    region, which grows with the nodes discharge relabels. Per-round
+//!    solver work therefore scales with the delta size, not the graph
+//!    size.
+//!
+//! A **safety valve** bounds warm-start regressions: if the warm attempt
+//! exceeds a configurable multiple of the last from-scratch solve's work
+//! (iteration count), or hits a spurious warm-start infeasibility, the
+//! solver resets its warm state and re-solves cold.
 
-use crate::common::{AlgorithmKind, Solution, SolveError, SolveOptions};
-use crate::cost_scaling::{run_phases, CostScalingConfig, CostScalingState};
+use crate::common::{AlgorithmKind, Budget, Solution, SolveError, SolveOptions, SolveStats};
+use crate::cost_scaling::{run_phases, CostScalingConfig, CostScalingState, RefineStop};
 use crate::price_refine::price_refine;
-use firmament_flow::{FlowGraph, NodeId};
+use firmament_flow::delta::{DeltaBatch, GraphDelta};
+use firmament_flow::{ArcId, FlowGraph, NodeId};
+use std::collections::VecDeque;
 
 /// Configuration for incremental cost scaling.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct IncrementalConfig {
     /// Cost-scaling tuning (α-factor).
     pub cost_scaling: CostScalingConfig,
@@ -24,6 +61,21 @@ pub struct IncrementalConfig {
     /// came from a different algorithm (relaxation); see
     /// [`IncrementalCostScaling::adopt_solution`].
     pub price_refine_on_adopt: bool,
+    /// Safety valve: a warm-started solve that exceeds this multiple of
+    /// the last from-scratch solve's iteration count is abandoned — warm
+    /// state is reset and the solve restarts cold. Bounds warm-start
+    /// pathologies to `(k + 1)×` a cold solve. `None` disables the valve.
+    pub warm_work_bailout: Option<u64>,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            cost_scaling: CostScalingConfig::default(),
+            price_refine_on_adopt: false,
+            warm_work_bailout: Some(4),
+        }
+    }
 }
 
 /// A reusable incremental cost-scaling solver.
@@ -31,13 +83,17 @@ pub struct IncrementalConfig {
 /// Typical use inside Firmament: after each scheduling round, the winning
 /// algorithm's flow is adopted via [`adopt_solution`](Self::adopt_solution);
 /// on the next round the accumulated graph changes are already applied to
-/// the graph and [`solve`](Self::solve) warm-starts from the stored prices.
+/// the graph and [`solve_with_deltas`](Self::solve_with_deltas) warm-starts
+/// from the stored prices, guided by the recorded [`DeltaBatch`].
 #[derive(Debug, Default)]
 pub struct IncrementalCostScaling {
     config: IncrementalConfig,
     state: CostScalingState,
     /// Whether `state` currently certifies the adopted flow.
     warm: bool,
+    /// Iteration count of the last completed from-scratch solve — the
+    /// yardstick for the warm-work safety valve.
+    last_cold_work: Option<u64>,
 }
 
 impl IncrementalCostScaling {
@@ -47,6 +103,7 @@ impl IncrementalCostScaling {
             config,
             state: CostScalingState::default(),
             warm: false,
+            last_cold_work: None,
         }
     }
 
@@ -107,25 +164,102 @@ impl IncrementalCostScaling {
     /// `graph` (the flow left over from the previous round, clamped or
     /// disrupted by those changes, is the starting pseudoflow). When cold,
     /// this is identical to from-scratch cost scaling.
+    ///
+    /// Without a delta feed the warm start falls back to a full-graph
+    /// violation scan; callers that track changes should prefer
+    /// [`solve_with_deltas`](Self::solve_with_deltas).
     pub fn solve(
         &mut self,
         graph: &mut FlowGraph,
         opts: &SolveOptions,
     ) -> Result<Solution, SolveError> {
+        self.solve_with_deltas(graph, None, opts)
+    }
+
+    /// Solves the graph, warm-starting natively from the recorded change
+    /// feed (see the module docs for the four-step delta path).
+    pub fn solve_with_deltas(
+        &mut self,
+        graph: &mut FlowGraph,
+        deltas: Option<&DeltaBatch>,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
         self.state.fit(graph.node_bound());
-        let scale = self.state.scale;
-        let eps0 = if self.warm {
-            // Start at the largest complementary-slackness violation left
-            // by the changes (§6.2: "a value of ε equal to the costliest
-            // arc graph change").
-            max_violation(graph, &self.state.potentials, scale).max(1)
-        } else {
-            graph.reset_flow();
-            for p in &mut self.state.potentials {
-                *p = 0;
-            }
-            scale * graph.max_cost()
+        if !self.warm {
+            return self.cold_solve(graph, opts);
+        }
+        // Cap the warm attempt's work at a multiple of the last cold solve
+        // so a pathological warm start cannot cost more than (k + 1)× a
+        // from-scratch run.
+        let valve = self
+            .config
+            .warm_work_bailout
+            .map(|k| k.saturating_mul(self.cold_work_reference(graph)));
+        let mut warm_opts = opts.clone();
+        warm_opts.iteration_limit = match (opts.iteration_limit, valve) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         };
+        let attempt = match deltas {
+            Some(batch) => self.warm_solve_from_deltas(graph, batch, &warm_opts),
+            None => self.warm_solve_diffed(graph, &warm_opts),
+        };
+        match attempt {
+            Ok(sol) if !sol.terminated_early => {
+                self.warm = true;
+                Ok(sol)
+            }
+            Ok(sol) => {
+                let valve_tripped = match (valve, opts.iteration_limit) {
+                    (Some(v), caller) => sol.stats.iterations > v && caller.is_none_or(|c| v < c),
+                    (None, _) => false,
+                };
+                if valve_tripped {
+                    // Safety valve: abandon the warm attempt, go cold.
+                    self.reset();
+                    self.state.fit(graph.node_bound());
+                    let mut cold = self.cold_solve(graph, opts)?;
+                    cold.stats.bailouts = sol.stats.bailouts + 1;
+                    cold.stats.iterations += sol.stats.iterations;
+                    Ok(cold)
+                } else {
+                    // The *caller's* budget ran out: report the partial
+                    // solution as any early termination.
+                    self.warm = false;
+                    Ok(sol)
+                }
+            }
+            Err(SolveError::Infeasible) => {
+                // Spurious warm-start infeasibility (e.g. excess stranded
+                // behind a changed capacity): retry cold before giving up.
+                // The abandoned warm attempt's work is unknown here (the
+                // error path drops its budget), so only the bailout is
+                // counted; valve trips report the wasted iterations too.
+                self.reset();
+                self.state.fit(graph.node_bound());
+                let mut cold = self.cold_solve(graph, opts)?;
+                cold.stats.bailouts += 1;
+                Ok(cold)
+            }
+            Err(e) => {
+                self.warm = false;
+                Err(e)
+            }
+        }
+    }
+
+    /// From-scratch cost scaling (also the warm-bailout fallback); records
+    /// the work yardstick for the safety valve.
+    fn cold_solve(
+        &mut self,
+        graph: &mut FlowGraph,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        graph.reset_flow();
+        for p in &mut self.state.potentials {
+            *p = 0;
+        }
+        let eps0 = self.state.scale * graph.max_cost();
         let result = run_phases(
             graph,
             opts,
@@ -134,7 +268,10 @@ impl IncrementalCostScaling {
             eps0,
         );
         match &result {
-            Ok(sol) if !sol.terminated_early => self.warm = true,
+            Ok(sol) if !sol.terminated_early => {
+                self.warm = true;
+                self.last_cold_work = Some(sol.stats.iterations.max(1));
+            }
             _ => self.warm = false,
         }
         result.map(|sol| Solution {
@@ -142,10 +279,317 @@ impl IncrementalCostScaling {
             ..sol
         })
     }
+
+    /// Legacy warm path: full-graph violation diff (kept for callers with
+    /// no change feed).
+    fn warm_solve_diffed(
+        &mut self,
+        graph: &mut FlowGraph,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        // Start at the largest complementary-slackness violation left by
+        // the changes (§6.2: "a value of ε equal to the costliest arc graph
+        // change").
+        let eps0 = max_violation(graph, &self.state.potentials, self.state.scale).max(1);
+        let result = run_phases(
+            graph,
+            opts,
+            &self.config.cost_scaling,
+            &mut self.state,
+            eps0,
+        );
+        if result.is_err() {
+            self.warm = false;
+        }
+        result.map(|sol| Solution {
+            algorithm: AlgorithmKind::IncrementalCostScaling,
+            ..sol
+        })
+    }
+
+    /// Native delta-feed warm start (module docs, steps 1–4).
+    fn warm_solve_from_deltas(
+        &mut self,
+        graph: &mut FlowGraph,
+        batch: &DeltaBatch,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let mut budget = Budget::new(opts);
+        let mut stats = SolveStats::default();
+        let scale = self.state.scale;
+
+        // The previous solve certified balanced supplies; verify the batch
+        // preserves them so the zero-sum excess argument below holds.
+        let mut supply_delta = 0i64;
+        for d in batch.deltas() {
+            match *d {
+                GraphDelta::NodeAdded { supply, .. } => supply_delta += supply,
+                GraphDelta::NodeRemoved { supply, .. } => supply_delta -= supply,
+                GraphDelta::SupplyChanged { old, new, .. } => supply_delta += new - old,
+                _ => {}
+            }
+        }
+        if supply_delta != 0 {
+            return Err(SolveError::UnbalancedSupply {
+                total: supply_delta,
+            });
+        }
+
+        // Step 1: targeted price refine on new nodes, in reverse addition
+        // order so chains (task → fresh aggregate → machine) see their
+        // downstream prices before their own are derived. Without this,
+        // new nodes at price 0 over a sunken landscape report violations
+        // close to F·C and the ε-schedule restarts from the top.
+        let new_nodes: Vec<NodeId> = batch
+            .deltas()
+            .iter()
+            .filter_map(|d| match d {
+                GraphDelta::NodeAdded { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        for &node in new_nodes.iter().rev() {
+            if !graph.node_alive(node) {
+                continue;
+            }
+            let mut bound = i64::MIN;
+            for &a in graph.adj(node) {
+                if graph.rescap(a) > 0 {
+                    let v = graph.dst(a);
+                    let candidate = self.state.potentials[v.index()] - scale * graph.cost(a);
+                    bound = bound.max(candidate);
+                }
+            }
+            self.state.potentials[node.index()] = if bound == i64::MIN { 0 } else { bound };
+            stats.nodes_touched += 1;
+        }
+
+        // Step 2: collect the dirty region — every node a delta names,
+        // both endpoints of every changed arc, and every node a flow move
+        // disturbed. Any reduced-cost violation the batch introduced sits
+        // on a residual out-arc of this region: changed arcs have both
+        // endpoints here, and unlogged flow moves (which can re-open
+        // residual capacity on arbitrarily negative saturated arcs) are
+        // path-shaped with every path node marked. Unchanged residual
+        // arcs elsewhere kept rc ≥ −1 from the previous certificate.
+        let mut dirty: Vec<u32> = Vec::with_capacity(batch.len() * 2);
+        for d in batch.deltas() {
+            match *d {
+                GraphDelta::NodeAdded { node, .. }
+                | GraphDelta::SupplyChanged { node, .. }
+                | GraphDelta::FlowTouched { node } => dirty.push(node.index() as u32),
+                GraphDelta::NodeRemoved { .. } => {}
+                GraphDelta::ArcRemoved { src, dst, flow, .. } => {
+                    if flow > 0 {
+                        dirty.push(src.index() as u32);
+                        dirty.push(dst.index() as u32);
+                    }
+                }
+                GraphDelta::ArcAdded { src, dst, .. } => {
+                    dirty.push(src.index() as u32);
+                    dirty.push(dst.index() as u32);
+                }
+                GraphDelta::CostChanged { arc, .. } | GraphDelta::CapacityChanged { arc, .. } => {
+                    if graph.arc_alive(arc) {
+                        dirty.push(graph.src(arc).index() as u32);
+                        dirty.push(graph.dst(arc).index() as u32);
+                    }
+                }
+            }
+        }
+        let n = graph.node_bound();
+        let mut in_dirty = vec![false; n];
+        dirty.retain(|&u| {
+            let keep = graph.node_alive(NodeId::from_index(u as usize)) && !in_dirty[u as usize];
+            if keep {
+                in_dirty[u as usize] = true;
+            }
+            keep
+        });
+
+        // The starting ε: the largest complementary-slackness violation
+        // over the dirty region's residual out-arcs — O(Σ degree(dirty)),
+        // never a full-graph scan (§6.2: "ε equal to the costliest arc
+        // graph change").
+        let mut eps0 = 1i64;
+        for &ui in &dirty {
+            let u = NodeId::from_index(ui as usize);
+            for &a in graph.adj(u) {
+                if graph.rescap(a) > 0 {
+                    let v = graph.dst(a);
+                    let rc = scale * graph.cost(a) + self.state.potentials[ui as usize]
+                        - self.state.potentials[v.index()];
+                    if -rc > eps0 {
+                        eps0 = -rc;
+                    }
+                }
+            }
+        }
+
+        // Step 3: feasibility seeds. Only delta-touched nodes can carry
+        // excess (flow moves outside the log are path-shaped and preserve
+        // conservation elsewhere), and their exact excess is one O(degree)
+        // local scan each.
+        let mut excess = vec![0i64; n];
+        let mut any_excess = false;
+        for &u in &dirty {
+            let e = local_excess(graph, NodeId::from_index(u as usize));
+            excess[u as usize] = e;
+            any_excess |= e != 0;
+        }
+        if !any_excess && eps0 <= 1 {
+            // Quiescent round: nothing to repair, the warm flow is already
+            // optimal for the changed graph.
+            return Ok(Solution {
+                algorithm: AlgorithmKind::IncrementalCostScaling,
+                objective: graph.objective(),
+                terminated_early: false,
+                runtime: budget.elapsed(),
+                stats,
+            });
+        }
+
+        // Step 4: the targeted ε-schedule. Like [`run_phases`], ε shrinks
+        // by α per phase from the costliest change down to 1 (§6.2) — but
+        // each phase's saturation pass visits only arcs adjacent to the
+        // dirty region instead of the whole graph. This is sound because
+        // the previous certificate bounds every untouched arc at rc ≥ −1,
+        // and new violations can only appear on out-arcs of relabeled
+        // nodes, which join the dirty region as discharge reports them.
+        let alpha = self.config.cost_scaling.alpha.max(2);
+        let mut eps = eps0;
+        let mut active: VecDeque<u32> = VecDeque::new();
+        let mut in_active = vec![false; n];
+        let mut current_arc = vec![0usize; n];
+        let mut relabeled: Vec<u32> = Vec::new();
+        let mut arcbuf: Vec<ArcId> = Vec::new();
+        let outcome = loop {
+            stats.phases += 1;
+            // Saturate violating residual arcs out of dirty nodes, making
+            // the pseudoflow 0-optimal on the region discharge will work.
+            for &ui in &dirty {
+                let u = NodeId::from_index(ui as usize);
+                arcbuf.clear();
+                arcbuf.extend_from_slice(graph.adj(u));
+                for &a in &arcbuf {
+                    let r = graph.rescap(a);
+                    if r <= 0 {
+                        continue;
+                    }
+                    let v = graph.dst(a);
+                    let rc = scale * graph.cost(a) + self.state.potentials[ui as usize]
+                        - self.state.potentials[v.index()];
+                    if rc < 0 {
+                        graph.push_flow(a, r);
+                        excess[ui as usize] -= r;
+                        excess[v.index()] += r;
+                        if excess[v.index()] > 0 && !in_active[v.index()] {
+                            active.push_back(v.index() as u32);
+                            in_active[v.index()] = true;
+                            stats.nodes_touched += 1;
+                        }
+                    }
+                }
+            }
+            for &ui in &dirty {
+                if excess[ui as usize] > 0 && !in_active[ui as usize] {
+                    active.push_back(ui);
+                    in_active[ui as usize] = true;
+                    stats.nodes_touched += 1;
+                }
+            }
+            relabeled.clear();
+            let phase = crate::cost_scaling::discharge(
+                graph,
+                &mut self.state,
+                eps,
+                &mut excess,
+                &mut active,
+                &mut in_active,
+                &mut current_arc,
+                &mut relabeled,
+                &mut budget,
+                &mut stats,
+            );
+            if let Err(stop) = phase {
+                break Err(stop);
+            }
+            // Nodes relabeled this phase may now have violating out-arcs;
+            // fold them into the dirty region for the next phase.
+            for &r in &relabeled {
+                if !in_dirty[r as usize] {
+                    in_dirty[r as usize] = true;
+                    dirty.push(r);
+                }
+            }
+            if eps == 1 {
+                break Ok(());
+            }
+            eps = (eps / alpha).max(1);
+        };
+
+        stats.iterations = budget.iterations;
+        match outcome {
+            Ok(()) => Ok(Solution {
+                algorithm: AlgorithmKind::IncrementalCostScaling,
+                objective: graph.objective(),
+                terminated_early: false,
+                runtime: budget.elapsed(),
+                stats,
+            }),
+            Err(RefineStop::Exhausted) => Ok(Solution {
+                algorithm: AlgorithmKind::IncrementalCostScaling,
+                objective: graph.objective(),
+                terminated_early: true,
+                runtime: budget.elapsed(),
+                stats,
+            }),
+            Err(RefineStop::Cancelled) => {
+                self.warm = false;
+                Err(SolveError::Cancelled)
+            }
+            Err(RefineStop::Infeasible) => {
+                self.warm = false;
+                Err(SolveError::Infeasible)
+            }
+        }
+    }
+
+    /// The work yardstick the safety valve multiplies: the last completed
+    /// from-scratch solve, or (before any cold solve ran) a conservative
+    /// size-based estimate of one.
+    fn cold_work_reference(&self, graph: &FlowGraph) -> u64 {
+        self.last_cold_work.unwrap_or_else(|| {
+            let size = (graph.node_bound() + graph.arc_bound()) as u64;
+            let phases = 64
+                - (self.state.scale.max(1) as u64)
+                    .saturating_mul(graph.max_cost().max(1) as u64)
+                    .leading_zeros() as u64;
+            size.saturating_mul(phases.max(1)).max(1024)
+        })
+    }
+}
+
+/// Per-node excess computed from one adjacency scan — O(degree), used by
+/// the targeted repair path on delta-touched nodes only.
+fn local_excess(graph: &FlowGraph, node: NodeId) -> i64 {
+    let mut e = graph.supply(node);
+    for &a in graph.adj(node) {
+        if a.is_forward() {
+            // Forward arc out of `node`.
+            e -= graph.flow(a);
+        } else {
+            // Reverse residual: the pair's forward arc points into `node`.
+            e += graph.flow(a);
+        }
+    }
+    e
 }
 
 /// Largest negative reduced cost over residual arcs (in scaled units), i.e.
-/// the ε at which the current pseudoflow is still ε-optimal.
+/// the ε at which the current pseudoflow is still ε-optimal. This is the
+/// legacy full-graph diff retained for feeds without a change log; the
+/// delta path derives the same quantity from the batch in O(Δ).
 fn max_violation(graph: &FlowGraph, potentials: &[i64], scale: i64) -> i64 {
     let mut worst = 0i64;
     for u in graph.node_ids() {
@@ -215,8 +659,16 @@ pub fn drain_task_flow(graph: &mut FlowGraph, task: NodeId) -> i64 {
         if path.is_empty() {
             return drained;
         }
-        // Drain one unit along the discovered path.
+        // Drain one unit along the discovered path, noting every node on
+        // it for the incremental solver's delta feed: conservation breaks
+        // only at the endpoints, but draining re-opens residual capacity
+        // on each path arc — possibly exposing a reduced-cost violation on
+        // a previously saturated arc — so the whole path joins the
+        // solver's dirty region.
+        graph.note_flow_disturbance(task);
         for &a in &path {
+            let dst = graph.dst(a);
+            graph.note_flow_disturbance(dst);
             graph.push_flow(a.sister(), 1);
         }
         drained += 1;
@@ -310,6 +762,250 @@ mod tests {
         let mut fresh = inst.graph.clone();
         let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
         assert_eq!(warm.objective, scratch.objective);
+    }
+
+    /// The same scenario as `warm_resolve_after_task_arrival`, but driven
+    /// through the recorded delta feed: the solve must go through the
+    /// targeted path and still match a from-scratch solve exactly.
+    #[test]
+    fn delta_fed_warm_resolve_matches_scratch() {
+        for seed in 0..8 {
+            let mut inst = scheduling_instance(seed, &InstanceSpec::default());
+            let mut inc = IncrementalCostScaling::default();
+            inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+                .unwrap();
+
+            inst.graph.set_change_tracking(true);
+            // A task arrives...
+            let t = inst.graph.add_node(NodeKind::Task { task: 777 }, 1);
+            inst.graph.add_arc(t, inst.machines[2], 1, 4).unwrap();
+            inst.graph.add_arc(t, inst.unscheduled, 1, 150).unwrap();
+            let d = inst.graph.supply(inst.sink);
+            inst.graph.set_supply(inst.sink, d - 1).unwrap();
+            grow_unscheduled_capacity(&mut inst, 1);
+            // ...and a placed task departs, drained §5.3.2-style.
+            let scheduled = inst
+                .tasks
+                .iter()
+                .copied()
+                .find(|&t| {
+                    inst.graph.adj(t).iter().any(|&a| {
+                        a.is_forward()
+                            && inst.graph.flow(a) > 0
+                            && inst.graph.dst(a) != inst.unscheduled
+                    })
+                })
+                .expect("at least one task scheduled");
+            drain_task_flow(&mut inst.graph, scheduled);
+            inst.graph.remove_node(scheduled).unwrap();
+            let d = inst.graph.supply(inst.sink);
+            inst.graph.set_supply(inst.sink, d + 1).unwrap();
+            grow_unscheduled_capacity(&mut inst, -1);
+
+            let batch = DeltaBatch::compact(inst.graph.take_changes());
+            assert!(!batch.is_empty());
+            let warm = inc
+                .solve_with_deltas(&mut inst.graph, Some(&batch), &SolveOptions::unlimited())
+                .unwrap();
+            assert!(is_optimal(&inst.graph), "seed {seed}");
+            assert!(inc.is_warm(), "seed {seed}");
+            let mut fresh = inst.graph.clone();
+            let scratch =
+                crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
+            assert_eq!(warm.objective, scratch.objective, "seed {seed}");
+            assert_eq!(warm.stats.bailouts, 0, "seed {seed}");
+        }
+    }
+
+    /// A quiescent delta feed (no changes) must not touch the graph at all.
+    #[test]
+    fn empty_delta_feed_is_free() {
+        let mut inst = scheduling_instance(4, &InstanceSpec::default());
+        let mut inc = IncrementalCostScaling::default();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+        let before: Vec<i64> = inst.graph.arc_ids().map(|a| inst.graph.flow(a)).collect();
+        let batch = DeltaBatch::empty();
+        let sol = inc
+            .solve_with_deltas(&mut inst.graph, Some(&batch), &SolveOptions::unlimited())
+            .unwrap();
+        let after: Vec<i64> = inst.graph.arc_ids().map(|a| inst.graph.flow(a)).collect();
+        assert_eq!(before, after, "quiescent round must not move flow");
+        assert_eq!(sol.stats.nodes_touched, 0);
+        assert_eq!(sol.stats.augmentations, 0);
+        assert!(is_optimal(&inst.graph));
+    }
+
+    /// Per-round solver work must scale with the change size, not the
+    /// graph size: one task arriving and one departing on a big graph
+    /// touch a bounded neighborhood, not thousands of nodes.
+    #[test]
+    fn delta_fed_work_scales_with_change_size() {
+        let spec = InstanceSpec {
+            tasks: 400,
+            machines: 60,
+            slots_per_machine: 8,
+            ..InstanceSpec::default()
+        };
+        let mut inst = scheduling_instance(2, &spec);
+        let mut inc = IncrementalCostScaling::default();
+        let cold = inc
+            .solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+
+        inst.graph.set_change_tracking(true);
+        // One task arrives with two preference arcs...
+        let t = inst.graph.add_node(NodeKind::Task { task: 9999 }, 1);
+        inst.graph.add_arc(t, inst.machines[3], 1, 4).unwrap();
+        inst.graph.add_arc(t, inst.unscheduled, 1, 150).unwrap();
+        let d = inst.graph.supply(inst.sink);
+        inst.graph.set_supply(inst.sink, d - 1).unwrap();
+        grow_unscheduled_capacity(&mut inst, 1);
+        // ...and one placed task departs (drained §5.3.2-style).
+        let scheduled = inst
+            .tasks
+            .iter()
+            .copied()
+            .find(|&t| {
+                inst.graph.adj(t).iter().any(|&a| {
+                    a.is_forward()
+                        && inst.graph.flow(a) > 0
+                        && inst.graph.dst(a) != inst.unscheduled
+                })
+            })
+            .expect("at least one task scheduled");
+        drain_task_flow(&mut inst.graph, scheduled);
+        inst.graph.remove_node(scheduled).unwrap();
+        let d = inst.graph.supply(inst.sink);
+        inst.graph.set_supply(inst.sink, d + 1).unwrap();
+        grow_unscheduled_capacity(&mut inst, -1);
+
+        let batch = DeltaBatch::compact(inst.graph.take_changes());
+        let warm = inc
+            .solve_with_deltas(&mut inst.graph, Some(&batch), &SolveOptions::unlimited())
+            .unwrap();
+        assert!(is_optimal(&inst.graph));
+        assert_eq!(warm.stats.bailouts, 0);
+        assert!(
+            warm.stats.nodes_touched * 20 <= cold.stats.nodes_touched.max(20),
+            "two-task change touched {} nodes (cold solve touched {})",
+            warm.stats.nodes_touched,
+            cold.stats.nodes_touched
+        );
+        assert!(
+            warm.stats.iterations * 20 <= cold.stats.iterations.max(20),
+            "warm {} vs cold {} iterations",
+            warm.stats.iterations,
+            cold.stats.iterations
+        );
+        let mut fresh = inst.graph.clone();
+        let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(warm.objective, scratch.objective);
+    }
+
+    /// Regression pin for the fig11 warm-start pathology (ROADMAP):
+    /// warm-started work must stay within 2× of from-scratch *work*
+    /// (iteration counts, not wall clock, so CI stays stable). The root
+    /// cause was twofold: new nodes entering at price 0 over a sunken
+    /// landscape (violations ≈ F·C restarted the ε-schedule from the
+    /// top — fixed by the targeted price init), and §5.3.2 drains
+    /// re-opening residual capacity on saturated arcs at nodes no delta
+    /// named (fixed by the flow-disturbance markers). The safety valve
+    /// bounds any residual pathology to `(k + 1)×` cold.
+    #[test]
+    fn warm_work_within_twice_scratch_after_removal_drains() {
+        for seed in [2, 7, 13] {
+            let spec = InstanceSpec {
+                tasks: 200,
+                machines: 30,
+                slots_per_machine: 6,
+                ..InstanceSpec::default()
+            };
+            let mut inst = scheduling_instance(seed, &spec);
+            let mut inc = IncrementalCostScaling::default();
+            inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+                .unwrap();
+
+            inst.graph.set_change_tracking(true);
+            // The fig11 burst shape: a batch of placed tasks departs
+            // (drained), and a batch of new tasks arrives.
+            let victims: Vec<NodeId> = inst
+                .tasks
+                .iter()
+                .copied()
+                .filter(|&t| {
+                    inst.graph.adj(t).iter().any(|&a| {
+                        a.is_forward()
+                            && inst.graph.flow(a) > 0
+                            && inst.graph.dst(a) != inst.unscheduled
+                    })
+                })
+                .take(8)
+                .collect();
+            for t in victims {
+                drain_task_flow(&mut inst.graph, t);
+                inst.graph.remove_node(t).unwrap();
+                let d = inst.graph.supply(inst.sink);
+                inst.graph.set_supply(inst.sink, d + 1).unwrap();
+                grow_unscheduled_capacity(&mut inst, -1);
+            }
+            for i in 0..5u64 {
+                let t = inst.graph.add_node(NodeKind::Task { task: 8000 + i }, 1);
+                inst.graph
+                    .add_arc(t, inst.machines[i as usize % inst.machines.len()], 1, 4)
+                    .unwrap();
+                inst.graph.add_arc(t, inst.unscheduled, 1, 150).unwrap();
+                let d = inst.graph.supply(inst.sink);
+                inst.graph.set_supply(inst.sink, d - 1).unwrap();
+                grow_unscheduled_capacity(&mut inst, 1);
+            }
+            let batch = DeltaBatch::compact(inst.graph.take_changes());
+
+            let mut scratch_graph = inst.graph.clone();
+            let scratch =
+                crate::cost_scaling::solve(&mut scratch_graph, &SolveOptions::unlimited()).unwrap();
+            let warm = inc
+                .solve_with_deltas(&mut inst.graph, Some(&batch), &SolveOptions::unlimited())
+                .unwrap();
+            assert!(is_optimal(&inst.graph), "seed {seed}");
+            assert_eq!(warm.objective, scratch.objective, "seed {seed}");
+            assert!(
+                warm.stats.iterations <= 2 * scratch.stats.iterations,
+                "seed {seed}: warm work {} exceeds 2x scratch work {}",
+                warm.stats.iterations,
+                scratch.stats.iterations
+            );
+        }
+    }
+
+    /// The safety valve: a warm solve capped at a tiny work multiple must
+    /// fall back to a cold solve and still return the optimum.
+    #[test]
+    fn safety_valve_bails_to_cold() {
+        let mut inst = scheduling_instance(6, &InstanceSpec::default());
+        let mut inc = IncrementalCostScaling::default();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+        // Make the valve absurdly tight so any non-trivial warm attempt
+        // trips it.
+        inc.config.warm_work_bailout = Some(0);
+        inc.last_cold_work = Some(1);
+        // Invalidate many costs so the warm attempt has real work to do.
+        let arcs: Vec<ArcId> = inst.graph.arc_ids().collect();
+        for (i, &a) in arcs.iter().enumerate().take(20) {
+            inst.graph
+                .set_arc_cost(a, (i as i64 * 13) % 97 + 1)
+                .unwrap();
+        }
+        let sol = inc
+            .solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+        assert_eq!(sol.stats.bailouts, 1, "valve must have tripped");
+        assert!(is_optimal(&inst.graph));
+        assert!(inc.is_warm(), "cold fallback re-warms on success");
+        let mut fresh = inst.graph.clone();
+        let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(sol.objective, scratch.objective);
     }
 
     #[test]

@@ -71,6 +71,40 @@
 //! scheduler action order deterministic by construction, and the solver
 //! consumes the graph by move (`DualSolver::solve_owned`) instead of
 //! cloning it every round.
+//!
+//! # The delta-feed solver handoff (0.3)
+//!
+//! The manager's graph records every structural and pricing mutation in a
+//! typed change log; once per round the scheduler drains and compacts it
+//! into a [`flow::delta::DeltaBatch`] (add-then-remove cancels, repeated
+//! re-pricings merge) and hands it to the solver alongside the graph:
+//!
+//! ```text
+//!  events ─► FlowGraphManager ─► refresh (§6.3, dirty nodes only)
+//!                 │                    │
+//!                 │ take_deltas()      │ take_graph()
+//!                 ▼                    ▼
+//!           DeltaBatch ───────► DualSolver::solve_owned_with_deltas
+//!                                      │
+//!                 relaxation ∥ IncrementalCostScaling::solve_with_deltas
+//!                                      │ optimal flow (adopted back)
+//! ```
+//!
+//! The incremental cost-scaling side consumes the feed natively — no
+//! full-graph diffing on the hot path: new nodes get targeted price
+//! initialization, the starting ε comes from a violation scan over the
+//! dirty region only, feasibility damage becomes local excesses, and the
+//! ε-schedule's per-phase saturation visits only arcs adjacent to the
+//! dirty region (see [`mcmf::incremental`] for the contract and
+//! [`flow::delta`] for the compaction/replay rules). A configurable
+//! safety valve (`IncrementalConfig::warm_work_bailout`) abandons a warm
+//! attempt that exceeds a multiple of the last from-scratch solve's work
+//! and re-solves cold, bounding warm-start pathologies. Per-round
+//! telemetry (deltas fed, nodes touched, bailouts, winner) is surfaced on
+//! [`core::RoundOutcome::solver`]. The feed's fidelity is pinned by the
+//! delta-replay oracle in `tests/graph_refresh_differential.rs`:
+//! replaying each round's batch onto the previous round's snapshot must
+//! reproduce the live graph slot-exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -16,6 +16,15 @@
 //! - same positive-capacity arcs with equal capacity and cost (parked
 //!   capacity-0 arcs are semantic no-ops, so both sides drop them).
 //!
+//! The suite also carries the **delta-replay oracle**: after every round,
+//! the manager's recorded `GraphDelta` batch is replayed onto a snapshot
+//! of the previous round's graph, and the replayed graph must reproduce
+//! the live graph *exactly* — slot-identical ids, kinds, supplies, arc
+//! endpoints, capacities, and costs (not flow, which the log does not
+//! carry). This pins the typed change feed the incremental solver
+//! warm-starts from: a batch that under- or over-reports a change would
+//! silently desynchronize the solver's warm state.
+//!
 //! Failures print the model, seed, and round, so every divergence is a
 //! deterministic one-line reproduction.
 
@@ -24,7 +33,7 @@ use firmament::cluster::{
 };
 use firmament::core::FlowGraphManager;
 use firmament::flow::testgen::XorShift64;
-use firmament::flow::FlowGraph;
+use firmament::flow::{ArcId, FlowGraph, NodeId};
 use firmament::policies::{
     CostModel, HierarchicalTopologyCostModel, LoadSpreadingCostModel, NetworkAwareCostModel,
     OctopusCostModel, QuincyConfig, QuincyCostModel,
@@ -117,6 +126,54 @@ fn rebuild<C: CostModel>(model: &C, state: &ClusterState) -> FlowGraphManager {
     }
     mgr.refresh(model, state).expect("rebuild: refresh");
     mgr
+}
+
+/// The delta-replay oracle: slot-exact structural equality between the
+/// replayed snapshot and the live graph. Bounds may differ only by
+/// trailing dead slots (entities that cancelled within the batch still
+/// grew the live arena).
+fn assert_replay_matches(
+    model: &str,
+    seed: u64,
+    round: usize,
+    replayed: &FlowGraph,
+    live: &FlowGraph,
+) {
+    for i in 0..live.node_bound().max(replayed.node_bound()) {
+        let n = NodeId::from_index(i);
+        assert_eq!(
+            replayed.node_alive(n),
+            live.node_alive(n),
+            "{model} seed {seed} round {round}: replay node-alive diverged at {n}"
+        );
+        if live.node_alive(n) {
+            assert_eq!(
+                (replayed.kind(n), replayed.supply(n)),
+                (live.kind(n), live.supply(n)),
+                "{model} seed {seed} round {round}: replay node state diverged at {n}"
+            );
+        }
+    }
+    for i in (0..live.arc_bound().max(replayed.arc_bound())).step_by(2) {
+        let a = ArcId::from_index(i);
+        assert_eq!(
+            replayed.arc_alive(a),
+            live.arc_alive(a),
+            "{model} seed {seed} round {round}: replay arc-alive diverged at {a}"
+        );
+        if live.arc_alive(a) {
+            assert_eq!(
+                (
+                    replayed.src(a),
+                    replayed.dst(a),
+                    replayed.capacity(a),
+                    replayed.cost(a)
+                ),
+                (live.src(a), live.dst(a), live.capacity(a), live.cost(a)),
+                "{model} seed {seed} round {round}: replay arc state diverged at {a}"
+            );
+        }
+    }
 }
 
 /// Id allocation for fuzz-generated entities. Removed machine ids are
@@ -323,6 +380,9 @@ fn run_script<C: CostModel>(model: &C, seed: u64) {
         mgr.apply_event(model, &state, &ClusterEvent::MachineAdded { machine: m })
             .expect("initial machine");
     }
+    // Delta-replay oracle state: drain the build-up batch, then snapshot.
+    mgr.take_deltas();
+    let mut snapshot = mgr.graph().clone();
     for round in 0..ROUNDS_PER_SCRIPT {
         let events = 1 + rng.below(3);
         for _ in 0..events {
@@ -330,6 +390,13 @@ fn run_script<C: CostModel>(model: &C, seed: u64) {
         }
         mgr.refresh(model, &state)
             .unwrap_or_else(|e| panic!("{} seed {seed} round {round}: refresh: {e}", model.name()));
+        // Replaying the round's recorded batch onto the previous round's
+        // snapshot must reproduce the live graph exactly.
+        let batch = mgr.take_deltas();
+        batch
+            .replay(&mut snapshot)
+            .unwrap_or_else(|e| panic!("{} seed {seed} round {round}: replay: {e}", model.name()));
+        assert_replay_matches(model.name(), seed, round, &snapshot, mgr.graph());
         let fresh = rebuild(model, &state);
         let inc = canonical(mgr.graph());
         let scratch = canonical(fresh.graph());
