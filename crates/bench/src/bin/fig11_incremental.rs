@@ -12,16 +12,18 @@
 //! - **delta-fed** warm start (the targeted dirty-region path),
 //!
 //! and the run asserts that the delta-fed and diff-based warm starts are
-//! verified-optimal, place the same number of tasks, and agree with the
-//! from-scratch objective (min-cost flows are degenerate, so equally
-//! optimal paths may permute equal-cost assignments — see the equivalence
-//! check below). Used as a CI smoke test at small scale (`--scale 2000`).
+//! verified-optimal, agree with the from-scratch objective, and — after
+//! [`canonicalize_flow`] maps each degenerate optimum to the canonical
+//! one — produce **identical placements**: equally-optimal warm and cold
+//! paths no longer even permute equal-cost assignments. Used as a CI
+//! smoke test at small scale (`--scale 2000`).
 
 use firmament_bench::{header, row, verdict, warmed_cluster, Scale};
 use firmament_cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TaskState};
 use firmament_core::{extract_placements, Firmament};
 use firmament_flow::delta::DeltaBatch;
 use firmament_flow::FlowGraph;
+use firmament_mcmf::canonical::canonicalize_flow;
 use firmament_mcmf::incremental::{IncrementalConfig, IncrementalCostScaling};
 use firmament_mcmf::{cost_scaling, SolveOptions};
 use firmament_policies::{CostModel, LoadSpreadingCostModel, QuincyConfig, QuincyCostModel};
@@ -123,28 +125,30 @@ fn bench_policy<C: CostModel>(scale: &Scale, firmament: Firmament<C>) -> Measure
         .solve_with_deltas(&mut delta_graph, Some(&batch), &SolveOptions::unlimited())
         .expect("delta-fed warm solve");
 
-    // Solution equivalence: all three paths must land on the same optimal
-    // objective, and both warm flows must verify as feasible optima.
-    // (Exact placement identity is NOT asserted: min-cost flows are
-    // usually degenerate, and equally-optimal solves that take different
-    // paths may permute task↔machine assignments of equal cost. The
-    // per-task placement *count* must still agree.)
-    let p_diff = extract_placements(&diff_graph);
-    let p_delta = extract_placements(&delta_graph);
-    let placed = |p: &std::collections::BTreeMap<u64, firmament_core::Placement>| {
-        p.values()
-            .filter(|x| matches!(x, firmament_core::Placement::OnMachine(_)))
-            .count()
-    };
+    // Solution equivalence, tightened to placement identity: all three
+    // paths must land on the same optimal objective, both warm flows must
+    // verify as feasible optima, and after canonicalization (which maps
+    // every degenerate optimum to the same canonical flow, independent of
+    // the solver path that produced it) all three graphs must extract
+    // *identical* per-task placements — not just equal counts.
+    let optimal = firmament_mcmf::verify::is_optimal(&diff_graph)
+        && firmament_mcmf::verify::is_optimal(&delta_graph);
+    let mut scratch_canon = scratch_graph.clone();
+    let mut diff_canon = diff_graph.clone();
+    let mut delta_canon = delta_graph.clone();
+    let canon_ok = canonicalize_flow(&mut scratch_canon).is_ok()
+        && canonicalize_flow(&mut diff_canon).is_ok()
+        && canonicalize_flow(&mut delta_canon).is_ok();
+    let p_scratch = extract_placements(&scratch_canon);
+    let p_diff = extract_placements(&diff_canon);
+    let p_delta = extract_placements(&delta_canon);
     Measurement {
         scratch_s: scratch.runtime.as_secs_f64(),
         diff_s: diff.runtime.as_secs_f64(),
         delta_s: delta.runtime.as_secs_f64(),
         delta_nodes_touched: delta.stats.nodes_touched,
         deltas: batch.len(),
-        solutions_equivalent: placed(&p_diff) == placed(&p_delta)
-            && firmament_mcmf::verify::is_optimal(&diff_graph)
-            && firmament_mcmf::verify::is_optimal(&delta_graph),
+        solutions_equivalent: optimal && canon_ok && p_scratch == p_diff && p_diff == p_delta,
         objectives_agree: scratch.objective == diff.objective && diff.objective == delta.objective,
     }
 }
@@ -190,7 +194,7 @@ fn main() {
     verdict(
         "fig11_equivalence",
         all_equal,
-        "delta-fed and diff-based warm solves are verified-optimal, place the same task count, and match from-scratch objectives",
+        "delta-fed and diff-based warm solves are verified-optimal, match from-scratch objectives, and canonicalize to IDENTICAL per-task placements",
     );
     verdict(
         "fig11",

@@ -13,15 +13,31 @@
 //! core borrows it for solving and hands the winning flow back via
 //! [`FlowGraphManager::adopt_graph`].
 //!
+//! # Arc bundles
+//!
+//! Every declared arc is an [`ArcBundle`] — a piecewise-linear convex
+//! cost ladder. The manager materializes one parallel graph arc per
+//! segment and keeps the arc ids in a **slot vector** per (source,
+//! target) pair, so segment `j` of a bundle always maps to the same graph
+//! arc across refreshes: re-pricing a segment is a pure
+//! cost/capacity change on its slot (a cheap `CostChanged` delta for the
+//! incremental solver), growing a bundle appends slots, and shrinking
+//! parks the tail at capacity 0 (static models) or removes it (dynamic
+//! models). Convexity — non-decreasing segment costs — is validated at
+//! every declaration site and violations are rejected with
+//! [`PolicyError::NonConvexBundle`]: a decreasing ladder would let the
+//! min-cost solver fill expensive segments before cheap ones, silently
+//! corrupting the declared cost function.
+//!
 //! This mirrors real Firmament's `FlowGraphManager`/`CostModelInterface`
-//! split, which is what makes new policies cheap: the ~300 lines of node
-//! bookkeeping below are written once instead of once per policy.
+//! split, which is what makes new policies cheap: the node and slot
+//! bookkeeping below is written once instead of once per policy.
 
 use firmament_cluster::{ClusterEvent, ClusterState, JobId, MachineId, TaskId, Time};
 use firmament_flow::delta::DeltaBatch;
 use firmament_flow::{ArcId, FlowGraph, NodeId, NodeKind};
 use firmament_mcmf::incremental::drain_task_flow;
-use firmament_policies::{AggregateId, ArcTarget, CostModel, PolicyError};
+use firmament_policies::{AggregateId, ArcBundle, ArcSpec, ArcTarget, CostModel, PolicyError};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Node bookkeeping shared by every policy: the sink, per-task and
@@ -160,7 +176,9 @@ impl GraphBase {
         self.machine_nodes.get(&machine).copied()
     }
 
-    /// Finds the arc from `src` to `dst` if one exists (forward direction).
+    /// Finds the first arc from `src` to `dst` if one exists (forward
+    /// direction). With multi-segment bundles there may be several
+    /// parallel arcs; this returns the earliest in adjacency order.
     pub fn find_arc(&self, src: NodeId, dst: NodeId) -> Option<ArcId> {
         self.graph
             .adj(src)
@@ -191,6 +209,71 @@ impl GraphBase {
     }
 }
 
+/// Rejects bundles that break the convexity contract: segment costs must
+/// be non-decreasing, or the min-cost solver would fill expensive
+/// segments before cheap ones.
+fn validate_bundle(hook: &'static str, bundle: &ArcBundle) -> Result<(), PolicyError> {
+    if let Some((prev, next)) = bundle.convexity_violation() {
+        return Err(PolicyError::NonConvexBundle { hook, prev, next });
+    }
+    Ok(())
+}
+
+/// Synchronizes one bundle's slot vector with its newly declared
+/// segments, preserving per-segment slot identity:
+///
+/// - existing slots are re-priced in place (`CostChanged` /
+///   `CapacityChanged` deltas — never structural),
+/// - extra declared segments append new arcs,
+/// - slots beyond the declared length are parked at capacity 0 (static
+///   models, revivable) or removed (`dynamic`).
+fn sync_bundle(
+    graph: &mut FlowGraph,
+    slots: &mut Vec<ArcId>,
+    src: NodeId,
+    dst: NodeId,
+    segments: &[ArcSpec],
+    dynamic: bool,
+) -> Result<(), PolicyError> {
+    let common = slots.len().min(segments.len());
+    for (slot, seg) in slots.iter().zip(segments).take(common) {
+        graph.set_arc_capacity(*slot, seg.capacity.max(0))?;
+        graph.set_arc_cost(*slot, seg.cost)?;
+    }
+    if slots.len() > segments.len() {
+        if dynamic {
+            for &arc in &slots[segments.len()..] {
+                graph.remove_arc(arc)?;
+            }
+            slots.truncate(segments.len());
+        } else {
+            for &arc in &slots[segments.len()..] {
+                graph.set_arc_capacity(arc, 0)?;
+            }
+        }
+    }
+    // Non-empty exactly when segments outnumber slots: append the rest.
+    for seg in &segments[common..] {
+        let arc = graph.add_arc(src, dst, seg.capacity.max(0), seg.cost)?;
+        slots.push(arc);
+    }
+    Ok(())
+}
+
+/// Materializes a fresh slot vector for a bundle (one arc per segment).
+fn materialize_bundle(
+    graph: &mut FlowGraph,
+    src: NodeId,
+    dst: NodeId,
+    segments: &[ArcSpec],
+) -> Result<Vec<ArcId>, PolicyError> {
+    let mut slots = Vec::with_capacity(segments.len());
+    for seg in segments {
+        slots.push(graph.add_arc(src, dst, seg.capacity.max(0), seg.cost)?);
+    }
+    Ok(slots)
+}
+
 /// Counters describing what the two-pass refresh actually touched —
 /// exposed so tests (and curious operators) can verify that quiescent
 /// rounds skip the graph entirely.
@@ -207,6 +290,10 @@ pub struct RefreshStats {
     /// Aggregate nodes garbage-collected (task in-degree dropped to zero),
     /// cumulative; includes per-job unscheduled aggregators.
     pub aggregates_collected: u64,
+    /// Waiting tasks whose arc sets were re-derived by machine-set events,
+    /// cumulative — the quantity the waiting-task dirty-set narrowing
+    /// ([`CostModel::task_arcs_machine_local`]) keeps small.
+    pub waiting_rederived: u64,
     /// Machines touched by the most recent refresh.
     pub last_machines_touched: usize,
     /// Tasks touched by the most recent refresh.
@@ -224,13 +311,20 @@ pub struct FlowGraphManager {
     base: GraphBase,
     /// Aggregate id → node.
     agg_nodes: HashMap<AggregateId, NodeId>,
-    /// Machine → its aggregate arcs (aggregate → arc, sorted). Machine-
-    /// major so a dirty machine's refresh touches only its own arcs.
-    machine_agg_arcs: HashMap<MachineId, BTreeMap<AggregateId, ArcId>>,
-    /// EC→EC arcs, source-major: parent aggregate → (child aggregate →
-    /// arc). These are the multi-level hierarchy edges declared via
-    /// [`CostModel::aggregate_to_aggregate`].
-    agg_agg_arcs: HashMap<AggregateId, BTreeMap<AggregateId, ArcId>>,
+    /// Machine → its aggregate bundles (aggregate → per-segment arc
+    /// slots, sorted). Machine-major so a dirty machine's refresh touches
+    /// only its own arcs.
+    machine_agg_arcs: HashMap<MachineId, BTreeMap<AggregateId, Vec<ArcId>>>,
+    /// EC→EC bundles, source-major: parent aggregate → (child aggregate →
+    /// per-segment arc slots). These are the multi-level hierarchy edges
+    /// declared via [`CostModel::aggregate_to_aggregate`].
+    agg_agg_arcs: HashMap<AggregateId, BTreeMap<AggregateId, Vec<ArcId>>>,
+    /// Waiting task → its declared arc targets with per-segment slots, in
+    /// declaration order. Machine targets absent from the cluster are
+    /// recorded with empty slot vectors so machine-arrival events can
+    /// find the tasks that reference them (dirty-set narrowing) and the
+    /// dynamic task re-pricing can detect structural drift.
+    task_slots: HashMap<TaskId, Vec<(ArcTarget, Vec<ArcId>)>>,
     /// Where each running task sits (so preemption/completion events can
     /// dirty the right machine without consulting stale cluster state).
     running_on: HashMap<TaskId, MachineId>,
@@ -313,16 +407,50 @@ impl FlowGraphManager {
         self.agg_nodes.len()
     }
 
-    /// The EC→EC arc from one aggregate to another, if present.
+    /// The per-segment arc slots of an aggregate → machine bundle, if
+    /// present. Slot `j` is the graph arc of bundle segment `j`.
+    pub fn aggregate_machine_slots(
+        &self,
+        aggregate: AggregateId,
+        machine: MachineId,
+    ) -> Option<&[ArcId]> {
+        self.machine_agg_arcs
+            .get(&machine)
+            .and_then(|m| m.get(&aggregate))
+            .map(|v| v.as_slice())
+    }
+
+    /// The first-segment EC→EC arc from one aggregate to another, if
+    /// present (see [`aggregate_to_aggregate_slots`] for the whole
+    /// bundle).
+    ///
+    /// [`aggregate_to_aggregate_slots`]: Self::aggregate_to_aggregate_slots
     pub fn aggregate_to_aggregate_arc(
         &self,
         parent: AggregateId,
         child: AggregateId,
     ) -> Option<ArcId> {
+        self.aggregate_to_aggregate_slots(parent, child)
+            .and_then(|s| s.first().copied())
+    }
+
+    /// The per-segment arc slots of an EC→EC bundle, if present.
+    pub fn aggregate_to_aggregate_slots(
+        &self,
+        parent: AggregateId,
+        child: AggregateId,
+    ) -> Option<&[ArcId]> {
         self.agg_agg_arcs
             .get(&parent)
             .and_then(|m| m.get(&child))
-            .copied()
+            .map(|v| v.as_slice())
+    }
+
+    /// The declared arc targets and per-segment slots of a waiting task,
+    /// in declaration order. Machine targets not currently in the cluster
+    /// have empty slot vectors. `None` for running or unknown tasks.
+    pub fn task_arc_slots(&self, task: TaskId) -> Option<&[(ArcTarget, Vec<ArcId>)]> {
+        self.task_slots.get(&task).map(|v| v.as_slice())
     }
 
     /// Gang jobs deferred by admission control at the last refresh: jobs
@@ -385,21 +513,20 @@ impl FlowGraphManager {
                 aggs.sort_unstable();
                 for agg in aggs {
                     let an = self.agg_nodes[&agg];
-                    if let Some(spec) = model.aggregate_arc(state, agg, machine) {
-                        // Static-structure models keep zero-capacity arcs
-                        // alive so later refreshes can revive them;
-                        // dynamic models add/remove arcs each round.
-                        if dynamic && spec.capacity <= 0 {
+                    if let Some(bundle) = model.aggregate_arc(state, agg, machine) {
+                        validate_bundle("aggregate_arc", &bundle)?;
+                        // Static-structure models keep zero-capacity
+                        // slots alive so later refreshes can revive them;
+                        // dynamic models add/remove bundles each round.
+                        if bundle.is_empty() || (dynamic && bundle.total_capacity() <= 0) {
                             continue;
                         }
-                        let arc =
-                            self.base
-                                .graph
-                                .add_arc(an, n, spec.capacity.max(0), spec.cost)?;
+                        let slots =
+                            materialize_bundle(&mut self.base.graph, an, n, bundle.segments())?;
                         self.machine_agg_arcs
                             .entry(machine.id)
                             .or_default()
-                            .insert(agg, arc);
+                            .insert(agg, slots);
                     }
                 }
                 self.dirty_machines.insert(machine.id);
@@ -421,7 +548,9 @@ impl FlowGraphManager {
                 // a model that names this machine (or its rack) as a
                 // preference target would declare arcs a from-scratch
                 // build gets but the old incremental graph lacks.
-                self.resync_waiting_arcs(model, state)?;
+                // Machine-local models narrow this to the tasks whose
+                // declared targets reference the new machine.
+                self.resync_waiting_arcs(model, state, Some(machine.id))?;
             }
             ClusterEvent::MachineRemoved { machine, .. } => {
                 self.machine_agg_arcs.remove(machine);
@@ -437,9 +566,10 @@ impl FlowGraphManager {
                 // just those of the displaced tasks: block replicas died
                 // with the machine, so locality-driven preference arcs
                 // (e.g. a rack arc whose holders are gone) may no longer
-                // be declared. Re-derive every waiting task's arcs from
-                // the model, exactly as a from-scratch build would.
-                self.resync_waiting_arcs(model, state)?;
+                // be declared. Re-derive waiting tasks' arcs from the
+                // model, exactly as a from-scratch build would — narrowed
+                // to referencing tasks for machine-local models.
+                self.resync_waiting_arcs(model, state, Some(*machine))?;
             }
             ClusterEvent::JobSubmitted { job, tasks } => {
                 for task in tasks {
@@ -477,6 +607,7 @@ impl FlowGraphManager {
                 // arc to its machine and the preemption arc to U_j, so
                 // migrations always go through explicit preemption.
                 self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
+                self.task_slots.remove(task);
                 let cost = model.running_arc_cost(state, task_data, *machine);
                 self.base.graph.add_arc(t, m, 1, cost)?;
                 self.running_on.insert(*task, *machine);
@@ -498,6 +629,7 @@ impl FlowGraphManager {
                 // on the machine → sink arc.
                 drain_task_flow(&mut self.base.graph, t);
                 self.base.retain_out_arcs(t, move |_, dst| dst == u)?;
+                self.task_slots.remove(task);
                 self.add_waiting_arcs(model, state, &task_data)?;
                 if let Some(m) = self.running_on.remove(task) {
                     self.dirty_machines.insert(m);
@@ -517,6 +649,7 @@ impl FlowGraphManager {
                     .ok_or(PolicyError::UnknownTask(*task))?
                     .job;
                 self.base.remove_task(*task, job)?;
+                self.task_slots.remove(task);
                 if let Some(n) = self.live_job_tasks.get_mut(&job) {
                     *n -= 1;
                     if *n <= 0 {
@@ -539,6 +672,13 @@ impl FlowGraphManager {
     /// *up* multi-level EC→EC chains); pass 2 re-queries the model for
     /// exactly those and applies the deltas. A quiescent round (no events,
     /// clock unchanged) touches nothing.
+    ///
+    /// Pass 2 re-syncs bundles **in place**: segment slots keep their
+    /// identity, so a re-priced ladder reaches the incremental solver as
+    /// cost/capacity deltas, never as structural churn. Models with
+    /// [`CostModel::dynamic_task_arcs`] additionally get their waiting
+    /// tasks' preference bundles re-priced here (the task-side mirror of
+    /// the dynamic aggregate-arc refresh).
     ///
     /// The refresh also runs gang admission control (deferring gang caps
     /// that would make the network infeasible; see
@@ -582,11 +722,11 @@ impl FlowGraphManager {
         }
 
         // Pass 2: apply cost/capacity deltas for the dirty nodes only.
-        // Static-structure models (the common case) re-price exactly the
-        // arcs a dirty machine already has; dynamic models (Fig 6c) get
-        // the full (aggregate × machine) scan, since their arc *set*
+        // Static-structure models (the common case) re-sync exactly the
+        // bundles a dirty machine already has; dynamic models (Fig 6c)
+        // get the full (aggregate × machine) scan, since their arc *set*
         // reacts to monitored state.
-        if model.dynamic_aggregate_arcs() {
+        if dynamic {
             let mut aggs: Vec<AggregateId> = self.agg_nodes.keys().copied().collect();
             aggs.sort_unstable();
             for &mid in &machines {
@@ -594,24 +734,39 @@ impl FlowGraphManager {
                 let Some(mn) = self.base.machine_node(mid) else {
                     continue;
                 };
-                let arcs = self.machine_agg_arcs.entry(mid).or_default();
                 for &agg in &aggs {
-                    let spec = model
-                        .aggregate_arc(state, agg, machine)
-                        .filter(|s| s.capacity > 0);
-                    match (arcs.get(&agg).copied(), spec) {
-                        (Some(arc), Some(spec)) => {
-                            self.base.graph.set_arc_capacity(arc, spec.capacity)?;
-                            self.base.graph.set_arc_cost(arc, spec.cost)?;
+                    // Validate before the capacity filter so a non-convex
+                    // declaration is rejected even while its capacity is
+                    // parked at ≤ 0, matching every other declaration
+                    // site (the bug is in the model, not the load).
+                    let bundle = model.aggregate_arc(state, agg, machine);
+                    if let Some(b) = &bundle {
+                        validate_bundle("aggregate_arc", b)?;
+                    }
+                    let bundle = bundle.filter(|b| !b.is_empty() && b.total_capacity() > 0);
+                    let arcs = self.machine_agg_arcs.entry(mid).or_default();
+                    match (arcs.get_mut(&agg), bundle) {
+                        (Some(slots), Some(b)) => {
+                            sync_bundle(
+                                &mut self.base.graph,
+                                slots,
+                                self.agg_nodes[&agg],
+                                mn,
+                                b.segments(),
+                                true,
+                            )?;
                         }
-                        (Some(arc), None) => {
-                            self.base.graph.remove_arc(arc)?;
+                        (Some(slots), None) => {
+                            for &arc in slots.iter() {
+                                self.base.graph.remove_arc(arc)?;
+                            }
                             arcs.remove(&agg);
                         }
-                        (None, Some(spec)) => {
+                        (None, Some(b)) => {
                             let an = self.agg_nodes[&agg];
-                            let arc = self.base.graph.add_arc(an, mn, spec.capacity, spec.cost)?;
-                            arcs.insert(agg, arc);
+                            let slots =
+                                materialize_bundle(&mut self.base.graph, an, mn, b.segments())?;
+                            arcs.insert(agg, slots);
                         }
                         (None, None) => {}
                     }
@@ -620,25 +775,42 @@ impl FlowGraphManager {
         } else {
             for &mid in &machines {
                 let machine = &state.machines[&mid];
-                let Some(arcs) = self.machine_agg_arcs.get(&mid) else {
+                let Some(arcs) = self.machine_agg_arcs.get_mut(&mid) else {
                     continue;
                 };
-                for (&agg, &arc) in arcs {
+                for (&agg, slots) in arcs.iter_mut() {
+                    let Some(&an) = self.agg_nodes.get(&agg) else {
+                        continue;
+                    };
+                    let Some(mn) = self.base.machine_nodes.get(&mid).copied() else {
+                        continue;
+                    };
                     match model.aggregate_arc(state, agg, machine) {
-                        Some(spec) => {
-                            self.base
-                                .graph
-                                .set_arc_capacity(arc, spec.capacity.max(0))?;
-                            self.base.graph.set_arc_cost(arc, spec.cost)?;
+                        Some(bundle) => {
+                            validate_bundle("aggregate_arc", &bundle)?;
+                            sync_bundle(
+                                &mut self.base.graph,
+                                slots,
+                                an,
+                                mn,
+                                bundle.segments(),
+                                false,
+                            )?;
                         }
-                        // A static-structure model withdrawing an arc is
-                        // expressed as zero capacity, keeping the arc
-                        // available for revival on a later refresh.
-                        None => self.base.graph.set_arc_capacity(arc, 0)?,
+                        // A static-structure model withdrawing a bundle is
+                        // expressed as zero capacity on every slot,
+                        // keeping the arcs available for revival on a
+                        // later refresh.
+                        None => {
+                            for &arc in slots.iter() {
+                                self.base.graph.set_arc_capacity(arc, 0)?;
+                            }
+                        }
                     }
                 }
             }
         }
+        let reprice_tasks = model.dynamic_task_arcs();
         for &tid in &tasks {
             let Some(task) = state.tasks.get(&tid) else {
                 continue;
@@ -653,6 +825,13 @@ impl FlowGraphManager {
                 self.base
                     .graph
                     .set_arc_cost(arc, model.task_unscheduled_cost(state, task))?;
+            }
+            // The dynamic task-arc hook: re-price this waiting task's
+            // declared preference bundles (Execution-Templates style —
+            // the cached structure is kept, only the parameters are
+            // patched; structural drift falls back to a full re-derive).
+            if reprice_tasks && self.task_slots.contains_key(&tid) {
+                self.reprice_task_bundles(model, state, task)?;
             }
         }
         // Gang constraints with admission control: cap `U_j → S` at
@@ -764,10 +943,10 @@ impl FlowGraphManager {
     }
 
     /// Re-synchronizes one aggregate's EC→EC arc set with what the model
-    /// currently declares: existing arcs are re-priced, newly declared
-    /// children are materialized (cycle-checked) and connected, and stale
-    /// pairs are parked at capacity 0 (static models) or removed (dynamic
-    /// models).
+    /// currently declares: existing bundles are re-priced slot-by-slot,
+    /// newly declared children are materialized (cycle-checked) and
+    /// connected, and stale pairs are parked at capacity 0 (static
+    /// models) or removed (dynamic models).
     fn sync_aggregate_children<C: CostModel>(
         &mut self,
         model: &C,
@@ -783,74 +962,159 @@ impl FlowGraphManager {
             self.hierarchy_declared = true;
         }
         let mut seen: BTreeSet<AggregateId> = BTreeSet::new();
-        for (child, spec) in declared {
+        for (child, bundle) in declared {
             if child == agg {
                 return Err(PolicyError::AggregateCycle(agg));
             }
-            seen.insert(child);
+            validate_bundle("aggregate_to_aggregate", &bundle)?;
+            if !seen.insert(child) {
+                // Duplicate child declaration: first occurrence wins.
+                continue;
+            }
             let existing = self
                 .agg_agg_arcs
                 .get(&agg)
-                .and_then(|m| m.get(&child))
-                .copied();
-            match existing {
-                Some(arc) => {
-                    if dynamic && spec.capacity <= 0 {
+                .is_some_and(|m| m.contains_key(&child));
+            if existing {
+                let withdraw = dynamic && (bundle.is_empty() || bundle.total_capacity() <= 0);
+                if withdraw {
+                    let slots = self
+                        .agg_agg_arcs
+                        .get_mut(&agg)
+                        .expect("existing arc implies entry")
+                        .remove(&child)
+                        .expect("contains_key checked");
+                    for arc in slots {
                         self.base.graph.remove_arc(arc)?;
-                        self.agg_agg_arcs
-                            .get_mut(&agg)
-                            .expect("existing arc implies entry")
-                            .remove(&child);
-                    } else {
-                        self.base
-                            .graph
-                            .set_arc_capacity(arc, spec.capacity.max(0))?;
-                        self.base.graph.set_arc_cost(arc, spec.cost)?;
                     }
+                } else {
+                    let slots = self
+                        .agg_agg_arcs
+                        .get_mut(&agg)
+                        .expect("existing arc implies entry")
+                        .get_mut(&child)
+                        .expect("contains_key checked");
+                    sync_bundle(
+                        &mut self.base.graph,
+                        slots,
+                        an,
+                        self.agg_nodes[&child],
+                        bundle.segments(),
+                        dynamic,
+                    )?;
                 }
-                None => {
-                    if dynamic && spec.capacity <= 0 {
-                        continue;
-                    }
-                    let cn = self.ensure_aggregate(model, state, child)?;
-                    // A new edge into a pre-existing aggregate could close
-                    // a loop that per-materialization cycle detection
-                    // cannot see — and materializing `child` may itself
-                    // have connected descendants back to `agg`'s ancestors
-                    // — so reachability must be checked *after* the
-                    // child's subtree exists, just before connecting.
-                    if self.agg_reaches(child, agg) {
-                        return Err(PolicyError::AggregateCycle(agg));
-                    }
-                    let arc = self
-                        .base
-                        .graph
-                        .add_arc(an, cn, spec.capacity.max(0), spec.cost)?;
-                    self.agg_agg_arcs.entry(agg).or_default().insert(child, arc);
+            } else {
+                if bundle.is_empty() || (dynamic && bundle.total_capacity() <= 0) {
+                    continue;
                 }
+                let cn = self.ensure_aggregate(model, state, child)?;
+                // A new edge into a pre-existing aggregate could close
+                // a loop that per-materialization cycle detection
+                // cannot see — and materializing `child` may itself
+                // have connected descendants back to `agg`'s ancestors
+                // — so reachability must be checked *after* the
+                // child's subtree exists, just before connecting.
+                if self.agg_reaches(child, agg) {
+                    return Err(PolicyError::AggregateCycle(agg));
+                }
+                let slots = materialize_bundle(&mut self.base.graph, an, cn, bundle.segments())?;
+                self.agg_agg_arcs
+                    .entry(agg)
+                    .or_default()
+                    .insert(child, slots);
             }
         }
-        let stale: Vec<(AggregateId, ArcId)> = self
+        let stale: Vec<AggregateId> = self
             .agg_agg_arcs
             .get(&agg)
-            .map(|m| {
-                m.iter()
-                    .filter(|(c, _)| !seen.contains(c))
-                    .map(|(&c, &a)| (c, a))
-                    .collect()
-            })
+            .map(|m| m.keys().filter(|c| !seen.contains(c)).copied().collect())
             .unwrap_or_default();
-        for (child, arc) in stale {
+        for child in stale {
             if dynamic {
-                self.base.graph.remove_arc(arc)?;
-                self.agg_agg_arcs
+                let slots = self
+                    .agg_agg_arcs
                     .get_mut(&agg)
                     .expect("stale arc implies entry")
-                    .remove(&child);
+                    .remove(&child)
+                    .expect("stale key present");
+                for arc in slots {
+                    self.base.graph.remove_arc(arc)?;
+                }
             } else {
-                self.base.graph.set_arc_capacity(arc, 0)?;
+                let slots = self.agg_agg_arcs[&agg][&child].clone();
+                for arc in slots {
+                    self.base.graph.set_arc_capacity(arc, 0)?;
+                }
             }
         }
+        Ok(())
+    }
+
+    /// Re-prices one waiting task's declared bundles in place. The cheap
+    /// path applies when the declared target sequence matches the cached
+    /// slots (and every slot is still alive): per-segment costs and
+    /// capacities are patched, grown bundles append, shrunk bundles park
+    /// — all slot-stable. Structural drift (targets added, removed, or
+    /// reordered; slots killed by machine removal or aggregate GC) falls
+    /// back to a full arc re-derivation, exactly what a structural event
+    /// would do.
+    fn reprice_task_bundles<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+        task: &firmament_cluster::Task,
+    ) -> Result<(), PolicyError> {
+        let Some(tn) = self.base.task_node(task.id) else {
+            return Ok(());
+        };
+        let declared = dedup_targets(model.task_arcs(state, task));
+        for (_, bundle) in &declared {
+            validate_bundle("task_arcs", bundle)?;
+        }
+        let Some(entry) = self.task_slots.get(&task.id) else {
+            return Ok(());
+        };
+        let structural_match = entry.len() == declared.len()
+            && entry.iter().zip(&declared).all(|((t0, slots), (t1, _))| {
+                t0 == t1
+                    && match t0 {
+                        ArcTarget::Machine(m) if !state.machines.contains_key(m) => {
+                            slots.is_empty()
+                        }
+                        _ => {
+                            !slots.is_empty() && slots.iter().all(|&a| self.base.graph.arc_alive(a))
+                        }
+                    }
+            });
+        if !structural_match {
+            let u = self.base.ensure_unscheduled(task.job)?;
+            self.base.retain_out_arcs(tn, move |_, dst| dst == u)?;
+            self.task_slots.remove(&task.id);
+            // Rebuild from the declaration already computed (and
+            // validated) above — no second model query.
+            return self.install_waiting_arcs(model, state, task, declared);
+        }
+        let mut entry = self.task_slots.remove(&task.id).expect("checked above");
+        for ((target, slots), (_, bundle)) in entry.iter_mut().zip(&declared) {
+            let dst = match target {
+                ArcTarget::Aggregate(agg) => self.agg_nodes[agg],
+                ArcTarget::Machine(m) => match self.base.machine_node(*m) {
+                    Some(mn) => mn,
+                    None => continue, // absent machine: parked reference
+                },
+            };
+            // Parking (not removal) on shrink keeps slot identity so the
+            // segment can revive as a pure capacity change later.
+            sync_bundle(
+                &mut self.base.graph,
+                slots,
+                tn,
+                dst,
+                bundle.segments(),
+                false,
+            )?;
+        }
+        self.task_slots.insert(task.id, entry);
         Ok(())
     }
 
@@ -997,66 +1261,115 @@ impl FlowGraphManager {
         })
     }
 
-    /// Re-derives every waiting task's declared arc set from the model —
+    /// Re-derives waiting tasks' declared arc sets from the model —
     /// called on machine-set changes, whose fallout (dead block replicas,
     /// new preference targets) is not limited to displaced tasks. This is
     /// what keeps the incremental graph identical to a from-scratch
     /// rebuild across machine churn; the differential fuzz suite pins it.
+    ///
+    /// For models whose task arcs are **machine-local**
+    /// ([`CostModel::task_arcs_machine_local`]), re-derivation is
+    /// narrowed to the waiting tasks whose declared targets reference the
+    /// `touched` machine id — every other task's declaration cannot have
+    /// changed, by the model's own contract.
     fn resync_waiting_arcs<C: CostModel>(
         &mut self,
         model: &C,
         state: &ClusterState,
+        touched: Option<MachineId>,
     ) -> Result<(), PolicyError> {
+        let narrow = model.task_arcs_machine_local();
         let mut waiting: Vec<TaskId> = state.waiting_tasks().map(|t| t.id).collect();
         waiting.sort_unstable();
         for tid in waiting {
+            if narrow {
+                if let Some(m) = touched {
+                    let skip = match self.task_slots.get(&tid) {
+                        // A cached declaration that never references the
+                        // touched machine cannot have changed — the
+                        // machine-local contract.
+                        Some(slots) => !slots.iter().any(|(t, _)| *t == ArcTarget::Machine(m)),
+                        // No cached declaration: the task just became
+                        // waiting (displaced by this very machine
+                        // removal) and must derive its arc set from
+                        // scratch regardless of narrowing.
+                        None => false,
+                    };
+                    if skip {
+                        continue;
+                    }
+                }
+            }
             let Some(tn) = self.base.task_node(tid) else {
                 continue;
             };
             let task = state.tasks[&tid].clone();
             let u = self.base.ensure_unscheduled(task.job)?;
             self.base.retain_out_arcs(tn, move |_, dst| dst == u)?;
+            self.task_slots.remove(&tid);
             self.add_waiting_arcs(model, state, &task)?;
             self.dirty_tasks.insert(tid);
+            self.stats.waiting_rederived += 1;
         }
         Ok(())
     }
 
     /// Materializes the waiting arc set a model declares for `task`:
     /// aggregate targets are created on demand (together with their
-    /// machine arcs), unknown machine targets are skipped.
+    /// machine arcs); machine targets absent from the cluster are
+    /// recorded with empty slot vectors so they materialize when the
+    /// machine arrives (and so machine-local narrowing can find their
+    /// tasks). Duplicate target declarations keep the first bundle.
     fn add_waiting_arcs<C: CostModel>(
         &mut self,
         model: &C,
         state: &ClusterState,
         task: &firmament_cluster::Task,
     ) -> Result<(), PolicyError> {
+        let declared = dedup_targets(model.task_arcs(state, task));
+        for (_, bundle) in &declared {
+            validate_bundle("task_arcs", bundle)?;
+        }
+        self.install_waiting_arcs(model, state, task, declared)
+    }
+
+    /// The materialization half of [`add_waiting_arcs`](Self::add_waiting_arcs),
+    /// taking an already-deduplicated, already-validated declaration (so
+    /// callers that computed one — the dynamic re-price fallback — don't
+    /// pay a second `task_arcs` query).
+    fn install_waiting_arcs<C: CostModel>(
+        &mut self,
+        model: &C,
+        state: &ClusterState,
+        task: &firmament_cluster::Task,
+        declared: Vec<(ArcTarget, ArcBundle)>,
+    ) -> Result<(), PolicyError> {
         let t = self
             .base
             .task_node(task.id)
             .ok_or(PolicyError::UnknownTask(task.id))?;
-        for (target, cost) in model.task_arcs(state, task) {
-            match target {
+        let mut entry: Vec<(ArcTarget, Vec<ArcId>)> = Vec::with_capacity(declared.len());
+        for (target, bundle) in declared {
+            let slots = match target {
                 ArcTarget::Aggregate(agg) => {
                     let an = self.ensure_aggregate(model, state, agg)?;
-                    if self.base.find_arc(t, an).is_none() {
-                        self.base.graph.add_arc(t, an, 1, cost)?;
-                    }
+                    materialize_bundle(&mut self.base.graph, t, an, bundle.segments())?
                 }
-                ArcTarget::Machine(mid) => {
-                    if let Some(mn) = self.base.machine_node(mid) {
-                        if self.base.find_arc(t, mn).is_none() {
-                            self.base.graph.add_arc(t, mn, 1, cost)?;
-                        }
-                    }
-                }
-            }
+                ArcTarget::Machine(mid) => match self.base.machine_node(mid) {
+                    Some(mn) => materialize_bundle(&mut self.base.graph, t, mn, bundle.segments())?,
+                    // The machine is not in the cluster (yet): park the
+                    // reference so arrival re-derivation finds this task.
+                    None => Vec::new(),
+                },
+            };
+            entry.push((target, slots));
         }
+        self.task_slots.insert(task.id, entry);
         Ok(())
     }
 
     /// Returns (creating if needed) the node for a policy-defined
-    /// aggregate. On creation, the aggregate's machine arcs are
+    /// aggregate. On creation, the aggregate's machine bundles are
     /// materialized by querying the model for every known machine, and its
     /// EC→EC children (declared via
     /// [`CostModel::aggregate_to_aggregate`]) are materialized
@@ -1098,19 +1411,17 @@ impl FlowGraphManager {
             let Some(machine) = state.machines.get(&mid) else {
                 continue;
             };
-            if let Some(spec) = model.aggregate_arc(state, agg, machine) {
-                if dynamic && spec.capacity <= 0 {
+            if let Some(bundle) = model.aggregate_arc(state, agg, machine) {
+                validate_bundle("aggregate_arc", &bundle)?;
+                if bundle.is_empty() || (dynamic && bundle.total_capacity() <= 0) {
                     continue;
                 }
                 let mn = self.base.machine_nodes[&mid];
-                let arc = self
-                    .base
-                    .graph
-                    .add_arc(an, mn, spec.capacity.max(0), spec.cost)?;
+                let slots = materialize_bundle(&mut self.base.graph, an, mn, bundle.segments())?;
                 self.machine_agg_arcs
                     .entry(mid)
                     .or_default()
-                    .insert(agg, arc);
+                    .insert(agg, slots);
             }
         }
         // EC→EC children: materialize each declared child (recursively —
@@ -1119,8 +1430,9 @@ impl FlowGraphManager {
         if !declared.is_empty() {
             self.hierarchy_declared = true;
         }
-        for (child, spec) in declared {
-            if dynamic && spec.capacity <= 0 {
+        for (child, bundle) in declared {
+            validate_bundle("aggregate_to_aggregate", &bundle)?;
+            if bundle.is_empty() || (dynamic && bundle.total_capacity() <= 0) {
                 continue;
             }
             let cn = self.ensure_aggregate_rec(model, state, child, stack)?;
@@ -1129,11 +1441,11 @@ impl FlowGraphManager {
                 .get(&agg)
                 .is_some_and(|m| m.contains_key(&child));
             if !duplicate {
-                let arc = self
-                    .base
-                    .graph
-                    .add_arc(an, cn, spec.capacity.max(0), spec.cost)?;
-                self.agg_agg_arcs.entry(agg).or_default().insert(child, arc);
+                let slots = materialize_bundle(&mut self.base.graph, an, cn, bundle.segments())?;
+                self.agg_agg_arcs
+                    .entry(agg)
+                    .or_default()
+                    .insert(child, slots);
             }
         }
         stack.pop();
@@ -1141,11 +1453,23 @@ impl FlowGraphManager {
     }
 }
 
+/// Deduplicates a declared target list, keeping the first bundle per
+/// target (declaration order preserved) — the bundle-era equivalent of
+/// the old "skip if an arc to this destination already exists" guard.
+fn dedup_targets(declared: Vec<(ArcTarget, ArcBundle)>) -> Vec<(ArcTarget, ArcBundle)> {
+    let mut seen: HashSet<ArcTarget> = HashSet::with_capacity(declared.len());
+    declared
+        .into_iter()
+        .filter(|(t, _)| seen.insert(*t))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use firmament_cluster::{Job, JobClass, Machine, Task, TopologySpec};
-    use firmament_policies::ArcSpec;
+    use firmament_flow::delta::GraphDelta;
+    use firmament_policies::{ArcBundle, ArcSpec};
 
     #[test]
     fn base_bookkeeping_roundtrip() {
@@ -1193,7 +1517,7 @@ mod tests {
     }
 
     /// A minimal cost model for manager tests: one cluster aggregate,
-    /// machine cost = running task count.
+    /// machine cost = running task count (single-segment bundle).
     struct TestModel;
     const AGG: AggregateId = 0;
 
@@ -1204,19 +1528,19 @@ mod tests {
         fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
             10_000 + (state.now.saturating_sub(task.submit_time) / 1_000_000) as i64
         }
-        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
-            vec![(ArcTarget::Aggregate(AGG), 1)]
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Aggregate(AGG), ArcBundle::cost(1))]
         }
         fn aggregate_arc(
             &self,
             _: &ClusterState,
             _: AggregateId,
             machine: &Machine,
-        ) -> Option<ArcSpec> {
-            Some(ArcSpec {
-                capacity: machine.slots as i64,
-                cost: 10 * machine.running.len() as i64,
-            })
+        ) -> Option<ArcBundle> {
+            Some(ArcBundle::single(
+                machine.slots as i64,
+                10 * machine.running.len() as i64,
+            ))
         }
         fn aggregate_kind(&self, _: AggregateId) -> NodeKind {
             NodeKind::ClusterAggregator
@@ -1276,6 +1600,7 @@ mod tests {
         let (mut state, mut mgr) = setup(2, 2);
         submit(&mut state, &mut mgr, 0, 1);
         let tid = 0u64;
+        assert!(mgr.task_arc_slots(tid).is_some(), "waiting task has slots");
         let ev = ClusterEvent::TaskPlaced {
             task: tid,
             machine: 0,
@@ -1283,6 +1608,10 @@ mod tests {
         };
         state.apply(&ev);
         mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        assert!(
+            mgr.task_arc_slots(tid).is_none(),
+            "running task keeps no waiting slots"
+        );
         let t = mgr.task_node(tid).unwrap();
         let g = mgr.graph();
         let out: Vec<_> = g
@@ -1302,6 +1631,7 @@ mod tests {
         };
         state.apply(&ev);
         mgr.apply_event(&TestModel, &state, &ev).unwrap();
+        assert!(mgr.task_arc_slots(tid).is_some(), "waiting slots restored");
         let g = mgr.graph();
         let out: Vec<_> = g
             .adj(t)
@@ -1407,6 +1737,462 @@ mod tests {
         assert_eq!(mgr.graph().node_count(), nodes);
     }
 
+    // ------------------------------------------------------------------
+    // Convex bundle behavior
+    // ------------------------------------------------------------------
+
+    /// A ladder model: per-slot segments priced by standing load.
+    struct LadderModel;
+
+    impl CostModel for LadderModel {
+        fn name(&self) -> &'static str {
+            "ladder-test"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            100_000
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Aggregate(AGG), ArcBundle::cost(1))]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcBundle> {
+            let running = machine.running.len() as i64;
+            Some(ArcBundle::ladder(
+                (0..machine.slots as i64).map(|j| 10 * (running + j)),
+            ))
+        }
+        fn aggregate_kind(&self, _: AggregateId) -> NodeKind {
+            NodeKind::ClusterAggregator
+        }
+    }
+
+    #[test]
+    fn ladder_bundle_materializes_parallel_segment_arcs() {
+        let state = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 20,
+            slots_per_machine: 3,
+        });
+        let mut state = state;
+        let mut mgr = FlowGraphManager::new();
+        let mut ms: Vec<_> = state.machines.values().cloned().collect();
+        ms.sort_by_key(|m| m.id);
+        for m in ms {
+            mgr.apply_event(
+                &LadderModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m },
+            )
+            .unwrap();
+        }
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let ev = ClusterEvent::JobSubmitted {
+            job: j,
+            tasks: vec![Task::new(0, 0, 0, 1_000_000)],
+        };
+        state.apply(&ev);
+        mgr.apply_event(&LadderModel, &state, &ev).unwrap();
+        let slots = mgr.aggregate_machine_slots(AGG, 0).expect("bundle slots");
+        assert_eq!(slots.len(), 3, "one arc per segment");
+        let g = mgr.graph();
+        let costs: Vec<i64> = slots.iter().map(|&a| g.cost(a)).collect();
+        assert_eq!(costs, vec![0, 10, 20]);
+        assert!(slots.iter().all(|&a| g.capacity(a) == 1));
+        // All three arcs are parallel aggregate → machine-0 arcs.
+        let an = mgr.aggregate_node(AGG).unwrap();
+        let mn = mgr.machine_node(0).unwrap();
+        assert!(slots.iter().all(|&a| g.src(a) == an && g.dst(a) == mn));
+    }
+
+    #[test]
+    fn repricing_a_segment_is_slot_stable_and_structural_free() {
+        let (mut state, mut mgr) = {
+            let state = ClusterState::with_topology(&TopologySpec {
+                machines: 2,
+                machines_per_rack: 20,
+                slots_per_machine: 2,
+            });
+            let mut mgr = FlowGraphManager::new();
+            let mut ms: Vec<_> = state.machines.values().cloned().collect();
+            ms.sort_by_key(|m| m.id);
+            for m in ms {
+                mgr.apply_event(
+                    &LadderModel,
+                    &state,
+                    &ClusterEvent::MachineAdded { machine: m },
+                )
+                .unwrap();
+            }
+            (state, mgr)
+        };
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let tasks: Vec<Task> = (0..2).map(|i| Task::new(i, 0, 0, 1_000_000)).collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        mgr.apply_event(&LadderModel, &state, &ev).unwrap();
+        let before: Vec<ArcId> = mgr.aggregate_machine_slots(AGG, 0).unwrap().to_vec();
+        mgr.refresh(&LadderModel, &state).unwrap();
+        mgr.take_deltas();
+
+        // Place a task on machine 0: its ladder re-prices on refresh.
+        let ev = ClusterEvent::TaskPlaced {
+            task: 0,
+            machine: 0,
+            now: 5,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&LadderModel, &state, &ev).unwrap();
+        mgr.refresh(&LadderModel, &state).unwrap();
+        let after: Vec<ArcId> = mgr.aggregate_machine_slots(AGG, 0).unwrap().to_vec();
+        assert_eq!(before, after, "segment slots keep their identity");
+        let g = mgr.graph();
+        let costs: Vec<i64> = after.iter().map(|&a| g.cost(a)).collect();
+        assert_eq!(costs, vec![10, 20], "ladder shifted by the new load");
+        // The re-price reached the delta feed as pure cost changes on the
+        // machine-0 bundle — no Arc{Added,Removed} for it.
+        let batch = mgr.take_deltas();
+        let on_bundle = |arc: ArcId| after.contains(&arc);
+        assert!(batch
+            .deltas()
+            .iter()
+            .any(|d| matches!(d, GraphDelta::CostChanged { arc, .. } if on_bundle(*arc))));
+        assert!(!batch.deltas().iter().any(|d| matches!(
+            d,
+            GraphDelta::ArcAdded { arc, .. } | GraphDelta::ArcRemoved { arc, .. }
+            if on_bundle(*arc)
+        )));
+    }
+
+    /// Segment count tracks free slots: shrinks when tasks land, grows
+    /// when they leave — exercising park/revive in static mode.
+    struct ShrinkingLadderModel;
+
+    impl CostModel for ShrinkingLadderModel {
+        fn name(&self) -> &'static str {
+            "shrinking-ladder"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            100_000
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Aggregate(AGG), ArcBundle::cost(1))]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcBundle> {
+            let running = machine.running.len() as i64;
+            let free = machine.slots as i64 - running;
+            Some(ArcBundle::ladder((0..free).map(|j| 10 * (running + j))))
+        }
+        fn aggregate_kind(&self, _: AggregateId) -> NodeKind {
+            NodeKind::ClusterAggregator
+        }
+    }
+
+    #[test]
+    fn static_bundles_park_and_revive_on_segment_count_changes() {
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 1,
+            machines_per_rack: 20,
+            slots_per_machine: 2,
+        });
+        let mut mgr = FlowGraphManager::new();
+        let m0 = state.machines.values().next().unwrap().clone();
+        mgr.apply_event(
+            &ShrinkingLadderModel,
+            &state,
+            &ClusterEvent::MachineAdded { machine: m0 },
+        )
+        .unwrap();
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let tasks: Vec<Task> = (0..2).map(|i| Task::new(i, 0, 0, 1_000_000)).collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        mgr.apply_event(&ShrinkingLadderModel, &state, &ev).unwrap();
+        let slots: Vec<ArcId> = mgr.aggregate_machine_slots(AGG, 0).unwrap().to_vec();
+        assert_eq!(slots.len(), 2);
+
+        // One task lands: the declared ladder shrinks to one segment; the
+        // second slot parks at capacity 0 instead of being removed.
+        let ev = ClusterEvent::TaskPlaced {
+            task: 0,
+            machine: 0,
+            now: 5,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&ShrinkingLadderModel, &state, &ev).unwrap();
+        mgr.refresh(&ShrinkingLadderModel, &state).unwrap();
+        let after: Vec<ArcId> = mgr.aggregate_machine_slots(AGG, 0).unwrap().to_vec();
+        assert_eq!(after, slots, "slot identity survives the shrink");
+        let g = mgr.graph();
+        assert_eq!(g.capacity(slots[0]), 1);
+        assert_eq!(g.cost(slots[0]), 10, "remaining slot priced at load 1");
+        assert_eq!(g.capacity(slots[1]), 0, "tail parked, not removed");
+
+        // The task completes: the ladder grows back, reviving the slot.
+        let ev = ClusterEvent::TaskCompleted { task: 0, now: 9 };
+        state.apply(&ev);
+        mgr.apply_event(&ShrinkingLadderModel, &state, &ev).unwrap();
+        mgr.refresh(&ShrinkingLadderModel, &state).unwrap();
+        let g = mgr.graph();
+        assert_eq!(g.capacity(slots[0]), 1);
+        assert_eq!(g.cost(slots[0]), 0);
+        assert_eq!(g.capacity(slots[1]), 1, "parked slot revived in place");
+        assert_eq!(g.cost(slots[1]), 10);
+    }
+
+    /// Models that declare decreasing-cost ladders are rejected with the
+    /// typed error, from every hook.
+    struct NonConvexModel {
+        from: &'static str,
+    }
+
+    impl CostModel for NonConvexModel {
+        fn name(&self) -> &'static str {
+            "non-convex"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            1
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            let bundle = if self.from == "task_arcs" {
+                ArcBundle::ladder([5, 3])
+            } else {
+                ArcBundle::cost(0)
+            };
+            vec![(ArcTarget::Aggregate(AGG), bundle)]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            aggregate: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcBundle> {
+            if aggregate != AGG {
+                return None;
+            }
+            Some(if self.from == "aggregate_arc" {
+                ArcBundle::ladder([9, 2])
+            } else {
+                ArcBundle::single(machine.slots as i64, 0)
+            })
+        }
+        fn aggregate_to_aggregate(
+            &self,
+            _: &ClusterState,
+            aggregate: AggregateId,
+        ) -> Vec<(AggregateId, ArcBundle)> {
+            if self.from == "aggregate_to_aggregate" && aggregate == AGG {
+                vec![(7, ArcBundle::ladder([4, 1]))]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    #[test]
+    fn non_convex_bundles_rejected_from_every_hook() {
+        for from in ["task_arcs", "aggregate_arc", "aggregate_to_aggregate"] {
+            let model = NonConvexModel { from };
+            let mut state = ClusterState::with_topology(&TopologySpec {
+                machines: 1,
+                machines_per_rack: 20,
+                slots_per_machine: 2,
+            });
+            let mut mgr = FlowGraphManager::new();
+            let m0 = state.machines.values().next().unwrap().clone();
+            mgr.apply_event(&model, &state, &ClusterEvent::MachineAdded { machine: m0 })
+                .unwrap();
+            let j = Job::new(0, JobClass::Batch, 0, 0);
+            let ev = ClusterEvent::JobSubmitted {
+                job: j,
+                tasks: vec![Task::new(0, 0, 0, 1_000_000)],
+            };
+            state.apply(&ev);
+            let err = mgr.apply_event(&model, &state, &ev);
+            assert!(
+                matches!(
+                    err,
+                    Err(PolicyError::NonConvexBundle { hook, .. }) if hook == from
+                ),
+                "{from}: expected NonConvexBundle, got {err:?}"
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic task-arc re-pricing
+    // ------------------------------------------------------------------
+
+    /// Preference costs decay with wait time (e.g. locality that matters
+    /// less the longer a task starves): the dynamic_task_arcs hook lets
+    /// the refresh patch them without structural events.
+    struct DecayingPrefModel;
+
+    impl CostModel for DecayingPrefModel {
+        fn name(&self) -> &'static str {
+            "decaying-pref"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            100_000
+        }
+        fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            let wait_sec = state.now.saturating_sub(task.submit_time) / 1_000_000;
+            // The machine preference fades as the task waits.
+            vec![
+                (ArcTarget::Aggregate(AGG), ArcBundle::cost(50)),
+                (
+                    ArcTarget::Machine(0),
+                    ArcBundle::cost((40i64 - wait_sec as i64).max(0)),
+                ),
+            ]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcBundle> {
+            Some(ArcBundle::single(machine.slots as i64, 0))
+        }
+        fn aggregate_kind(&self, _: AggregateId) -> NodeKind {
+            NodeKind::ClusterAggregator
+        }
+        fn dynamic_task_arcs(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn dynamic_task_arcs_reprice_in_place_on_clock_advance() {
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 20,
+            slots_per_machine: 1,
+        });
+        let mut mgr = FlowGraphManager::new();
+        let mut ms: Vec<_> = state.machines.values().cloned().collect();
+        ms.sort_by_key(|m| m.id);
+        for m in ms {
+            mgr.apply_event(
+                &DecayingPrefModel,
+                &state,
+                &ClusterEvent::MachineAdded { machine: m },
+            )
+            .unwrap();
+        }
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let ev = ClusterEvent::JobSubmitted {
+            job: j,
+            tasks: vec![Task::new(0, 0, 0, 60_000_000)],
+        };
+        state.apply(&ev);
+        mgr.apply_event(&DecayingPrefModel, &state, &ev).unwrap();
+        mgr.refresh(&DecayingPrefModel, &state).unwrap();
+        let slots_before: Vec<(ArcTarget, Vec<ArcId>)> = mgr.task_arc_slots(0).unwrap().to_vec();
+        let pref = slots_before
+            .iter()
+            .find(|(t, _)| *t == ArcTarget::Machine(0))
+            .unwrap()
+            .1[0];
+        assert_eq!(mgr.graph().cost(pref), 40);
+
+        // 10 seconds pass: the preference cost decays — in place.
+        let ev = ClusterEvent::Tick { now: 10_000_000 };
+        state.apply(&ev);
+        mgr.apply_event(&DecayingPrefModel, &state, &ev).unwrap();
+        mgr.take_deltas();
+        mgr.refresh(&DecayingPrefModel, &state).unwrap();
+        assert_eq!(
+            mgr.task_arc_slots(0).unwrap().to_vec(),
+            slots_before,
+            "re-pricing must not rebuild the arc set"
+        );
+        assert_eq!(mgr.graph().cost(pref), 30, "decayed by 10s");
+        // And the batch carries no structural deltas for the task arcs.
+        let batch = mgr.take_deltas();
+        assert!(!batch.deltas().iter().any(|d| matches!(
+            d,
+            GraphDelta::ArcAdded { .. } | GraphDelta::ArcRemoved { .. }
+        )));
+    }
+
+    /// Target-set drift under dynamic_task_arcs forces a full re-derive.
+    struct TargetDriftModel;
+
+    impl CostModel for TargetDriftModel {
+        fn name(&self) -> &'static str {
+            "target-drift"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            100_000
+        }
+        fn task_arcs(&self, state: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            // After 5 s the task also wants a second aggregate.
+            let mut arcs = vec![(ArcTarget::Aggregate(AGG), ArcBundle::cost(1))];
+            if state.now >= 5_000_000 {
+                arcs.push((ArcTarget::Aggregate(77), ArcBundle::cost(3)));
+            }
+            arcs
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcBundle> {
+            Some(ArcBundle::single(machine.slots as i64, 0))
+        }
+        fn dynamic_task_arcs(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn dynamic_task_arcs_rebuild_on_target_set_change() {
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 1,
+            machines_per_rack: 20,
+            slots_per_machine: 1,
+        });
+        let mut mgr = FlowGraphManager::new();
+        let m0 = state.machines.values().next().unwrap().clone();
+        mgr.apply_event(
+            &TargetDriftModel,
+            &state,
+            &ClusterEvent::MachineAdded { machine: m0 },
+        )
+        .unwrap();
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let ev = ClusterEvent::JobSubmitted {
+            job: j,
+            tasks: vec![Task::new(0, 0, 0, 60_000_000)],
+        };
+        state.apply(&ev);
+        mgr.apply_event(&TargetDriftModel, &state, &ev).unwrap();
+        assert_eq!(mgr.task_arc_slots(0).unwrap().len(), 1);
+        assert!(mgr.aggregate_node(77).is_none());
+
+        let ev = ClusterEvent::Tick { now: 6_000_000 };
+        state.apply(&ev);
+        mgr.apply_event(&TargetDriftModel, &state, &ev).unwrap();
+        mgr.refresh(&TargetDriftModel, &state).unwrap();
+        let slots = mgr.task_arc_slots(0).unwrap();
+        assert_eq!(slots.len(), 2, "new target materialized");
+        assert!(mgr.aggregate_node(77).is_some());
+    }
+
+    // ------------------------------------------------------------------
+    // Hierarchies (EC→EC)
+    // ------------------------------------------------------------------
+
     /// A two-level hierarchy for manager tests: root `X` → per-rack
     /// aggregates → machines of that rack (no direct X→machine arcs).
     struct HierModel;
@@ -1425,38 +2211,30 @@ mod tests {
         fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
             100_000
         }
-        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
-            vec![(ArcTarget::Aggregate(ROOT), 0)]
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Aggregate(ROOT), ArcBundle::cost(0))]
         }
         fn aggregate_arc(
             &self,
             _: &ClusterState,
             aggregate: AggregateId,
             machine: &Machine,
-        ) -> Option<ArcSpec> {
-            (aggregate != ROOT && rack_of(aggregate) == machine.rack).then_some(ArcSpec {
-                capacity: machine.slots as i64,
-                cost: 10 * machine.running.len() as i64,
-            })
+        ) -> Option<ArcBundle> {
+            (aggregate != ROOT && rack_of(aggregate) == machine.rack)
+                .then(|| ArcBundle::single(machine.slots as i64, 10 * machine.running.len() as i64))
         }
         fn aggregate_to_aggregate(
             &self,
             state: &ClusterState,
             aggregate: AggregateId,
-        ) -> Vec<(AggregateId, ArcSpec)> {
+        ) -> Vec<(AggregateId, ArcBundle)> {
             if aggregate != ROOT {
                 return Vec::new();
             }
             firmament_policies::rack_capacities(state)
                 .into_iter()
                 .map(|(rack, slots, running)| {
-                    (
-                        hier_rack_agg(rack),
-                        ArcSpec {
-                            capacity: slots,
-                            cost: running,
-                        },
-                    )
+                    (hier_rack_agg(rack), ArcBundle::single(slots, running))
                 })
                 .collect()
         }
@@ -1650,33 +2428,24 @@ mod tests {
         fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
             1
         }
-        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
-            vec![(ArcTarget::Aggregate(0), 0)]
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Aggregate(0), ArcBundle::cost(0))]
         }
         fn aggregate_arc(
             &self,
             _: &ClusterState,
             _: AggregateId,
             machine: &Machine,
-        ) -> Option<ArcSpec> {
-            Some(ArcSpec {
-                capacity: machine.slots as i64,
-                cost: 0,
-            })
+        ) -> Option<ArcBundle> {
+            Some(ArcBundle::single(machine.slots as i64, 0))
         }
         fn aggregate_to_aggregate(
             &self,
             _: &ClusterState,
             aggregate: AggregateId,
-        ) -> Vec<(AggregateId, ArcSpec)> {
+        ) -> Vec<(AggregateId, ArcBundle)> {
             let next = if aggregate == 0 { 1 } else { 0 };
-            vec![(
-                next,
-                ArcSpec {
-                    capacity: 10,
-                    cost: 0,
-                },
-            )]
+            vec![(next, ArcBundle::single(10, 0))]
         }
     }
 
@@ -1695,32 +2464,26 @@ mod tests {
         fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
             1
         }
-        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
-            vec![(ArcTarget::Aggregate(0), 0)]
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Aggregate(0), ArcBundle::cost(0))]
         }
         fn aggregate_arc(
             &self,
             _: &ClusterState,
             _: AggregateId,
             machine: &Machine,
-        ) -> Option<ArcSpec> {
-            Some(ArcSpec {
-                capacity: machine.slots as i64,
-                cost: 0,
-            })
+        ) -> Option<ArcBundle> {
+            Some(ArcBundle::single(machine.slots as i64, 0))
         }
         fn aggregate_to_aggregate(
             &self,
             state: &ClusterState,
             aggregate: AggregateId,
-        ) -> Vec<(AggregateId, ArcSpec)> {
-            let spec = ArcSpec {
-                capacity: 10,
-                cost: 0,
-            };
+        ) -> Vec<(AggregateId, ArcBundle)> {
+            let bundle = ArcBundle::single(10, 0);
             match aggregate {
-                0 if state.machines.len() >= 3 => vec![(1, spec)],
-                1 => vec![(0, spec)],
+                0 if state.machines.len() >= 3 => vec![(1, bundle)],
+                1 => vec![(0, bundle)],
                 _ => Vec::new(),
             }
         }
@@ -1789,14 +2552,25 @@ mod tests {
         fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
             0
         }
-        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
-            vec![(ArcTarget::Machine(0), 1)]
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Machine(0), ArcBundle::cost(1))]
         }
-        fn aggregate_arc(&self, _: &ClusterState, _: AggregateId, _: &Machine) -> Option<ArcSpec> {
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            _: &Machine,
+        ) -> Option<ArcBundle> {
             None
         }
         fn job_gang_minimum(&self, _: &ClusterState, _: &Job) -> i64 {
             2
+        }
+        fn task_arcs_machine_local(&self) -> bool {
+            // Declares Machine(0) unconditionally — the exact contract the
+            // narrowing requires (references to absent machines are
+            // parked and found on arrival).
+            true
         }
     }
 
@@ -1805,7 +2579,8 @@ mod tests {
         // NarrowGangModel declares ArcTarget::Machine(0) for every task.
         // Submit while machine 0 is absent, then add it: the waiting arc
         // re-derivation on MachineAdded must materialize the preference
-        // arc, exactly as a from-scratch build would.
+        // arc, exactly as a from-scratch build would — through the
+        // narrowed path, since the model is machine-local.
         let mut state = ClusterState::default();
         let mut mgr = FlowGraphManager::new();
         let ev = ClusterEvent::MachineAdded {
@@ -1825,6 +2600,11 @@ mod tests {
             mgr.machine_node(0).is_none(),
             "preference target not in the cluster yet"
         );
+        // The absent machine is recorded as a parked reference.
+        let slots = mgr.task_arc_slots(0).unwrap();
+        assert!(slots
+            .iter()
+            .any(|(t, s)| *t == ArcTarget::Machine(0) && s.is_empty()));
         let ev = ClusterEvent::MachineAdded {
             machine: Machine::new(0, 0, 1),
         };
@@ -1912,19 +2692,16 @@ mod tests {
         fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
             0 // unscheduled is free: only the gang constraint forces work
         }
-        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
-            vec![(ArcTarget::Aggregate(AGG), 1)]
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Aggregate(AGG), ArcBundle::cost(1))]
         }
         fn aggregate_arc(
             &self,
             _: &ClusterState,
             _: AggregateId,
             machine: &Machine,
-        ) -> Option<ArcSpec> {
-            Some(ArcSpec {
-                capacity: machine.slots as i64,
-                cost: 5,
-            })
+        ) -> Option<ArcBundle> {
+            Some(ArcBundle::single(machine.slots as i64, 5))
         }
         fn job_gang_minimum(&self, _: &ClusterState, _: &Job) -> i64 {
             2
@@ -2016,26 +2793,23 @@ mod tests {
         fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
             10_000
         }
-        fn task_arcs(&self, _: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
+        fn task_arcs(&self, _: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
             // Per-job aggregates, so the manager holds many flat aggregates.
-            vec![(ArcTarget::Aggregate(500 + task.job), 1)]
+            vec![(ArcTarget::Aggregate(500 + task.job), ArcBundle::cost(1))]
         }
         fn aggregate_arc(
             &self,
             _: &ClusterState,
             _: AggregateId,
             machine: &Machine,
-        ) -> Option<ArcSpec> {
-            Some(ArcSpec {
-                capacity: machine.slots as i64,
-                cost: 1,
-            })
+        ) -> Option<ArcBundle> {
+            Some(ArcBundle::single(machine.slots as i64, 1))
         }
         fn aggregate_to_aggregate(
             &self,
             _: &ClusterState,
             _: AggregateId,
-        ) -> Vec<(AggregateId, ArcSpec)> {
+        ) -> Vec<(AggregateId, ArcBundle)> {
             self.a2a_queries.set(self.a2a_queries.get() + 1);
             Vec::new()
         }
@@ -2096,6 +2870,93 @@ mod tests {
             "machine events triggered {} EC→EC queries on a flat model",
             after - before
         );
+    }
+
+    /// Counts task_arcs queries, to pin the waiting-task half of the
+    /// dirty-set narrowing.
+    struct CountingTaskModel {
+        machine_local: bool,
+        task_queries: std::cell::Cell<u64>,
+    }
+
+    impl CostModel for CountingTaskModel {
+        fn name(&self) -> &'static str {
+            "counting-task"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            10_000
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            self.task_queries.set(self.task_queries.get() + 1);
+            vec![(ArcTarget::Aggregate(AGG), ArcBundle::cost(1))]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcBundle> {
+            Some(ArcBundle::single(machine.slots as i64, 1))
+        }
+        fn task_arcs_machine_local(&self) -> bool {
+            self.machine_local
+        }
+    }
+
+    #[test]
+    fn machine_local_models_skip_waiting_task_rederivation() {
+        for machine_local in [false, true] {
+            let model = CountingTaskModel {
+                machine_local,
+                task_queries: std::cell::Cell::new(0),
+            };
+            let mut state = ClusterState::with_topology(&TopologySpec {
+                machines: 2,
+                machines_per_rack: 20,
+                slots_per_machine: 1,
+            });
+            let mut mgr = FlowGraphManager::new();
+            for m in state.machines.values().cloned().collect::<Vec<_>>() {
+                mgr.apply_event(&model, &state, &ClusterEvent::MachineAdded { machine: m })
+                    .unwrap();
+            }
+            // 20 waiting tasks, none referencing any machine directly.
+            let j = Job::new(0, JobClass::Batch, 0, 0);
+            let tasks: Vec<Task> = (0..20).map(|i| Task::new(i, 0, 0, 1_000_000)).collect();
+            let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+            state.apply(&ev);
+            mgr.apply_event(&model, &state, &ev).unwrap();
+            let before = model.task_queries.get();
+            let rederived_before = mgr.stats().waiting_rederived;
+
+            // Machine churn: one add, one remove.
+            let m = Machine::new(50, 0, 1);
+            let ev = ClusterEvent::MachineAdded { machine: m };
+            state.apply(&ev);
+            mgr.apply_event(&model, &state, &ev).unwrap();
+            let ev = ClusterEvent::MachineRemoved {
+                machine: 50,
+                now: 5,
+            };
+            state.apply(&ev);
+            mgr.apply_event(&model, &state, &ev).unwrap();
+
+            let queries = model.task_queries.get() - before;
+            let rederived = mgr.stats().waiting_rederived - rederived_before;
+            if machine_local {
+                assert_eq!(
+                    queries, 0,
+                    "machine-local model must not re-query any waiting task"
+                );
+                assert_eq!(rederived, 0);
+            } else {
+                assert_eq!(
+                    queries, 40,
+                    "full re-query: every waiting task, on both events"
+                );
+                assert_eq!(rederived, 40);
+            }
+        }
     }
 
     #[test]
@@ -2162,5 +3023,31 @@ mod tests {
             assert_eq!(snapshot.capacity(a), live.capacity(a));
             assert_eq!(snapshot.cost(a), live.cost(a));
         }
+    }
+
+    #[test]
+    fn bundle_validation_helpers() {
+        assert!(validate_bundle("task_arcs", &ArcBundle::ladder([1, 2, 2])).is_ok());
+        let err = validate_bundle("aggregate_arc", &ArcBundle::ladder([3, 1]));
+        assert!(matches!(
+            err,
+            Err(PolicyError::NonConvexBundle {
+                hook: "aggregate_arc",
+                prev: 3,
+                next: 1
+            })
+        ));
+        // Zero-capacity segments are legal (parked), convexity still holds.
+        let b = ArcBundle::from_segments(vec![
+            ArcSpec {
+                capacity: 0,
+                cost: 1,
+            },
+            ArcSpec {
+                capacity: 4,
+                cost: 2,
+            },
+        ]);
+        assert!(validate_bundle("task_arcs", &b).is_ok());
     }
 }

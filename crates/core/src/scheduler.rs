@@ -50,6 +50,11 @@ pub struct SolverStats {
     pub deltas_fed: usize,
     /// Raw change-log entries the batch was compacted from.
     pub raw_changes: usize,
+    /// Pure re-pricings (`CostChanged`) among the deltas — the shape a
+    /// convex-bundle segment re-price or a `dynamic_task_arcs` cost
+    /// drift produces. These are the cheap warm-start events: no flow
+    /// moved, no structure changed.
+    pub repricings: usize,
     /// Nodes the incremental cost-scaling solver activated (its honest
     /// work measure); 0 when it went cold, was cancelled, or lost the
     /// race before finishing.
@@ -283,6 +288,7 @@ impl<C: CostModel> Firmament<C> {
             solver: SolverStats {
                 deltas_fed: deltas.len(),
                 raw_changes: deltas.raw_len(),
+                repricings: deltas.cost_changes(),
                 nodes_touched: cs.map(|s| s.nodes_touched).unwrap_or(0),
                 iterations: cs.map(|s| s.iterations).unwrap_or(0),
                 bailouts: cs.map(|s| s.bailouts).unwrap_or(0),

@@ -596,6 +596,17 @@ impl DeltaBatch {
         self.raw_len
     }
 
+    /// Number of pure re-pricings ([`GraphDelta::CostChanged`]) in the
+    /// batch — the deltas a convex-bundle segment re-price produces.
+    /// Cheap for warm starts (no flow moved, no structure changed), so
+    /// telemetry reports them separately from structural churn.
+    pub fn cost_changes(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| matches!(d, GraphDelta::CostChanged { .. }))
+            .count()
+    }
+
     /// Replays the batch onto `graph`, which must be a snapshot of the
     /// state the batch was recorded against. Reproduces structure exactly
     /// (ids included); does not touch flow except where capacity clamps

@@ -141,6 +141,11 @@ pub enum SolveError {
         /// The non-zero total supply.
         total: i64,
     },
+    /// The operation requires an optimal flow but the graph's current
+    /// flow admits a negative-cost residual cycle (e.g.
+    /// [`canonicalize_flow`](crate::canonical::canonicalize_flow) called
+    /// on a non-optimal or early-terminated solution).
+    NotOptimal,
 }
 
 impl std::fmt::Display for SolveError {
@@ -150,6 +155,9 @@ impl std::fmt::Display for SolveError {
             SolveError::Cancelled => write!(f, "solve cancelled"),
             SolveError::UnbalancedSupply { total } => {
                 write!(f, "supplies sum to {total}, not zero")
+            }
+            SolveError::NotOptimal => {
+                write!(f, "the graph's flow is not optimal")
             }
         }
     }

@@ -215,6 +215,7 @@ fn refine(
     }
     let mut current_arc = vec![0usize; n];
     let mut relabeled = Vec::new();
+    let mut touched = Vec::new();
     discharge(
         graph,
         state,
@@ -224,6 +225,7 @@ fn refine(
         &mut in_active,
         &mut current_arc,
         &mut relabeled,
+        &mut touched,
         budget,
         stats,
     )
@@ -236,10 +238,15 @@ fn refine(
 ///
 /// Every node whose price drops is appended to `relabeled` — the targeted
 /// phase loop uses this to grow its dirty region, since relabels are the
-/// only way new reduced-cost violations appear. Current-arc cursors stay
-/// valid across calls that share `state`'s prices: an arc skipped by a
-/// cursor can only become admissible when its tail is relabeled, which
-/// resets that cursor.
+/// only way new reduced-cost violations appear. Every node *activated*
+/// (entered into the work queue) is appended to `touched` — the warm
+/// path's persistent scratch buffers use this for lazy clearing: only
+/// entries named in `touched` (plus the caller's own dirty seeds) can
+/// have been written, so restoring the all-clear invariant costs
+/// O(activations) instead of O(n). Current-arc cursors stay valid across
+/// calls that share `state`'s prices: an arc skipped by a cursor can only
+/// become admissible when its tail is relabeled, which resets that
+/// cursor.
 #[allow(clippy::too_many_arguments)] // internal engine; the buffers are the point
 pub(crate) fn discharge(
     graph: &mut FlowGraph,
@@ -250,6 +257,7 @@ pub(crate) fn discharge(
     in_active: &mut [bool],
     current_arc: &mut [usize],
     relabeled: &mut Vec<u32>,
+    touched: &mut Vec<u32>,
     budget: &mut Budget,
     stats: &mut SolveStats,
 ) -> Result<(), RefineStop> {
@@ -293,6 +301,7 @@ pub(crate) fn discharge(
                         if was <= 0 && excess[v.index()] > 0 && !in_active[v.index()] {
                             active.push_back(v.index() as u32);
                             in_active[v.index()] = true;
+                            touched.push(v.index() as u32);
                             stats.nodes_touched += 1;
                         }
                         continue;

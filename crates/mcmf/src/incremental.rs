@@ -78,6 +78,79 @@ impl Default for IncrementalConfig {
     }
 }
 
+/// Persistent scratch for the delta-fed warm path: the O(n) excess /
+/// active-marker / dirty-marker / current-arc-cursor arrays stay allocated
+/// across solves, with **lazy clearing** — only the entries actually
+/// written during a solve (the dirty seeds plus every node discharge
+/// activated, reported via its `touched` list) are reset afterwards. A
+/// quiescent round therefore costs zero allocation and zero memset; the
+/// arrays are only ever grown, never reallocated per round.
+#[derive(Debug, Default)]
+struct WarmScratch {
+    excess: Vec<i64>,
+    in_active: Vec<bool>,
+    in_dirty: Vec<bool>,
+    current_arc: Vec<usize>,
+    active: VecDeque<u32>,
+    dirty: Vec<u32>,
+    relabeled: Vec<u32>,
+    /// Nodes activated by discharge this solve (possibly with duplicates);
+    /// with `dirty`, the complete set of written entries.
+    touched: Vec<u32>,
+    arcbuf: Vec<ArcId>,
+}
+
+impl WarmScratch {
+    /// Grows the per-node arrays to cover `n` raw node slots. Growth only:
+    /// entries past the old length arrive in the all-clear state.
+    fn fit(&mut self, n: usize) {
+        if self.excess.len() < n {
+            self.excess.resize(n, 0);
+            self.in_active.resize(n, false);
+            self.in_dirty.resize(n, false);
+            self.current_arc.resize(n, 0);
+        }
+    }
+
+    /// Restores the all-clear invariant by resetting exactly the entries
+    /// this solve wrote — O(written), not O(n).
+    fn clear(&mut self) {
+        for i in 0..self.dirty.len() {
+            let u = self.dirty[i] as usize;
+            self.excess[u] = 0;
+            self.in_active[u] = false;
+            self.in_dirty[u] = false;
+            self.current_arc[u] = 0;
+        }
+        for i in 0..self.touched.len() {
+            let u = self.touched[i] as usize;
+            self.excess[u] = 0;
+            self.in_active[u] = false;
+            self.in_dirty[u] = false;
+            self.current_arc[u] = 0;
+        }
+        self.active.clear();
+        self.dirty.clear();
+        self.relabeled.clear();
+        self.touched.clear();
+        self.arcbuf.clear();
+    }
+
+    /// Whether the all-clear invariant holds (test oracle for the lazy
+    /// clearing).
+    #[cfg(test)]
+    fn is_clean(&self) -> bool {
+        self.active.is_empty()
+            && self.dirty.is_empty()
+            && self.relabeled.is_empty()
+            && self.touched.is_empty()
+            && self.excess.iter().all(|&e| e == 0)
+            && self.in_active.iter().all(|&b| !b)
+            && self.in_dirty.iter().all(|&b| !b)
+            && self.current_arc.iter().all(|&c| c == 0)
+    }
+}
+
 /// A reusable incremental cost-scaling solver.
 ///
 /// Typical use inside Firmament: after each scheduling round, the winning
@@ -94,6 +167,8 @@ pub struct IncrementalCostScaling {
     /// Iteration count of the last completed from-scratch solve — the
     /// yardstick for the warm-work safety valve.
     last_cold_work: Option<u64>,
+    /// Persistent warm-path buffers (lazily cleared between solves).
+    scratch: WarmScratch,
 }
 
 impl IncrementalCostScaling {
@@ -104,6 +179,7 @@ impl IncrementalCostScaling {
             state: CostScalingState::default(),
             warm: false,
             last_cold_work: None,
+            scratch: WarmScratch::default(),
         }
     }
 
@@ -307,12 +383,29 @@ impl IncrementalCostScaling {
         })
     }
 
-    /// Native delta-feed warm start (module docs, steps 1–4).
+    /// Native delta-feed warm start (module docs, steps 1–4). The O(n)
+    /// working arrays live in the persistent [`WarmScratch`] and are
+    /// lazily cleared afterwards, so quiescent rounds allocate nothing.
     fn warm_solve_from_deltas(
         &mut self,
         graph: &mut FlowGraph,
         batch: &DeltaBatch,
         opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.fit(graph.node_bound());
+        let result = self.warm_solve_core(graph, batch, opts, &mut scratch);
+        scratch.clear();
+        self.scratch = scratch;
+        result
+    }
+
+    fn warm_solve_core(
+        &mut self,
+        graph: &mut FlowGraph,
+        batch: &DeltaBatch,
+        opts: &SolveOptions,
+        scratch: &mut WarmScratch,
     ) -> Result<Solution, SolveError> {
         let mut budget = Budget::new(opts);
         let mut stats = SolveStats::default();
@@ -365,14 +458,14 @@ impl IncrementalCostScaling {
         }
 
         // Step 2: collect the dirty region — every node a delta names,
-        // both endpoints of every changed arc, and every node a flow move
-        // disturbed. Any reduced-cost violation the batch introduced sits
-        // on a residual out-arc of this region: changed arcs have both
-        // endpoints here, and unlogged flow moves (which can re-open
+        // the endpoints of changed arcs that can actually expose a new
+        // violation, and every node a flow move disturbed. Any
+        // reduced-cost violation the batch introduced sits on a residual
+        // out-arc of this region: unlogged flow moves (which can re-open
         // residual capacity on arbitrarily negative saturated arcs) are
         // path-shaped with every path node marked. Unchanged residual
         // arcs elsewhere kept rc ≥ −1 from the previous certificate.
-        let mut dirty: Vec<u32> = Vec::with_capacity(batch.len() * 2);
+        let dirty = &mut scratch.dirty;
         for d in batch.deltas() {
             match *d {
                 GraphDelta::NodeAdded { node, .. }
@@ -389,7 +482,34 @@ impl IncrementalCostScaling {
                     dirty.push(src.index() as u32);
                     dirty.push(dst.index() as u32);
                 }
-                GraphDelta::CostChanged { arc, .. } | GraphDelta::CapacityChanged { arc, .. } => {
+                GraphDelta::CostChanged { arc, old, new } => {
+                    // A pure re-price moves no flow, so it can only
+                    // *expose* a violation, never create excess — and
+                    // only in the direction the change cheapened:
+                    //
+                    // - cost fell: the forward residual's reduced cost
+                    //   dropped — scan the tail;
+                    // - cost rose on a flow-carrying arc: the reverse
+                    //   residual's reduced cost dropped — scan the head;
+                    // - cost rose on a flowless arc: the forward rc only
+                    //   grew and the reverse has no residual capacity —
+                    //   nothing to repair.
+                    //
+                    // The last case is the common shape of a convex
+                    // bundle re-price (upper ladder segments rising as
+                    // load grows while carrying no flow), which makes
+                    // per-round re-pricing sweeps nearly free for the
+                    // warm start.
+                    if graph.arc_alive(arc) {
+                        if new < old {
+                            dirty.push(graph.src(arc).index() as u32);
+                        }
+                        if new > old && graph.flow(arc) > 0 {
+                            dirty.push(graph.dst(arc).index() as u32);
+                        }
+                    }
+                }
+                GraphDelta::CapacityChanged { arc, .. } => {
                     if graph.arc_alive(arc) {
                         dirty.push(graph.src(arc).index() as u32);
                         dirty.push(graph.dst(arc).index() as u32);
@@ -397,8 +517,7 @@ impl IncrementalCostScaling {
                 }
             }
         }
-        let n = graph.node_bound();
-        let mut in_dirty = vec![false; n];
+        let in_dirty = &mut scratch.in_dirty;
         dirty.retain(|&u| {
             let keep = graph.node_alive(NodeId::from_index(u as usize)) && !in_dirty[u as usize];
             if keep {
@@ -406,13 +525,16 @@ impl IncrementalCostScaling {
             }
             keep
         });
+        // Deterministic processing order regardless of batch emission
+        // order (part of the lexicographic tie-breaking work).
+        dirty.sort_unstable();
 
         // The starting ε: the largest complementary-slackness violation
         // over the dirty region's residual out-arcs — O(Σ degree(dirty)),
         // never a full-graph scan (§6.2: "ε equal to the costliest arc
         // graph change").
         let mut eps0 = 1i64;
-        for &ui in &dirty {
+        for &ui in dirty.iter() {
             let u = NodeId::from_index(ui as usize);
             for &a in graph.adj(u) {
                 if graph.rescap(a) > 0 {
@@ -430,9 +552,9 @@ impl IncrementalCostScaling {
         // excess (flow moves outside the log are path-shaped and preserve
         // conservation elsewhere), and their exact excess is one O(degree)
         // local scan each.
-        let mut excess = vec![0i64; n];
+        let excess = &mut scratch.excess;
         let mut any_excess = false;
-        for &u in &dirty {
+        for &u in dirty.iter() {
             let e = local_excess(graph, NodeId::from_index(u as usize));
             excess[u as usize] = e;
             any_excess |= e != 0;
@@ -458,20 +580,21 @@ impl IncrementalCostScaling {
         // nodes, which join the dirty region as discharge reports them.
         let alpha = self.config.cost_scaling.alpha.max(2);
         let mut eps = eps0;
-        let mut active: VecDeque<u32> = VecDeque::new();
-        let mut in_active = vec![false; n];
-        let mut current_arc = vec![0usize; n];
-        let mut relabeled: Vec<u32> = Vec::new();
-        let mut arcbuf: Vec<ArcId> = Vec::new();
+        let active = &mut scratch.active;
+        let in_active = &mut scratch.in_active;
+        let current_arc = &mut scratch.current_arc;
+        let relabeled = &mut scratch.relabeled;
+        let touched = &mut scratch.touched;
+        let arcbuf = &mut scratch.arcbuf;
         let outcome = loop {
             stats.phases += 1;
             // Saturate violating residual arcs out of dirty nodes, making
             // the pseudoflow 0-optimal on the region discharge will work.
-            for &ui in &dirty {
+            for &ui in dirty.iter() {
                 let u = NodeId::from_index(ui as usize);
                 arcbuf.clear();
                 arcbuf.extend_from_slice(graph.adj(u));
-                for &a in &arcbuf {
+                for &a in arcbuf.iter() {
                     let r = graph.rescap(a);
                     if r <= 0 {
                         continue;
@@ -486,12 +609,13 @@ impl IncrementalCostScaling {
                         if excess[v.index()] > 0 && !in_active[v.index()] {
                             active.push_back(v.index() as u32);
                             in_active[v.index()] = true;
+                            touched.push(v.index() as u32);
                             stats.nodes_touched += 1;
                         }
                     }
                 }
             }
-            for &ui in &dirty {
+            for &ui in dirty.iter() {
                 if excess[ui as usize] > 0 && !in_active[ui as usize] {
                     active.push_back(ui);
                     in_active[ui as usize] = true;
@@ -503,11 +627,12 @@ impl IncrementalCostScaling {
                 graph,
                 &mut self.state,
                 eps,
-                &mut excess,
-                &mut active,
-                &mut in_active,
-                &mut current_arc,
-                &mut relabeled,
+                excess,
+                active,
+                in_active,
+                current_arc,
+                relabeled,
+                touched,
                 &mut budget,
                 &mut stats,
             );
@@ -516,7 +641,7 @@ impl IncrementalCostScaling {
             }
             // Nodes relabeled this phase may now have violating out-arcs;
             // fold them into the dirty region for the next phase.
-            for &r in &relabeled {
+            for &r in relabeled.iter() {
                 if !in_dirty[r as usize] {
                     in_dirty[r as usize] = true;
                     dirty.push(r);
@@ -1003,6 +1128,92 @@ mod tests {
         assert_eq!(sol.stats.bailouts, 1, "valve must have tripped");
         assert!(is_optimal(&inst.graph));
         assert!(inc.is_warm(), "cold fallback re-warms on success");
+        let mut fresh = inst.graph.clone();
+        let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(sol.objective, scratch.objective);
+    }
+
+    /// The persistent scratch: after every warm solve — busy or quiescent
+    /// — the lazily-cleared buffers are back in the all-clear state, and
+    /// the allocations persist across rounds (no per-round realloc).
+    #[test]
+    fn warm_scratch_is_lazily_cleared_and_reused() {
+        let mut inst = scheduling_instance(3, &InstanceSpec::default());
+        let mut inc = IncrementalCostScaling::default();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+        assert!(inc.scratch.is_clean(), "initial state is clean");
+
+        // A real change burst through the delta path.
+        inst.graph.set_change_tracking(true);
+        let t = inst.graph.add_node(NodeKind::Task { task: 4242 }, 1);
+        inst.graph.add_arc(t, inst.machines[1], 1, 4).unwrap();
+        inst.graph.add_arc(t, inst.unscheduled, 1, 150).unwrap();
+        let d = inst.graph.supply(inst.sink);
+        inst.graph.set_supply(inst.sink, d - 1).unwrap();
+        grow_unscheduled_capacity(&mut inst, 1);
+        let batch = DeltaBatch::compact(inst.graph.take_changes());
+        inc.solve_with_deltas(&mut inst.graph, Some(&batch), &SolveOptions::unlimited())
+            .unwrap();
+        assert!(is_optimal(&inst.graph));
+        assert!(
+            inc.scratch.is_clean(),
+            "busy round must restore the all-clear invariant"
+        );
+        let cap = inc.scratch.excess.capacity();
+        assert!(cap >= inst.graph.node_bound(), "buffers sized to the graph");
+
+        // Quiescent rounds reuse the same allocations.
+        for _ in 0..3 {
+            inc.solve_with_deltas(
+                &mut inst.graph,
+                Some(&DeltaBatch::empty()),
+                &SolveOptions::unlimited(),
+            )
+            .unwrap();
+            assert!(inc.scratch.is_clean());
+            assert_eq!(
+                inc.scratch.excess.capacity(),
+                cap,
+                "quiescent rounds must not reallocate scratch"
+            );
+        }
+    }
+
+    /// Re-pricing a flowless arc upward — the common convex-bundle shape
+    /// (upper ladder segments rising with load) — must be recognized as
+    /// violation-free: the warm start does no repair work at all.
+    #[test]
+    fn flowless_cost_increase_is_free_for_the_warm_start() {
+        let mut inst = scheduling_instance(7, &InstanceSpec::default());
+        let mut inc = IncrementalCostScaling::default();
+        inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+        // Raise the cost of every flowless arc (except unscheduled arcs,
+        // to keep the optimum where it is).
+        inst.graph.set_change_tracking(true);
+        let arcs: Vec<ArcId> = inst.graph.arc_ids().collect();
+        let mut bumped = 0;
+        for a in arcs {
+            if inst.graph.flow(a) == 0 && inst.graph.dst(a) != inst.sink {
+                let c = inst.graph.cost(a);
+                inst.graph.set_arc_cost(a, c + 5).unwrap();
+                bumped += 1;
+            }
+        }
+        assert!(bumped > 0, "instance must have flowless arcs");
+        let batch = DeltaBatch::compact(inst.graph.take_changes());
+        let before = inst.graph.objective();
+        let sol = inc
+            .solve_with_deltas(&mut inst.graph, Some(&batch), &SolveOptions::unlimited())
+            .unwrap();
+        assert!(is_optimal(&inst.graph));
+        assert_eq!(
+            sol.stats.nodes_touched, 0,
+            "flowless cost increases must not activate any node"
+        );
+        assert_eq!(sol.objective, before, "flow untouched");
+        // And it really is still the optimum of the re-priced graph.
         let mut fresh = inst.graph.clone();
         let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
         assert_eq!(sol.objective, scratch.objective);

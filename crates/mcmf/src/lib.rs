@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod canonical;
 pub mod common;
 pub mod cost_scaling;
 pub mod cycle_canceling;
@@ -52,5 +53,6 @@ pub mod relaxation;
 pub mod ssp;
 pub mod verify;
 
+pub use canonical::canonicalize_flow;
 pub use common::{AlgorithmKind, CancelToken, Solution, SolveError, SolveOptions, SolveStats};
 pub use dual::{DualConfig, DualOutcome, DualSolver, SolverKind};

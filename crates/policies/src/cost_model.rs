@@ -17,14 +17,14 @@
 //! A policy answers four questions:
 //!
 //! 1. **Where may a waiting task send its flow?** [`CostModel::task_arcs`]
-//!    returns `(target, cost)` pairs: targets are machines (preference
+//!    returns `(target, bundle)` pairs: targets are machines (preference
 //!    arcs) or policy-defined [`AggregateId`]s (equivalence classes —
 //!    Quincy's rack/cluster aggregators, the network-aware policy's
 //!    request classes).
 //! 2. **How do aggregates reach machines?** [`CostModel::aggregate_arc`]
-//!    declares the arc (capacity + cost) from an aggregate to a machine,
-//!    or `None` for no arc. Re-evaluated whenever a machine is *dirty*
-//!    (touched by an event since the last refresh; see
+//!    declares the arc bundle (capacities + costs) from an aggregate to a
+//!    machine, or `None` for no arc. Re-evaluated whenever a machine is
+//!    *dirty* (touched by an event since the last refresh; see
 //!    [`CostModel::dynamic_aggregate_arcs`] for monitoring-driven arcs).
 //! 3. **What does leaving the task unscheduled cost?**
 //!    [`CostModel::task_unscheduled_cost`] — typically grows with wait
@@ -38,14 +38,41 @@
 //! EC→EC edges of the hierarchy — a DAG pointing down toward machines,
 //! with per-edge capacities that bound what each subtree can absorb.
 //!
+//! # Convex arc bundles
+//!
+//! Every arc hook declares an [`ArcBundle`]: a piecewise-linear **convex
+//! cost ladder** — ordered [`ArcSpec`] segments whose costs must be
+//! non-decreasing. The manager materializes one parallel graph arc per
+//! segment, so the min-cost solver fills cheap segments first and the
+//! marginal cost of each extra unit rises *within a single solver round*.
+//! This is Quincy's original convexity trick: a load-based policy that
+//! prices "the j-th extra task on this machine" at an increasing cost
+//! spreads a burst in one round, where a single uniform-cost arc only
+//! spreads across rounds (the solver sees no within-round gradient).
+//!
+//! Single-arc policies keep writing one line via the convenience
+//! constructors ([`ArcBundle::single`], [`ArcBundle::cost`]); ladder
+//! policies use [`ArcBundle::ladder`] or build segments explicitly. The
+//! manager validates convexity and rejects decreasing-cost ladders with
+//! `PolicyError::NonConvexBundle` — a non-convex "ladder" would let the
+//! solver fill expensive segments before cheap ones, silently corrupting
+//! the declared cost function.
+//!
+//! Segment slots have **stable identity**: re-pricing segment `j` of an
+//! existing bundle is a pure cost change on the same graph arc (a cheap
+//! `CostChanged` delta for the incremental solver), never a structural
+//! rebuild. Growing a bundle appends segments; shrinking parks the tail
+//! at capacity 0 (static models) so it can revive later.
+//!
 //! # Examples
 //!
 //! A complete trivial policy — spread over whichever machine has the most
-//! free slots:
+//! free slots, with a convex ladder so the spreading happens within one
+//! solver round:
 //!
 //! ```
 //! use firmament_cluster::{ClusterState, Job, Machine, Task};
-//! use firmament_policies::{AggregateId, ArcSpec, ArcTarget, CostModel};
+//! use firmament_policies::{AggregateId, ArcBundle, ArcTarget, CostModel};
 //!
 //! struct FreeSlots;
 //! const CLUSTER: AggregateId = 0;
@@ -57,19 +84,21 @@
 //!     fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
 //!         100_000
 //!     }
-//!     fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, i64)> {
-//!         vec![(ArcTarget::Aggregate(CLUSTER), 0)]
+//!     fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+//!         vec![(ArcTarget::Aggregate(CLUSTER), ArcBundle::cost(0))]
 //!     }
 //!     fn aggregate_arc(
 //!         &self,
 //!         _: &ClusterState,
 //!         _: AggregateId,
 //!         machine: &Machine,
-//!     ) -> Option<ArcSpec> {
-//!         Some(ArcSpec {
-//!             capacity: machine.slots as i64,
-//!             cost: (machine.slots - machine.free_slots()) as i64,
-//!         })
+//!     ) -> Option<ArcBundle> {
+//!         // One capacity-1 segment per slot, priced by standing load:
+//!         // the j-th extra task costs more than the (j-1)-th.
+//!         let running = machine.running.len() as i64;
+//!         Some(ArcBundle::ladder(
+//!             (0..machine.slots as i64).map(|j| running + j),
+//!         ))
 //!     }
 //! }
 //! ```
@@ -93,7 +122,7 @@ use std::collections::BTreeMap;
 pub type AggregateId = u64;
 
 /// Where a declared task arc points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ArcTarget {
     /// A policy-defined aggregator (created on demand by the manager).
     Aggregate(AggregateId),
@@ -101,13 +130,129 @@ pub enum ArcTarget {
     Machine(MachineId),
 }
 
-/// Capacity and cost of a declared aggregate → machine arc.
+/// Capacity and cost of one segment of a declared arc bundle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArcSpec {
-    /// Maximum flow (task count) the arc admits. Values ≤ 0 mean "no arc".
+    /// Maximum flow (task count) the segment admits. Values ≤ 0 mean "no
+    /// capacity" (the segment's arc is parked at 0).
     pub capacity: i64,
-    /// Cost per unit of flow.
+    /// Cost per unit of flow through this segment.
     pub cost: i64,
+}
+
+/// A piecewise-linear convex cost ladder: the unit of arc declaration for
+/// every [`CostModel`] hook.
+///
+/// A bundle is an ordered list of [`ArcSpec`] segments with
+/// **non-decreasing cost** (validated by the graph manager; decreasing
+/// ladders are rejected with `PolicyError::NonConvexBundle`). The manager
+/// materializes one parallel arc per segment with stable per-segment slot
+/// identity: re-pricing a segment later is a pure cost change on the same
+/// graph arc, never a structural rebuild.
+///
+/// Convexity is what makes load costs bite *within* one solver round: the
+/// solver fills the cheap segments of every machine before anyone's
+/// expensive ones, so a burst of identical tasks spreads in a single
+/// solve instead of drifting toward balance across rounds.
+///
+/// # Examples
+///
+/// ```
+/// use firmament_policies::{ArcBundle, ArcSpec};
+///
+/// // Single-segment bundles migrate pre-bundle policies mechanically:
+/// let plain = ArcBundle::single(4, 10);
+/// assert_eq!(plain.total_capacity(), 4);
+///
+/// // A per-unit ladder: the j-th unit costs `j` (convex).
+/// let ladder = ArcBundle::ladder(0..4);
+/// assert_eq!(ladder.segments().len(), 4);
+/// assert!(ladder.is_convex());
+///
+/// // Decreasing costs are not convex; the manager rejects this bundle.
+/// let bad = ArcBundle::from_segments(vec![
+///     ArcSpec { capacity: 1, cost: 5 },
+///     ArcSpec { capacity: 1, cost: 3 },
+/// ]);
+/// assert!(!bad.is_convex());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArcBundle {
+    segments: Vec<ArcSpec>,
+}
+
+impl ArcBundle {
+    /// A single-segment bundle — the mechanical migration of a pre-bundle
+    /// `(capacity, cost)` arc.
+    pub fn single(capacity: i64, cost: i64) -> Self {
+        ArcBundle {
+            segments: vec![ArcSpec { capacity, cost }],
+        }
+    }
+
+    /// A single capacity-1 segment: the shape of a waiting-task preference
+    /// arc (tasks carry one unit of supply).
+    pub fn cost(cost: i64) -> Self {
+        ArcBundle::single(1, cost)
+    }
+
+    /// A bundle from explicit segments. Costs should be non-decreasing;
+    /// the manager validates this at declaration time.
+    pub fn from_segments(segments: Vec<ArcSpec>) -> Self {
+        ArcBundle { segments }
+    }
+
+    /// A per-unit ladder: one capacity-1 segment per cost in order. The
+    /// canonical convex expansion — unit `j` costs `unit_costs[j]`.
+    pub fn ladder(unit_costs: impl IntoIterator<Item = i64>) -> Self {
+        ArcBundle {
+            segments: unit_costs
+                .into_iter()
+                .map(|cost| ArcSpec { capacity: 1, cost })
+                .collect(),
+        }
+    }
+
+    /// The ordered segments.
+    pub fn segments(&self) -> &[ArcSpec] {
+        &self.segments
+    }
+
+    /// Total capacity across segments (negative segment capacities count
+    /// as 0, matching how the manager parks them).
+    pub fn total_capacity(&self) -> i64 {
+        self.segments.iter().map(|s| s.capacity.max(0)).sum()
+    }
+
+    /// `true` if the bundle declares no segments (equivalent to declaring
+    /// no arc at all).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Whether segment costs are non-decreasing — the convexity contract
+    /// every declared bundle must satisfy.
+    pub fn is_convex(&self) -> bool {
+        self.segments.windows(2).all(|w| w[0].cost <= w[1].cost)
+    }
+
+    /// The first decreasing-cost step, if any: `(prev, next)` costs of the
+    /// offending adjacent pair. Used by the manager to build the typed
+    /// `PolicyError::NonConvexBundle`.
+    pub fn convexity_violation(&self) -> Option<(i64, i64)> {
+        self.segments
+            .windows(2)
+            .find(|w| w[0].cost > w[1].cost)
+            .map(|w| (w[0].cost, w[1].cost))
+    }
+}
+
+impl From<ArcSpec> for ArcBundle {
+    fn from(spec: ArcSpec) -> Self {
+        ArcBundle {
+            segments: vec![spec],
+        }
+    }
 }
 
 /// A scheduling policy, expressed as pure cost/structure declarations over
@@ -127,24 +272,35 @@ pub trait CostModel {
     /// whenever virtual time advances.
     fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64;
 
-    /// The arc set of a *waiting* task: `(target, cost)` pairs with
-    /// implicit capacity 1. Called when the task is submitted, preempted,
-    /// or displaced by a machine failure. The unscheduled arc is implicit
-    /// and must not be declared here.
-    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)>;
+    /// The arc set of a *waiting* task: `(target, bundle)` pairs. Called
+    /// when the task is submitted, preempted, or displaced by a machine
+    /// failure. The unscheduled arc is implicit and must not be declared
+    /// here. Most bundles here are [`ArcBundle::cost`] (capacity 1 —
+    /// tasks carry one unit of supply); multi-segment task bundles are
+    /// legal but only their cheapest reachable segment can ever carry the
+    /// task's single unit.
+    ///
+    /// Between structural events, the declared costs are **frozen** by
+    /// default; models whose preference costs drift with time or load
+    /// (decaying locality, rising contention) opt into re-pricing with
+    /// [`dynamic_task_arcs`](CostModel::dynamic_task_arcs).
+    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)>;
 
-    /// The arc an aggregate offers toward a machine, or `None` for no arc.
-    /// Queried for every (aggregate, machine) pair when either side is
-    /// created; after that, the contract depends on
+    /// The arc bundle an aggregate offers toward a machine, or `None` for
+    /// no arc. Queried for every (aggregate, machine) pair when either
+    /// side is created; after that, the contract depends on
     /// [`dynamic_aggregate_arcs`]:
     ///
     /// - **static structure** (default): `None` at creation means the
-    ///   pair is never connected and is not revisited. Existing arcs are
-    ///   re-priced when their machine is dirtied by an event; returning
-    ///   `None` or a non-positive capacity then parks the arc at
-    ///   capacity 0 (it can revive on a later refresh).
+    ///   pair is never connected and is not revisited. Existing bundles
+    ///   are re-synced when their machine is dirtied by an event:
+    ///   per-segment costs/capacities are re-priced in place, extra
+    ///   declared segments are appended, and segments the model stops
+    ///   declaring (or `None`) are parked at capacity 0 (they can revive
+    ///   on a later refresh).
     /// - **dynamic** (`true`): the full pair set is re-queried every
-    ///   round and arcs are added/removed to match — the Fig 6c regime.
+    ///   round and bundles are added/removed to match — the Fig 6c
+    ///   regime. A bundle with no positive-capacity segment is removed.
     ///
     /// [`dynamic_aggregate_arcs`]: CostModel::dynamic_aggregate_arcs
     fn aggregate_arc(
@@ -152,14 +308,15 @@ pub trait CostModel {
         state: &ClusterState,
         aggregate: AggregateId,
         machine: &Machine,
-    ) -> Option<ArcSpec>;
+    ) -> Option<ArcBundle>;
 
-    /// The arcs an aggregate offers toward *other aggregates* — the EC→EC
-    /// edges that build multi-level equivalence-class hierarchies (e.g.
-    /// cluster → rack → machine, or rack → machine → socket in real
-    /// Firmament). Returns `(child, spec)` pairs; flow entering `aggregate`
-    /// can continue through each child toward the machines below it. The
-    /// default (no EC→EC arcs) keeps the flat one-level topology.
+    /// The arc bundles an aggregate offers toward *other aggregates* — the
+    /// EC→EC edges that build multi-level equivalence-class hierarchies
+    /// (e.g. cluster → rack → machine, or rack → machine → socket in real
+    /// Firmament). Returns `(child, bundle)` pairs; flow entering
+    /// `aggregate` can continue through each child toward the machines
+    /// below it. The default (no EC→EC arcs) keeps the flat one-level
+    /// topology.
     ///
     /// # Semantics
     ///
@@ -171,11 +328,13 @@ pub trait CostModel {
     ///   DAG. The manager materializes children recursively and fails with
     ///   `PolicyError::AggregateCycle` if an aggregate (transitively)
     ///   declares itself as a descendant.
-    /// - **Capacity propagation**: each spec's capacity bounds the flow the
-    ///   parent may send through the child, exactly like an
-    ///   aggregate → machine arc. Declare the child subtree's real capacity
-    ///   (e.g. the total slots of a rack) so upper levels cannot
-    ///   oversubscribe lower ones.
+    /// - **Capacity propagation**: each bundle's total capacity bounds the
+    ///   flow the parent may send through the child, exactly like an
+    ///   aggregate → machine bundle. Declare the child subtree's real
+    ///   capacity (e.g. the total slots of a rack) so upper levels cannot
+    ///   oversubscribe lower ones. A convex ladder here prices congestion
+    ///   *per subtree* — e.g. "the second half of this rack costs extra" —
+    ///   which spreads load across subtrees within one round.
     /// - **Refresh**: unlike the static-structure contract of
     ///   [`aggregate_arc`], EC→EC arc *sets* are re-synchronized whenever
     ///   the source aggregate is dirty — a machine below it was touched by
@@ -192,7 +351,7 @@ pub trait CostModel {
         &self,
         state: &ClusterState,
         aggregate: AggregateId,
-    ) -> Vec<(AggregateId, ArcSpec)> {
+    ) -> Vec<(AggregateId, ArcBundle)> {
         let _ = (state, aggregate);
         Vec::new()
     }
@@ -222,6 +381,63 @@ pub trait CostModel {
         false
     }
 
+    /// Whether waiting tasks' declared preference bundles must be
+    /// **re-priced** between structural events — the task-side mirror of
+    /// [`dynamic_aggregate_arcs`](CostModel::dynamic_aggregate_arcs).
+    ///
+    /// When `true`, the §6.3 refresh re-queries [`task_arcs`] for every
+    /// waiting task in its dirty-task set (every waiting task when the
+    /// virtual clock advanced, exactly like unscheduled-cost re-pricing)
+    /// and re-syncs the declared bundles onto the cached arc slots:
+    /// per-segment costs and capacities are patched in place (cheap
+    /// `CostChanged`/`CapacityChanged` deltas for the warm solver),
+    /// grown bundles append segments, shrunk bundles park the tail — and
+    /// only a change to the *target set itself* falls back to a full arc
+    /// rebuild. This is the Execution-Templates pattern: cache the
+    /// expensive structural decision, patch the parameters.
+    ///
+    /// The default `false` keeps preference costs frozen at declaration
+    /// (cheapest for models whose task costs never drift, e.g. pure
+    /// locality with immutable block placement).
+    ///
+    /// [`task_arcs`]: CostModel::task_arcs
+    fn dynamic_task_arcs(&self) -> bool {
+        false
+    }
+
+    /// Whether a waiting task's declared arc set can only depend on the
+    /// machine set through **direct machine targets** — i.e. adding or
+    /// removing machine `m` can change `task_arcs` output only for tasks
+    /// that *already declare* `ArcTarget::Machine(m)`.
+    ///
+    /// When `true`, machine add/remove events re-derive arc sets only for
+    /// waiting tasks whose declared targets reference the touched machine
+    /// id, instead of every waiting task (the dirty-set narrowing of
+    /// §6.3). Models that route all tasks through fixed aggregates —
+    /// load-spreading, Octopus, hierarchies keyed by task attributes —
+    /// satisfy this trivially and save an O(waiting tasks) re-query per
+    /// machine event.
+    ///
+    /// **Contract for machine-preference models opting in**: declare
+    /// machine targets *unconditionally*, independent of whether the
+    /// machine is currently in the cluster. The manager parks references
+    /// to absent machines (empty slot vectors) and uses them to find the
+    /// referencing tasks when the machine arrives; a model that instead
+    /// filters its declarations by `state.machines.contains_key(..)`
+    /// leaves the manager no reference to follow, and the new machine's
+    /// preference arcs are silently never materialized. (Tasks displaced
+    /// by a machine *removal* are always re-derived regardless of
+    /// narrowing — they have no cached declaration.)
+    ///
+    /// Keep the default `false` when aggregate *targets or costs* react
+    /// to the machine set (Quincy: a rack-preference arc disappears when
+    /// the rack's block holders die with a machine). An unsound `true`
+    /// shows up as an incremental-vs-rebuild divergence in the
+    /// differential fuzz suite.
+    fn task_arcs_machine_local(&self) -> bool {
+        false
+    }
+
     /// Minimum number of `job`'s tasks that must schedule together (gang
     /// constraint). The manager enforces it by capping the `U_j → S` arc
     /// at `incomplete_tasks − minimum`, which forces at least `minimum`
@@ -244,7 +460,7 @@ impl<T: CostModel + ?Sized> CostModel for Box<T> {
         (**self).task_unscheduled_cost(state, task)
     }
 
-    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
+    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
         (**self).task_arcs(state, task)
     }
 
@@ -253,7 +469,7 @@ impl<T: CostModel + ?Sized> CostModel for Box<T> {
         state: &ClusterState,
         aggregate: AggregateId,
         machine: &Machine,
-    ) -> Option<ArcSpec> {
+    ) -> Option<ArcBundle> {
         (**self).aggregate_arc(state, aggregate, machine)
     }
 
@@ -261,7 +477,7 @@ impl<T: CostModel + ?Sized> CostModel for Box<T> {
         &self,
         state: &ClusterState,
         aggregate: AggregateId,
-    ) -> Vec<(AggregateId, ArcSpec)> {
+    ) -> Vec<(AggregateId, ArcBundle)> {
         (**self).aggregate_to_aggregate(state, aggregate)
     }
 
@@ -277,6 +493,14 @@ impl<T: CostModel + ?Sized> CostModel for Box<T> {
         (**self).dynamic_aggregate_arcs()
     }
 
+    fn dynamic_task_arcs(&self) -> bool {
+        (**self).dynamic_task_arcs()
+    }
+
+    fn task_arcs_machine_local(&self) -> bool {
+        (**self).task_arcs_machine_local()
+    }
+
     fn job_gang_minimum(&self, state: &ClusterState, job: &Job) -> i64 {
         (**self).job_gang_minimum(state, job)
     }
@@ -289,7 +513,7 @@ impl<T: CostModel + ?Sized> CostModel for Box<T> {
 /// The shared building block for EC→EC hierarchy models that fan a
 /// cluster root out to rack aggregates (Quincy's `X → R_r`, the
 /// hierarchical topology model): declare one
-/// [`CostModel::aggregate_to_aggregate`] arc per entry, with the slot
+/// [`CostModel::aggregate_to_aggregate`] bundle per entry, with the slot
 /// total as the capacity so upper levels cannot oversubscribe the rack.
 pub fn rack_capacities(state: &ClusterState) -> Vec<(RackId, i64, i64)> {
     let mut racks: BTreeMap<RackId, (i64, i64)> = BTreeMap::new();
@@ -323,5 +547,61 @@ mod tests {
         assert_eq!(wait_scaled_cost(&state, &t, 100, 7), 100);
         state.now = 30 * 1_000_000;
         assert_eq!(wait_scaled_cost(&state, &t, 100, 7), 100 + 30 * 7);
+    }
+
+    #[test]
+    fn bundle_constructors() {
+        let s = ArcBundle::single(4, 7);
+        assert_eq!(
+            s.segments(),
+            &[ArcSpec {
+                capacity: 4,
+                cost: 7
+            }]
+        );
+        assert_eq!(s.total_capacity(), 4);
+        assert!(s.is_convex());
+
+        let c = ArcBundle::cost(9);
+        assert_eq!(
+            c.segments(),
+            &[ArcSpec {
+                capacity: 1,
+                cost: 9
+            }]
+        );
+
+        let l = ArcBundle::ladder([0, 3, 3, 8]);
+        assert_eq!(l.segments().len(), 4);
+        assert_eq!(l.total_capacity(), 4);
+        assert!(l.is_convex());
+        assert!(l.convexity_violation().is_none());
+    }
+
+    #[test]
+    fn convexity_detects_decreasing_steps() {
+        let bad = ArcBundle::ladder([5, 4]);
+        assert!(!bad.is_convex());
+        assert_eq!(bad.convexity_violation(), Some((5, 4)));
+        // Equal costs are convex (flat segments are fine).
+        assert!(ArcBundle::ladder([2, 2, 2]).is_convex());
+        // Empty and single-segment bundles are trivially convex.
+        assert!(ArcBundle::from_segments(Vec::new()).is_convex());
+        assert!(ArcBundle::single(10, -5).is_convex());
+    }
+
+    #[test]
+    fn negative_capacity_segments_count_as_zero() {
+        let b = ArcBundle::from_segments(vec![
+            ArcSpec {
+                capacity: -3,
+                cost: 0,
+            },
+            ArcSpec {
+                capacity: 2,
+                cost: 1,
+            },
+        ]);
+        assert_eq!(b.total_capacity(), 2);
     }
 }

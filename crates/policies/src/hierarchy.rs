@@ -23,7 +23,7 @@
 //! topology-aware policies scale (§3.3, Fig 6).
 
 use crate::cost_model::{
-    rack_capacities, wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel,
+    rack_capacities, wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, CostModel,
 };
 use firmament_cluster::{ClusterState, Machine, RackId, Task};
 use firmament_flow::NodeKind;
@@ -87,7 +87,7 @@ impl Default for TopologyConfig {
 /// // Root → one arc per rack, capacity = the rack's total slots.
 /// let children = model.aggregate_to_aggregate(&state, 0);
 /// assert_eq!(children.len(), 2);
-/// assert!(children.iter().all(|(_, spec)| spec.capacity == 6));
+/// assert!(children.iter().all(|(_, bundle)| bundle.total_capacity() == 6));
 /// // Root → machine arcs do not exist.
 /// for machine in state.machines.values() {
 ///     assert!(model.aggregate_arc(&state, 0, machine).is_none());
@@ -127,32 +127,38 @@ impl CostModel for HierarchicalTopologyCostModel {
 
     /// Every task enters the hierarchy at the cluster root; the topology
     /// below decides the rack and machine.
-    fn task_arcs(&self, _state: &ClusterState, _task: &Task) -> Vec<(ArcTarget, i64)> {
-        vec![(ArcTarget::Aggregate(ROOT_AGG), 1)]
+    fn task_arcs(&self, _state: &ClusterState, _task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+        vec![(ArcTarget::Aggregate(ROOT_AGG), ArcBundle::cost(1))]
     }
 
     /// Rack aggregates reach exactly their machines; the root reaches no
-    /// machine directly (strict hierarchy).
+    /// machine directly (strict hierarchy). The within-rack level is a
+    /// convex per-slot ladder, so a burst spreads across a rack's machines
+    /// in a single round.
     fn aggregate_arc(
         &self,
         _state: &ClusterState,
         aggregate: AggregateId,
         machine: &Machine,
-    ) -> Option<ArcSpec> {
-        (aggregate != ROOT_AGG && agg_rack(aggregate) == machine.rack).then_some(ArcSpec {
-            capacity: machine.slots as i64,
-            cost: self.config.machine_load_cost * machine.running.len() as i64,
+    ) -> Option<ArcBundle> {
+        (aggregate != ROOT_AGG && agg_rack(aggregate) == machine.rack).then(|| {
+            let running = machine.running.len() as i64;
+            ArcBundle::ladder(
+                (0..machine.slots as i64).map(|j| self.config.machine_load_cost * (running + j)),
+            )
         })
     }
 
     /// The EC→EC level: root → one arc per rack present in the cluster,
     /// with the rack's aggregate slot capacity and a cost tracking the
-    /// rack's standing load.
+    /// rack's standing load. Kept single-segment: a per-slot ladder here
+    /// would cost O(rack slots) arcs per rack; the within-round spreading
+    /// lives on the rack → machine ladders below.
     fn aggregate_to_aggregate(
         &self,
         state: &ClusterState,
         aggregate: AggregateId,
-    ) -> Vec<(AggregateId, ArcSpec)> {
+    ) -> Vec<(AggregateId, ArcBundle)> {
         if aggregate != ROOT_AGG {
             return Vec::new();
         }
@@ -161,10 +167,7 @@ impl CostModel for HierarchicalTopologyCostModel {
             .map(|(rack, slots, running)| {
                 (
                     rack_agg(rack),
-                    ArcSpec {
-                        capacity: slots,
-                        cost: self.config.rack_load_cost * running,
-                    },
+                    ArcBundle::single(slots, self.config.rack_load_cost * running),
                 )
             })
             .collect()
@@ -178,6 +181,12 @@ impl CostModel for HierarchicalTopologyCostModel {
                 rack: agg_rack(aggregate),
             }
         }
+    }
+
+    fn task_arcs_machine_local(&self) -> bool {
+        // Tasks always enter at the fixed cluster root; machine churn
+        // reshapes the hierarchy below, never the task arc sets.
+        true
     }
 }
 
@@ -200,7 +209,10 @@ mod tests {
         let (state, model) = setup();
         let t = Task::new(0, 0, 0, 1_000_000);
         let arcs = model.task_arcs(&state, &t);
-        assert_eq!(arcs, vec![(ArcTarget::Aggregate(ROOT_AGG), 1)]);
+        assert_eq!(
+            arcs,
+            vec![(ArcTarget::Aggregate(ROOT_AGG), ArcBundle::cost(1))]
+        );
     }
 
     #[test]
@@ -208,12 +220,31 @@ mod tests {
         let (state, model) = setup();
         let children = model.aggregate_to_aggregate(&state, ROOT_AGG);
         assert_eq!(children.len(), 2, "two racks");
-        for (agg, spec) in &children {
+        for (agg, bundle) in &children {
             assert_ne!(*agg, ROOT_AGG);
-            assert_eq!(spec.capacity, 6, "3 machines × 2 slots per rack");
+            assert_eq!(bundle.total_capacity(), 6, "3 machines × 2 slots per rack");
         }
         // Racks are leaves of the EC→EC relation.
         assert!(model.aggregate_to_aggregate(&state, rack_agg(0)).is_empty());
+    }
+
+    #[test]
+    fn rack_to_machine_arcs_are_convex_ladders() {
+        let (mut state, model) = setup();
+        // One task already running on machine 0.
+        state.tasks.insert(9, Task::new(9, 0, 0, 1_000_000));
+        state.machines.get_mut(&0).unwrap().add_task(9);
+        let b = model
+            .aggregate_arc(&state, rack_agg(0), &state.machines[&0])
+            .unwrap();
+        assert!(b.is_convex());
+        let costs: Vec<i64> = b.segments().iter().map(|s| s.cost).collect();
+        let step = model.config.machine_load_cost;
+        assert_eq!(
+            costs,
+            vec![step, 2 * step],
+            "ladder starts at standing load"
+        );
     }
 
     #[test]
@@ -236,7 +267,15 @@ mod tests {
             state.machines.get_mut(&machine).unwrap().add_task(task);
         }
         let children = model.aggregate_to_aggregate(&state, ROOT_AGG);
-        let cost = |agg: AggregateId| children.iter().find(|(a, _)| *a == agg).unwrap().1.cost;
+        let cost = |agg: AggregateId| {
+            children
+                .iter()
+                .find(|(a, _)| *a == agg)
+                .unwrap()
+                .1
+                .segments()[0]
+                .cost
+        };
         assert_eq!(cost(rack_agg(0)), 2 * model.config.rack_load_cost);
         assert_eq!(cost(rack_agg(1)), 0);
     }

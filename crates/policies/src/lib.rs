@@ -35,8 +35,13 @@
 //! let arcs = model.task_arcs(&state, &task);
 //! assert!(matches!(arcs[0].0, ArcTarget::Aggregate(_)));
 //! for machine in state.machines.values() {
-//!     let spec = model.aggregate_arc(&state, 0, machine).unwrap();
-//!     assert_eq!(spec.cost, 0, "idle machines are free");
+//!     let bundle = model.aggregate_arc(&state, 0, machine).unwrap();
+//!     assert!(bundle.is_convex(), "segment costs never decrease");
+//!     assert_eq!(
+//!         bundle.segments()[0].cost,
+//!         0,
+//!         "an idle machine's first slot is free"
+//!     );
 //! }
 //! ```
 //!
@@ -53,7 +58,7 @@ pub mod network_aware;
 pub mod octopus;
 pub mod quincy;
 
-pub use cost_model::{rack_capacities, AggregateId, ArcSpec, ArcTarget, CostModel};
+pub use cost_model::{rack_capacities, AggregateId, ArcBundle, ArcSpec, ArcTarget, CostModel};
 pub use hierarchy::{HierarchicalTopologyCostModel, TopologyConfig};
 pub use load_spreading::LoadSpreadingCostModel;
 pub use network_aware::NetworkAwareCostModel;
@@ -97,6 +102,22 @@ pub enum PolicyError {
     /// a *model bug* and persistent: every retry re-queries the same
     /// declaration and fails again until the model is fixed.
     AggregateCycle(AggregateId),
+    /// A cost model declared a non-convex [`ArcBundle`]: segment costs
+    /// must be non-decreasing, but an adjacent pair stepped from `prev`
+    /// down to `next`. A decreasing ladder would let the min-cost solver
+    /// fill expensive segments before cheap ones, silently corrupting the
+    /// declared cost function — so the manager rejects it at declaration
+    /// time. Like [`AggregateCycle`](Self::AggregateCycle), this is a
+    /// persistent model bug, not a transient condition.
+    NonConvexBundle {
+        /// Which [`CostModel`] hook declared the bundle
+        /// (`"task_arcs"`, `"aggregate_arc"`, or `"aggregate_to_aggregate"`).
+        hook: &'static str,
+        /// Cost of the earlier segment of the offending pair.
+        prev: i64,
+        /// Cost of the later (cheaper — that's the bug) segment.
+        next: i64,
+    },
     /// An underlying graph mutation failed.
     Graph(firmament_flow::GraphError),
 }
@@ -116,6 +137,12 @@ impl std::fmt::Display for PolicyError {
             PolicyError::DuplicateMachine(m) => write!(f, "duplicate machine {m}"),
             PolicyError::AggregateCycle(a) => {
                 write!(f, "aggregate {a} is part of an EC\u{2192}EC cycle")
+            }
+            PolicyError::NonConvexBundle { hook, prev, next } => {
+                write!(
+                    f,
+                    "non-convex arc bundle from {hook}: segment cost falls {prev} \u{2192} {next}"
+                )
             }
             PolicyError::Graph(e) => write!(f, "graph error: {e}"),
         }

@@ -1,17 +1,30 @@
 //! The load-spreading cost model (Fig 6a).
 //!
-//! All tasks have arcs to a single cluster-wide aggregator `X`; the cost on
-//! the arc from `X` to each machine is proportional to the number of tasks
-//! already running there, so the task count on a machine only increases
-//! once all other machines have at least as many tasks (as in Docker
-//! SwarmKit). The policy deliberately creates contention at `X` — the
-//! paper uses it to expose relaxation's edge cases (§4.3, Fig 9).
+//! All tasks have arcs to a single cluster-wide aggregator `X`; the cost of
+//! running tasks on a machine grows with the number of tasks there, so task
+//! counts stay balanced (as in Docker SwarmKit). The policy deliberately
+//! creates contention at `X` — the paper uses it to expose relaxation's
+//! edge cases (§4.3, Fig 9).
 //!
-//! Expressed on the [`CostModel`] API, the whole policy is three cost
-//! functions: compare with the ~170 lines of graph bookkeeping the
-//! pre-split `SchedulingPolicy` version needed.
+//! # Convex vs uniform
+//!
+//! The default model declares a **convex ladder** per machine: one
+//! capacity-1 segment per slot, the `j`-th priced at
+//! `COST_PER_TASK × (running + j)`. The marginal cost of each extra task
+//! on a machine rises within the declared bundle, so a burst of identical
+//! tasks spreads evenly in a *single* solver round — Quincy's original
+//! convex-cost trick.
+//!
+//! [`LoadSpreadingCostModel::uniform`] keeps the pre-bundle behavior for
+//! comparison: a single segment priced at `COST_PER_TASK × running` for
+//! the machine's whole capacity. Uniform costs give the solver no
+//! within-round gradient (every slot of a machine costs the same), so a
+//! burst packs onto whichever machines the solver happens to saturate and
+//! only drifts toward balance across rounds as the running counts —
+//! and with them the re-priced arcs — catch up. The `convex_spreading`
+//! bench bin demonstrates the difference.
 
-use crate::cost_model::{wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel};
+use crate::cost_model::{wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, CostModel};
 use firmament_cluster::{ClusterState, Machine, Task};
 use firmament_flow::NodeKind;
 
@@ -27,18 +40,35 @@ const CLUSTER_AGG: AggregateId = 0;
 
 /// The load-spreading cost model.
 #[derive(Debug, Default)]
-pub struct LoadSpreadingCostModel;
+pub struct LoadSpreadingCostModel {
+    /// `false` keeps the legacy single-segment (uniform-cost) arcs whose
+    /// spreading only bites across rounds.
+    convex: bool,
+}
 
 impl LoadSpreadingCostModel {
-    /// Creates the cost model.
+    /// Creates the cost model with convex per-slot ladders (one-round
+    /// spreading) — the default.
     pub fn new() -> Self {
-        LoadSpreadingCostModel
+        LoadSpreadingCostModel { convex: true }
+    }
+
+    /// Creates the pre-bundle uniform-cost variant: a single segment per
+    /// machine priced at `COST_PER_TASK × running`. Kept as the contrast
+    /// baseline for the `convex_spreading` bench — uniform costs pack a
+    /// burst instead of spreading it within the round.
+    pub fn uniform() -> Self {
+        LoadSpreadingCostModel { convex: false }
     }
 }
 
 impl CostModel for LoadSpreadingCostModel {
     fn name(&self) -> &'static str {
-        "load-spreading"
+        if self.convex {
+            "load-spreading"
+        } else {
+            "load-spreading-uniform"
+        }
     }
 
     fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
@@ -46,8 +76,8 @@ impl CostModel for LoadSpreadingCostModel {
         wait_scaled_cost(state, task, UNSCHEDULED_COST, WAIT_COST_PER_SEC)
     }
 
-    fn task_arcs(&self, _state: &ClusterState, _task: &Task) -> Vec<(ArcTarget, i64)> {
-        vec![(ArcTarget::Aggregate(CLUSTER_AGG), 1)]
+    fn task_arcs(&self, _state: &ClusterState, _task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+        vec![(ArcTarget::Aggregate(CLUSTER_AGG), ArcBundle::cost(1))]
     }
 
     fn aggregate_arc(
@@ -55,16 +85,32 @@ impl CostModel for LoadSpreadingCostModel {
         _state: &ClusterState,
         _aggregate: AggregateId,
         machine: &Machine,
-    ) -> Option<ArcSpec> {
-        // X → machine cost tracks the current per-machine task count.
-        Some(ArcSpec {
-            capacity: machine.slots as i64,
-            cost: COST_PER_TASK * machine.running.len() as i64,
-        })
+    ) -> Option<ArcBundle> {
+        let running = machine.running.len() as i64;
+        let slots = machine.slots as i64;
+        if self.convex {
+            // One segment per slot: the j-th additional task on this
+            // machine costs as if the machine already ran `running + j`
+            // tasks — the convex expansion of the linear load cost, so
+            // balance is optimal within a single solve.
+            Some(ArcBundle::ladder(
+                (0..slots).map(|j| COST_PER_TASK * (running + j)),
+            ))
+        } else {
+            // Uniform: every unit through X → machine costs the same.
+            Some(ArcBundle::single(slots, COST_PER_TASK * running))
+        }
     }
 
     fn aggregate_kind(&self, _aggregate: AggregateId) -> NodeKind {
         NodeKind::ClusterAggregator
+    }
+
+    fn task_arcs_machine_local(&self) -> bool {
+        // Task arcs are a constant single aggregate target: machine-set
+        // changes can never alter them, so machine events skip the
+        // per-waiting-task re-query entirely.
+        true
     }
 }
 
@@ -78,21 +124,44 @@ mod tests {
         let state = ClusterState::with_topology(&TopologySpec::default());
         let t = Task::new(0, 0, 0, 1_000_000);
         let arcs = LoadSpreadingCostModel::new().task_arcs(&state, &t);
-        assert_eq!(arcs, vec![(ArcTarget::Aggregate(CLUSTER_AGG), 1)]);
+        assert_eq!(
+            arcs,
+            vec![(ArcTarget::Aggregate(CLUSTER_AGG), ArcBundle::cost(1))]
+        );
     }
 
     #[test]
-    fn machine_cost_tracks_running_count() {
+    fn convex_ladder_prices_marginal_load() {
         let state = ClusterState::default();
         let mut m = Machine::new(0, 0, 4);
         let model = LoadSpreadingCostModel::new();
         let idle = model.aggregate_arc(&state, CLUSTER_AGG, &m).unwrap();
-        assert_eq!(idle.cost, 0);
-        assert_eq!(idle.capacity, 4);
+        assert!(idle.is_convex());
+        assert_eq!(idle.total_capacity(), 4);
+        let costs: Vec<i64> = idle.segments().iter().map(|s| s.cost).collect();
+        assert_eq!(costs, vec![0, 10, 20, 30], "j-th extra task costs 10·j");
         m.add_task(7);
         m.add_task(8);
         let busy = model.aggregate_arc(&state, CLUSTER_AGG, &m).unwrap();
-        assert_eq!(busy.cost, 2 * COST_PER_TASK);
+        let costs: Vec<i64> = busy.segments().iter().map(|s| s.cost).collect();
+        assert_eq!(
+            costs,
+            vec![20, 30, 40, 50],
+            "ladder starts at the standing load"
+        );
+    }
+
+    #[test]
+    fn uniform_variant_keeps_single_segment() {
+        let state = ClusterState::default();
+        let mut m = Machine::new(0, 0, 4);
+        m.add_task(7);
+        m.add_task(8);
+        let model = LoadSpreadingCostModel::uniform();
+        let b = model.aggregate_arc(&state, CLUSTER_AGG, &m).unwrap();
+        assert_eq!(b.segments().len(), 1);
+        assert_eq!(b.segments()[0].capacity, 4);
+        assert_eq!(b.segments()[0].cost, 2 * COST_PER_TASK);
     }
 
     #[test]

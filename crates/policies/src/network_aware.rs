@@ -15,7 +15,7 @@
 //! [`dynamic_aggregate_arcs`](CostModel::dynamic_aggregate_arcs) so the
 //! graph manager re-evaluates every machine each round.
 
-use crate::cost_model::{wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel};
+use crate::cost_model::{wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, CostModel};
 use firmament_cluster::{ClusterState, Machine, Task};
 use firmament_flow::NodeKind;
 
@@ -68,29 +68,37 @@ impl CostModel for NetworkAwareCostModel {
         wait_scaled_cost(state, task, UNSCHEDULED_COST, WAIT_COST_PER_SEC)
     }
 
-    fn task_arcs(&self, _state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
+    fn task_arcs(&self, _state: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
         let class = Self::class_of(task.request.net_mbps);
-        vec![(ArcTarget::Aggregate(class as AggregateId), 1)]
+        vec![(
+            ArcTarget::Aggregate(class as AggregateId),
+            ArcBundle::cost(1),
+        )]
     }
 
     /// The "dynamically adapted" arcs of Fig 6c: capacity is how many
     /// class-sized requests fit in the machine's spare bandwidth (slot
     /// limited), cost is request + current use — machines with lightly
-    /// loaded links are cheaper.
+    /// loaded links are cheaper. A convex ladder: each admitted request
+    /// raises the link's projected use by a class width, so later units
+    /// pay the bandwidth they will find, not the bandwidth the first unit
+    /// found — which spreads a burst of same-class tasks across links
+    /// within one round.
     fn aggregate_arc(
         &self,
         state: &ClusterState,
         aggregate: AggregateId,
         machine: &Machine,
-    ) -> Option<ArcSpec> {
+    ) -> Option<ArcBundle> {
         let request = Self::class_request(aggregate as u32);
         let used = Self::machine_used_mbps(state, machine);
         let spare = machine.link_mbps.saturating_sub(used);
         let fits_bw = (spare / request.max(1)) as i64;
         let capacity = fits_bw.min(machine.free_slots() as i64);
-        (capacity > 0).then_some(ArcSpec {
-            capacity,
-            cost: (request + used) as i64 / 10,
+        (capacity > 0).then(|| {
+            ArcBundle::ladder(
+                (0..capacity).map(|j| (request + used + j as u64 * request) as i64 / 10),
+            )
         })
     }
 
@@ -101,6 +109,12 @@ impl CostModel for NetworkAwareCostModel {
     }
 
     fn dynamic_aggregate_arcs(&self) -> bool {
+        true
+    }
+
+    fn task_arcs_machine_local(&self) -> bool {
+        // A task's arc set is a single request-class aggregate derived
+        // from its own bandwidth request — machine churn cannot change it.
         true
     }
 }
@@ -132,7 +146,7 @@ mod tests {
         let mut t = Task::new(1, 0, 0, 5_000_000);
         t.request = ResourceVector::new(1000, 1024, 4000);
         let arcs = NetworkAwareCostModel::new().task_arcs(&state, &t);
-        assert_eq!(arcs, vec![(ArcTarget::Aggregate(8), 1)]);
+        assert_eq!(arcs, vec![(ArcTarget::Aggregate(8), ArcBundle::cost(1))]);
     }
 
     #[test]
@@ -159,10 +173,12 @@ mod tests {
         let c0 = model
             .aggregate_arc(&state, class, &state.machines[&0])
             .unwrap()
+            .segments()[0]
             .cost;
         let c1 = model
             .aggregate_arc(&state, class, &state.machines[&1])
             .unwrap()
+            .segments()[0]
             .cost;
         assert!(
             c1 < c0,
@@ -175,12 +191,15 @@ mod tests {
         let state = setup();
         let model = NetworkAwareCostModel::new();
         let class = NetworkAwareCostModel::class_of(100) as AggregateId;
-        let cap = model
+        let bundle = model
             .aggregate_arc(&state, class, &state.machines[&0])
-            .unwrap()
-            .capacity;
+            .unwrap();
         // 10 Gbps / 500 Mbps class request would allow 20 tasks, but there
         // are only 2 slots.
-        assert_eq!(cap, 2);
+        assert_eq!(bundle.total_capacity(), 2);
+        assert!(
+            bundle.is_convex() && bundle.segments()[1].cost > bundle.segments()[0].cost,
+            "later units pay for the bandwidth earlier units consume"
+        );
     }
 }

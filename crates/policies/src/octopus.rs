@@ -10,11 +10,20 @@
 //! their load rises: a strong bias toward tail-latency-friendly,
 //! interference-free placements.
 //!
+//! The quadratic is declared as a genuine convex ladder: the segment for
+//! the `j`-th extra task is priced at the quadratic's **marginal** cost
+//! `scale · ((l+1)² − l²)` at load `l = running + j`, so the sum of the
+//! first `k` segments is exactly the quadratic load penalty of adding `k`
+//! tasks. The min-cost solver therefore *realizes* the quadratic within a
+//! single round — a burst fills every machine's cheap low-load segments
+//! before anyone's expensive high-load ones — instead of approximating it
+//! across rounds.
+//!
 //! The model exists mostly to demonstrate the [`CostModel`] API's
 //! leverage: a genuinely different placement behavior in ~40 lines of
 //! cost arithmetic, with zero graph bookkeeping.
 
-use crate::cost_model::{wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel};
+use crate::cost_model::{wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, CostModel};
 use firmament_cluster::{ClusterState, Machine, Task};
 use firmament_flow::NodeKind;
 
@@ -59,6 +68,12 @@ impl OctopusCostModel {
     pub fn with_config(config: OctopusConfig) -> Self {
         OctopusCostModel { config }
     }
+
+    /// Marginal cost of taking a machine from load `l` to `l + 1`:
+    /// `scale · ((l+1)² − l²) = scale · (2l + 1)`.
+    fn marginal(&self, load: i64) -> i64 {
+        self.config.load_cost_scale * (2 * load + 1)
+    }
 }
 
 impl CostModel for OctopusCostModel {
@@ -75,8 +90,8 @@ impl CostModel for OctopusCostModel {
         )
     }
 
-    fn task_arcs(&self, _state: &ClusterState, _task: &Task) -> Vec<(ArcTarget, i64)> {
-        vec![(ArcTarget::Aggregate(CLUSTER_AGG), 0)]
+    fn task_arcs(&self, _state: &ClusterState, _task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+        vec![(ArcTarget::Aggregate(CLUSTER_AGG), ArcBundle::cost(0))]
     }
 
     fn aggregate_arc(
@@ -84,18 +99,25 @@ impl CostModel for OctopusCostModel {
         _state: &ClusterState,
         _aggregate: AggregateId,
         machine: &Machine,
-    ) -> Option<ArcSpec> {
+    ) -> Option<ArcBundle> {
         let load = machine.running.len() as i64;
-        Some(ArcSpec {
-            capacity: machine.slots as i64,
-            // Quadratic: the marginal cost of co-locating rises with every
-            // task already there, so idle machines win first.
-            cost: self.config.load_cost_scale * load * load,
-        })
+        // The quadratic's convex expansion: segment j prices the marginal
+        // cost of co-locating at load `running + j`, which rises with
+        // every task already there, so idle machines win first — within
+        // one solver round.
+        Some(ArcBundle::ladder(
+            (0..machine.slots as i64).map(|j| self.marginal(load + j)),
+        ))
     }
 
     fn aggregate_kind(&self, _aggregate: AggregateId) -> NodeKind {
         NodeKind::ClusterAggregator
+    }
+
+    fn task_arcs_machine_local(&self) -> bool {
+        // A constant aggregate target: machine-set changes never alter
+        // waiting-task arc sets.
+        true
     }
 }
 
@@ -105,20 +127,41 @@ mod tests {
     use firmament_cluster::Machine;
 
     #[test]
-    fn idle_machines_are_free_and_load_cost_is_superlinear() {
+    fn ladder_realizes_the_quadratic_and_is_superlinear() {
+        let state = ClusterState::default();
+        let model = OctopusCostModel::new();
+        let m = Machine::new(0, 0, 4);
+        let bundle = model.aggregate_arc(&state, CLUSTER_AGG, &m).unwrap();
+        assert!(bundle.is_convex());
+        let costs: Vec<i64> = bundle.segments().iter().map(|s| s.cost).collect();
+        // Marginals of 10·l²: 10, 30, 50, 70 — strictly rising.
+        assert_eq!(costs, vec![10, 30, 50, 70]);
+        // Prefix sums recover the quadratic exactly.
+        let quad = |k: i64| model.config.load_cost_scale * k * k;
+        let mut sum = 0;
+        for (k, c) in costs.iter().enumerate() {
+            sum += c;
+            assert_eq!(sum, quad(k as i64 + 1));
+        }
+        assert!(costs[1] - costs[0] > 0, "marginal cost must rise");
+        assert_eq!(
+            costs[2] - costs[1],
+            costs[1] - costs[0],
+            "quadratic marginals rise linearly"
+        );
+    }
+
+    #[test]
+    fn standing_load_shifts_the_ladder_up() {
         let state = ClusterState::default();
         let model = OctopusCostModel::new();
         let mut m = Machine::new(0, 0, 4);
-        let cost_at = |m: &Machine| model.aggregate_arc(&state, CLUSTER_AGG, m).unwrap().cost;
-        assert_eq!(cost_at(&m), 0, "idle machine costs nothing");
         m.add_task(1);
-        let one = cost_at(&m);
         m.add_task(2);
-        let two = cost_at(&m);
-        m.add_task(3);
-        let three = cost_at(&m);
-        assert!(two - one > one, "marginal cost must rise");
-        assert!(three - two > two - one, "and keep rising");
+        let bundle = model.aggregate_arc(&state, CLUSTER_AGG, &m).unwrap();
+        let costs: Vec<i64> = bundle.segments().iter().map(|s| s.cost).collect();
+        // At load 2 the next marginals are 10·(2l+1) for l = 2, 3, 4, 5.
+        assert_eq!(costs, vec![50, 70, 90, 110]);
     }
 
     #[test]
@@ -126,6 +169,9 @@ mod tests {
         let state = ClusterState::default();
         let t = Task::new(0, 0, 0, 1_000_000);
         let arcs = OctopusCostModel::new().task_arcs(&state, &t);
-        assert_eq!(arcs, vec![(ArcTarget::Aggregate(CLUSTER_AGG), 0)]);
+        assert_eq!(
+            arcs,
+            vec![(ArcTarget::Aggregate(CLUSTER_AGG), ArcBundle::cost(0))]
+        );
     }
 }

@@ -11,9 +11,21 @@
 //! The preference threshold (paper default 14 % of input data local; Fig 15
 //! explores 2 %) controls the number of preference arcs and hence the
 //! graph's size — the knob that separates Firmament from Quincy at scale.
+//!
+//! # Convex spread ladders
+//!
+//! Quincy's original formulation relied on convex costs so that load
+//! spreads *within* one solver round. This reproduction declares the
+//! distribution arcs — `X → R_r` and `R_r → machine` — as two-segment
+//! convex ladders: the first half of each capacity is free, the second
+//! half costs [`QuincyConfig::convex_spread_cost`]. The spread cost is
+//! deliberately tiny next to fetch costs (units of GB ≈ hundreds), so
+//! data locality still dominates every placement decision; the ladder
+//! only breaks ties among equally-local options toward emptier racks and
+//! machines — and does so in a single solve instead of across rounds.
 
 use crate::cost_model::{
-    rack_capacities, wait_scaled_cost, AggregateId, ArcSpec, ArcTarget, CostModel,
+    rack_capacities, wait_scaled_cost, AggregateId, ArcBundle, ArcSpec, ArcTarget, CostModel,
 };
 use firmament_cluster::{ClusterState, Machine, RackId, Task};
 use firmament_flow::NodeKind;
@@ -36,6 +48,11 @@ pub struct QuincyConfig {
     pub wait_cost_per_sec: i64,
     /// Cost offset that makes leaving a task unscheduled expensive.
     pub base_unscheduled_cost: i64,
+    /// Premium on the upper half of each distribution arc's capacity
+    /// (`X → R_r` and `R_r → machine`): Quincy's convexity trick, scaled
+    /// to tie-breaking size so locality still dominates. 0 restores
+    /// uniform (single-segment) distribution arcs.
+    pub convex_spread_cost: i64,
 }
 
 impl Default for QuincyConfig {
@@ -48,6 +65,7 @@ impl Default for QuincyConfig {
             cost_per_gb_in_rack: 50,
             wait_cost_per_sec: 50,
             base_unscheduled_cost: 20_000,
+            convex_spread_cost: 2,
         }
     }
 }
@@ -58,6 +76,27 @@ const CLUSTER_AGG: AggregateId = 0;
 /// Aggregate id of rack `r` (offset past the cluster aggregate).
 fn rack_agg(rack: RackId) -> AggregateId {
     1 + rack as AggregateId
+}
+
+/// A two-segment convex ladder over `capacity`: the first (larger) half
+/// free, the rest at `premium`. Collapses to a single free segment when
+/// the capacity is too small to split or the premium is 0.
+fn spread_ladder(capacity: i64, premium: i64) -> ArcBundle {
+    let cheap = capacity - capacity / 2;
+    let rest = capacity - cheap;
+    if rest <= 0 || premium <= 0 {
+        return ArcBundle::single(capacity, 0);
+    }
+    ArcBundle::from_segments(vec![
+        ArcSpec {
+            capacity: cheap,
+            cost: 0,
+        },
+        ArcSpec {
+            capacity: rest,
+            cost: premium,
+        },
+    ])
 }
 
 /// The Quincy scheduling cost model.
@@ -103,10 +142,12 @@ impl CostModel for QuincyCostModel {
 
     /// The waiting-task arc set: a fallback arc to `X` (worst case:
     /// everything fetched cross-rack) plus budget-limited preference arcs
-    /// to machines and racks above the locality thresholds.
-    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
+    /// to machines and racks above the locality thresholds. All bundles
+    /// are single capacity-1 segments — a task carries one unit of flow,
+    /// so the convexity lives on the shared distribution arcs, not here.
+    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
         let x_cost = self.fetch_cost(task, 0.0, false) + 1;
-        let mut arcs = vec![(ArcTarget::Aggregate(CLUSTER_AGG), x_cost)];
+        let mut arcs = vec![(ArcTarget::Aggregate(CLUSTER_AGG), ArcBundle::cost(x_cost))];
         let mut budget = self.config.max_prefs_per_task;
         let machine_prefs = state
             .blocks
@@ -116,7 +157,10 @@ impl CostModel for QuincyCostModel {
                 break;
             }
             if state.machines.contains_key(&m) {
-                arcs.push((ArcTarget::Machine(m), self.fetch_cost(task, frac, true)));
+                arcs.push((
+                    ArcTarget::Machine(m),
+                    ArcBundle::cost(self.fetch_cost(task, frac, true)),
+                ));
                 budget -= 1;
             }
         }
@@ -131,16 +175,20 @@ impl CostModel for QuincyCostModel {
             // part still pays a cheap in-rack fetch.
             let cost =
                 self.fetch_cost(task, frac, false) + self.fetch_cost(task, 1.0 - frac, true) / 2;
-            arcs.push((ArcTarget::Aggregate(rack_agg(r)), cost.max(1)));
+            arcs.push((
+                ArcTarget::Aggregate(rack_agg(r)),
+                ArcBundle::cost(cost.max(1)),
+            ));
             budget -= 1;
         }
         arcs
     }
 
-    /// Rack aggregates reach exactly their machines. The cluster aggregate
-    /// `X` reaches no machine directly — its flow descends through the
-    /// rack level (see [`aggregate_to_aggregate`]), matching Quincy's
-    /// original `X → R_r → machine` shape and keeping the graph at
+    /// Rack aggregates reach exactly their machines, through a convex
+    /// spread ladder over the machine's slots. The cluster aggregate `X`
+    /// reaches no machine directly — its flow descends through the rack
+    /// level (see [`aggregate_to_aggregate`]), matching Quincy's original
+    /// `X → R_r → machine` shape and keeping the graph at
     /// `O(racks + machines)` aggregate arcs instead of `O(2 × machines)`.
     ///
     /// [`aggregate_to_aggregate`]: QuincyCostModel::aggregate_to_aggregate
@@ -149,21 +197,20 @@ impl CostModel for QuincyCostModel {
         _state: &ClusterState,
         aggregate: AggregateId,
         machine: &Machine,
-    ) -> Option<ArcSpec> {
-        (aggregate == rack_agg(machine.rack)).then_some(ArcSpec {
-            capacity: machine.slots as i64,
-            cost: 0,
-        })
+    ) -> Option<ArcBundle> {
+        (aggregate == rack_agg(machine.rack))
+            .then(|| spread_ladder(machine.slots as i64, self.config.convex_spread_cost))
     }
 
     /// The EC→EC level of Quincy's network: `X` fans out to every rack
-    /// aggregate with the rack's total slot capacity at zero cost (the
-    /// wildcard fallback is priced on the task → `X` arc, not here).
+    /// aggregate with the rack's total slot capacity — as a convex spread
+    /// ladder, so a wildcard burst splits across racks in one round (the
+    /// wildcard *fetch* cost is priced on the task → `X` arc, not here).
     fn aggregate_to_aggregate(
         &self,
         state: &ClusterState,
         aggregate: AggregateId,
-    ) -> Vec<(AggregateId, ArcSpec)> {
+    ) -> Vec<(AggregateId, ArcBundle)> {
         if aggregate != CLUSTER_AGG {
             return Vec::new();
         }
@@ -172,10 +219,7 @@ impl CostModel for QuincyCostModel {
             .map(|(rack, slots, _)| {
                 (
                     rack_agg(rack),
-                    ArcSpec {
-                        capacity: slots,
-                        cost: 0,
-                    },
+                    spread_ladder(slots, self.config.convex_spread_cost),
                 )
             })
             .collect()
@@ -220,7 +264,7 @@ mod tests {
         let t = make_task(&mut state, 1, vec![0, 1, 4]);
         let arcs = model.task_arcs(&state, &t);
         // X + machine prefs (0, 1, 4) + rack prefs (0, 1).
-        assert!(arcs.contains(&(ArcTarget::Aggregate(CLUSTER_AGG), 201)));
+        assert!(arcs.contains(&(ArcTarget::Aggregate(CLUSTER_AGG), ArcBundle::cost(201))));
         let machine_prefs = arcs
             .iter()
             .filter(|(t, _)| matches!(t, ArcTarget::Machine(_)))
@@ -240,10 +284,10 @@ mod tests {
         let arcs = model.task_arcs(&state, &t);
         let machine_cost = arcs
             .iter()
-            .find_map(|(tg, c)| matches!(tg, ArcTarget::Machine(2)).then_some(*c));
-        let x_cost = arcs
-            .iter()
-            .find_map(|(tg, c)| matches!(tg, ArcTarget::Aggregate(CLUSTER_AGG)).then_some(*c));
+            .find_map(|(tg, b)| matches!(tg, ArcTarget::Machine(2)).then(|| b.segments()[0].cost));
+        let x_cost = arcs.iter().find_map(|(tg, b)| {
+            matches!(tg, ArcTarget::Aggregate(CLUSTER_AGG)).then(|| b.segments()[0].cost)
+        });
         assert_eq!(machine_cost, Some(0), "fully local data costs nothing");
         assert!(x_cost.unwrap() > 0, "cluster fallback pays full fetch");
     }
@@ -299,14 +343,47 @@ mod tests {
     }
 
     #[test]
+    fn distribution_arcs_are_convex_spread_ladders() {
+        let (state, model) = setup();
+        let m0 = &state.machines[&0];
+        let b = model.aggregate_arc(&state, rack_agg(0), m0).unwrap();
+        assert!(b.is_convex());
+        assert_eq!(b.total_capacity(), 2, "machine capacity preserved");
+        assert_eq!(b.segments()[0].cost, 0, "first slot free");
+        assert_eq!(
+            b.segments().last().unwrap().cost,
+            QuincyConfig::default().convex_spread_cost,
+            "second slot pays the spread premium"
+        );
+        // The premium stays tie-break-sized: far below any fetch cost.
+        assert!(b.segments().last().unwrap().cost < QuincyConfig::default().cost_per_gb_in_rack);
+    }
+
+    #[test]
+    fn zero_premium_restores_uniform_arcs() {
+        let (state, mut model) = setup();
+        model.config.convex_spread_cost = 0;
+        let m0 = &state.machines[&0];
+        let b = model.aggregate_arc(&state, rack_agg(0), m0).unwrap();
+        assert_eq!(b.segments().len(), 1);
+        assert_eq!(b.segments()[0].capacity, 2);
+        assert_eq!(b.segments()[0].cost, 0);
+    }
+
+    #[test]
     fn cluster_aggregate_fans_out_to_racks_with_subtree_capacity() {
         let (state, model) = setup();
         let children = model.aggregate_to_aggregate(&state, CLUSTER_AGG);
         assert_eq!(children.len(), 2, "two racks of three machines");
-        for (agg, spec) in &children {
+        for (agg, bundle) in &children {
             assert_ne!(*agg, CLUSTER_AGG);
-            assert_eq!(spec.capacity, 6, "3 machines × 2 slots per rack");
-            assert_eq!(spec.cost, 0, "fallback priced on the task→X arc");
+            assert!(bundle.is_convex());
+            assert_eq!(bundle.total_capacity(), 6, "3 machines × 2 slots per rack");
+            assert_eq!(
+                bundle.segments()[0].cost,
+                0,
+                "fallback fetch priced on the task→X arc, not here"
+            );
         }
         // Rack aggregates are EC→EC leaves.
         assert!(model.aggregate_to_aggregate(&state, rack_agg(0)).is_empty());

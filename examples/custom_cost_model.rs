@@ -15,7 +15,7 @@
 
 use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Machine, Task, TopologySpec};
 use firmament::core::{Firmament, SchedulingAction};
-use firmament::policies::{rack_capacities, AggregateId, ArcSpec, ArcTarget, CostModel};
+use firmament::policies::{rack_capacities, AggregateId, ArcBundle, ArcTarget, CostModel};
 
 /// The cluster root; rack `r` is aggregate `1 + r`.
 const ROOT: AggregateId = 0;
@@ -42,12 +42,15 @@ impl CostModel for RackAffinity {
         50_000 + 500 * (state.now.saturating_sub(task.submit_time) / 1_000_000) as i64
     }
 
-    fn task_arcs(&self, _state: &ClusterState, task: &Task) -> Vec<(ArcTarget, i64)> {
+    fn task_arcs(&self, _state: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
         // Cheap entry at the job's preferred rack; off-rack placements pay
         // a premium through the cluster root.
         vec![
-            (ArcTarget::Aggregate(self.preferred(task.job)), 1),
-            (ArcTarget::Aggregate(ROOT), 101),
+            (
+                ArcTarget::Aggregate(self.preferred(task.job)),
+                ArcBundle::cost(1),
+            ),
+            (ArcTarget::Aggregate(ROOT), ArcBundle::cost(101)),
         ]
     }
 
@@ -57,21 +60,13 @@ impl CostModel for RackAffinity {
         &self,
         state: &ClusterState,
         aggregate: AggregateId,
-    ) -> Vec<(AggregateId, ArcSpec)> {
+    ) -> Vec<(AggregateId, ArcBundle)> {
         if aggregate != ROOT {
             return Vec::new(); // racks are hierarchy leaves
         }
         rack_capacities(state)
             .into_iter()
-            .map(|(rack, slots, _)| {
-                (
-                    1 + rack as u64,
-                    ArcSpec {
-                        capacity: slots,
-                        cost: 0,
-                    },
-                )
-            })
+            .map(|(rack, slots, _)| (1 + rack as u64, ArcBundle::single(slots, 0)))
             .collect()
     }
 
@@ -80,13 +75,15 @@ impl CostModel for RackAffinity {
         _state: &ClusterState,
         aggregate: AggregateId,
         machine: &Machine,
-    ) -> Option<ArcSpec> {
+    ) -> Option<ArcBundle> {
         // A rack aggregate reaches exactly its machines; packing (not
         // spreading): already-busy machines are slightly cheaper. The root
         // touches no machine directly.
-        (aggregate == 1 + machine.rack as u64).then_some(ArcSpec {
-            capacity: machine.slots as i64,
-            cost: 10 - (machine.running.len() as i64).min(9),
+        (aggregate == 1 + machine.rack as u64).then(|| {
+            ArcBundle::single(
+                machine.slots as i64,
+                10 - (machine.running.len() as i64).min(9),
+            )
         })
     }
 

@@ -105,6 +105,47 @@
 //! delta-replay oracle in `tests/graph_refresh_differential.rs`:
 //! replaying each round's batch onto the previous round's snapshot must
 //! reproduce the live graph slot-exactly.
+//!
+//! # Migrating from scalar `ArcSpec` declarations (pre-0.4)
+//!
+//! Every [`policies::CostModel`] arc hook now declares a
+//! [`policies::ArcBundle`] — a piecewise-linear **convex cost ladder**
+//! (ordered `ArcSpec` segments with non-decreasing costs) — instead of a
+//! single `(capacity, cost)` pair or a bare cost:
+//!
+//! | pre-0.4 | 0.4 |
+//! |---------|-----|
+//! | `task_arcs → Vec<(ArcTarget, i64)>` | `task_arcs → Vec<(ArcTarget, ArcBundle)>` — wrap each cost in [`ArcBundle::cost`] |
+//! | `aggregate_arc → Option<ArcSpec>` | `aggregate_arc → Option<ArcBundle>` — `Some(ArcSpec { capacity, cost })` becomes `Some(ArcBundle::single(capacity, cost))` |
+//! | `aggregate_to_aggregate → Vec<(AggregateId, ArcSpec)>` | `Vec<(AggregateId, ArcBundle)>` — same `single` wrapping |
+//!
+//! Single-segment bundles are behaviorally identical to the old scalar
+//! arcs, so the migration is mechanical. The point of the change is what
+//! multi-segment bundles buy: the manager materializes one parallel arc
+//! per segment (stable per-segment slot identity — re-pricing a segment
+//! is a pure `CostChanged` delta, never structural churn), so load-based
+//! policies can declare *rising* per-unit costs and get **one-round load
+//! spreading** (Quincy's convexity trick; see [`policies::ArcBundle`]
+//! and the `convex_spreading` bench bin). The **convexity contract** —
+//! segment costs never decrease — is validated at every declaration and
+//! violations are rejected with `PolicyError::NonConvexBundle`: a
+//! decreasing ladder would let the min-cost solver fill expensive
+//! segments before cheap ones, silently corrupting the declared cost
+//! function.
+//!
+//! Two new (defaulted) hooks ride along: `CostModel::dynamic_task_arcs`
+//! opts waiting tasks' preference bundles into in-place re-pricing on
+//! clock advance / dirty events (the task-side mirror of
+//! `dynamic_aggregate_arcs`), and `CostModel::task_arcs_machine_local`
+//! lets models whose task arcs reference the machine set only through
+//! direct machine targets skip the per-waiting-task re-derivation on
+//! machine add/remove. Cross-solver placement reproducibility is
+//! available via [`mcmf::canonical::canonicalize_flow`], which maps any
+//! degenerate optimum to the canonical one.
+//!
+//! [`policies::ArcBundle`]: policies::ArcBundle
+//! [`ArcBundle::cost`]: policies::ArcBundle::cost
+//! [`ArcBundle::single`]: policies::ArcBundle::single
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -179,6 +179,13 @@ fn load_spreading_conforms() {
 }
 
 #[test]
+fn load_spreading_uniform_variant_conforms() {
+    // The pre-bundle single-segment arcs (the convex_spreading bench's
+    // contrast baseline) must uphold the same invariants.
+    run_script(Firmament::new(LoadSpreadingCostModel::uniform()));
+}
+
+#[test]
 fn quincy_conforms() {
     run_script(Firmament::new(
         QuincyCostModel::new(QuincyConfig::default()),
@@ -281,19 +288,29 @@ impl CostModel for GangModel {
     fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
         0
     }
-    fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(firmament::policies::ArcTarget, i64)> {
-        vec![(firmament::policies::ArcTarget::Aggregate(0), 1)]
+    fn task_arcs(
+        &self,
+        _: &ClusterState,
+        _: &Task,
+    ) -> Vec<(
+        firmament::policies::ArcTarget,
+        firmament::policies::ArcBundle,
+    )> {
+        vec![(
+            firmament::policies::ArcTarget::Aggregate(0),
+            firmament::policies::ArcBundle::cost(1),
+        )]
     }
     fn aggregate_arc(
         &self,
         _: &ClusterState,
         _: firmament::policies::AggregateId,
         machine: &firmament::cluster::Machine,
-    ) -> Option<firmament::policies::ArcSpec> {
-        Some(firmament::policies::ArcSpec {
-            capacity: machine.slots as i64,
-            cost: 100,
-        })
+    ) -> Option<firmament::policies::ArcBundle> {
+        Some(firmament::policies::ArcBundle::single(
+            machine.slots as i64,
+            100,
+        ))
     }
     fn job_gang_minimum(&self, _: &ClusterState, _: &Job) -> i64 {
         3
@@ -319,6 +336,101 @@ fn gang_minimum_forces_placements() {
         o.placed_tasks < 5,
         "free unscheduled flow keeps the rest waiting"
     );
+}
+
+/// A model whose ladder prices *decrease* breaks the convexity contract:
+/// the manager must reject it with the typed error — through the full
+/// scheduler event path, not just the manager API.
+struct DecreasingLadderModel;
+
+impl CostModel for DecreasingLadderModel {
+    fn name(&self) -> &'static str {
+        "decreasing-ladder"
+    }
+    fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+        100_000
+    }
+    fn task_arcs(
+        &self,
+        _: &ClusterState,
+        _: &Task,
+    ) -> Vec<(
+        firmament::policies::ArcTarget,
+        firmament::policies::ArcBundle,
+    )> {
+        vec![(
+            firmament::policies::ArcTarget::Aggregate(0),
+            firmament::policies::ArcBundle::cost(1),
+        )]
+    }
+    fn aggregate_arc(
+        &self,
+        _: &ClusterState,
+        _: firmament::policies::AggregateId,
+        _: &firmament::cluster::Machine,
+    ) -> Option<firmament::policies::ArcBundle> {
+        // "First slot expensive, second cheap" — the solver would fill
+        // the cheap segment first, corrupting the declared cost curve.
+        Some(firmament::policies::ArcBundle::ladder([20, 10]))
+    }
+}
+
+#[test]
+fn non_convex_ladder_is_rejected_with_typed_error() {
+    let mut state = cluster(2, 2, 4);
+    let mut f = Firmament::new(DecreasingLadderModel);
+    register(&state, &mut f);
+    let j = Job::new(0, firmament::cluster::JobClass::Batch, 0, 0);
+    let tasks = vec![Task::new(0, 0, 0, 1_000_000)];
+    let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+    state.apply(&ev);
+    let err = f.handle_event(&state, &ev);
+    match err {
+        Err(firmament::core::SchedulerError::Policy(
+            firmament::policies::PolicyError::NonConvexBundle { hook, prev, next },
+        )) => {
+            assert_eq!(hook, "aggregate_arc");
+            assert_eq!((prev, next), (20, 10));
+        }
+        other => panic!("expected NonConvexBundle, got {other:?}"),
+    }
+}
+
+/// Every shipped model's declared bundles satisfy the convexity contract
+/// for every (aggregate, machine) pair it connects — the static check
+/// backing the manager's runtime validation.
+#[test]
+fn all_shipped_models_declare_convex_bundles() {
+    let state = cluster(6, 2, 3);
+    let models: Vec<Box<dyn CostModel>> = vec![
+        Box::new(LoadSpreadingCostModel::new()),
+        Box::new(LoadSpreadingCostModel::uniform()),
+        Box::new(QuincyCostModel::new(QuincyConfig::default())),
+        Box::new(OctopusCostModel::new()),
+        Box::new(NetworkAwareCostModel::new()),
+        Box::new(HierarchicalTopologyCostModel::new()),
+    ];
+    for model in &models {
+        let t = Task::new(0, 0, 0, 1_000_000);
+        for (_, bundle) in model.task_arcs(&state, &t) {
+            assert!(bundle.is_convex(), "{}: task bundle", model.name());
+        }
+        for agg in 0..8u64 {
+            for m in state.machines.values() {
+                if let Some(bundle) = model.aggregate_arc(&state, agg, m) {
+                    assert!(
+                        bundle.is_convex(),
+                        "{}: aggregate {agg} → machine {}",
+                        model.name(),
+                        m.id
+                    );
+                }
+            }
+            for (_, bundle) in model.aggregate_to_aggregate(&state, agg) {
+                assert!(bundle.is_convex(), "{}: EC→EC from {agg}", model.name());
+            }
+        }
+    }
 }
 
 /// The EC→EC hierarchy model upholds every invariant of the shared
@@ -401,19 +513,29 @@ impl CostModel for HungryGangModel {
     fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
         0
     }
-    fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(firmament::policies::ArcTarget, i64)> {
-        vec![(firmament::policies::ArcTarget::Aggregate(0), 1)]
+    fn task_arcs(
+        &self,
+        _: &ClusterState,
+        _: &Task,
+    ) -> Vec<(
+        firmament::policies::ArcTarget,
+        firmament::policies::ArcBundle,
+    )> {
+        vec![(
+            firmament::policies::ArcTarget::Aggregate(0),
+            firmament::policies::ArcBundle::cost(1),
+        )]
     }
     fn aggregate_arc(
         &self,
         _: &ClusterState,
         _: firmament::policies::AggregateId,
         machine: &firmament::cluster::Machine,
-    ) -> Option<firmament::policies::ArcSpec> {
-        Some(firmament::policies::ArcSpec {
-            capacity: machine.slots as i64,
-            cost: 100,
-        })
+    ) -> Option<firmament::policies::ArcBundle> {
+        Some(firmament::policies::ArcBundle::single(
+            machine.slots as i64,
+            100,
+        ))
     }
     fn job_gang_minimum(&self, _: &ClusterState, _: &Job) -> i64 {
         6
@@ -468,19 +590,25 @@ impl CostModel for PerJobAggModel {
         &self,
         _: &ClusterState,
         task: &Task,
-    ) -> Vec<(firmament::policies::ArcTarget, i64)> {
-        vec![(firmament::policies::ArcTarget::Aggregate(task.job), 1)]
+    ) -> Vec<(
+        firmament::policies::ArcTarget,
+        firmament::policies::ArcBundle,
+    )> {
+        vec![(
+            firmament::policies::ArcTarget::Aggregate(task.job),
+            firmament::policies::ArcBundle::cost(1),
+        )]
     }
     fn aggregate_arc(
         &self,
         _: &ClusterState,
         _: firmament::policies::AggregateId,
         machine: &firmament::cluster::Machine,
-    ) -> Option<firmament::policies::ArcSpec> {
-        Some(firmament::policies::ArcSpec {
-            capacity: machine.slots as i64,
-            cost: machine.running.len() as i64,
-        })
+    ) -> Option<firmament::policies::ArcBundle> {
+        Some(firmament::policies::ArcBundle::single(
+            machine.slots as i64,
+            machine.running.len() as i64,
+        ))
     }
 }
 

@@ -33,14 +33,127 @@ use firmament::cluster::{
 };
 use firmament::core::FlowGraphManager;
 use firmament::flow::testgen::XorShift64;
-use firmament::flow::{ArcId, FlowGraph, NodeId};
+use firmament::flow::{ArcId, FlowGraph, NodeId, NodeKind};
 use firmament::policies::{
-    CostModel, HierarchicalTopologyCostModel, LoadSpreadingCostModel, NetworkAwareCostModel,
-    OctopusCostModel, QuincyConfig, QuincyCostModel,
+    AggregateId, ArcBundle, ArcSpec, ArcTarget, CostModel, HierarchicalTopologyCostModel,
+    LoadSpreadingCostModel, NetworkAwareCostModel, OctopusCostModel, QuincyConfig, QuincyCostModel,
 };
 
 const SCRIPTS_PER_MODEL: u64 = 50;
+/// The convex-wrapper matrix re-runs every model with bundle re-pricing
+/// and segment-count churn layered on; fewer scripts keep the doubled
+/// matrix inside the CI budget.
+const SCRIPTS_PER_WRAPPED_MODEL: u64 = 30;
 const ROUNDS_PER_SCRIPT: usize = 15;
+
+/// Wraps any cost model to exercise the **bundle event alphabet** the
+/// plain models don't reach on their own:
+///
+/// - **Segment-count-changing events**: every aggregate → machine bundle
+///   becomes a ladder whose segment *count* tracks the machine's free
+///   slots (`1 + free % 3`) — so task placements/completions/preemptions
+///   (which dirty the machine) grow and shrink declared ladders, driving
+///   the manager's park/revive/append slot logic under the static
+///   contract and add/remove under the dynamic one.
+/// - **Bundle re-pricing events**: waiting-task bundles get a cost term
+///   derived from the virtual clock and [`CostModel::dynamic_task_arcs`]
+///   is enabled, so every `Tick` event re-prices the cached preference
+///   slots in place (the Execution-Templates patch path). EC→EC bundles
+///   are split into two-segment convex ladders, re-priced through the
+///   dirty-aggregate sweep.
+///
+/// All wrapper outputs are pure functions of `ClusterState` plus the
+/// inner model's declarations, so the incremental-vs-rebuild oracle
+/// stays sound: any divergence is a manager bug, not wrapper noise.
+struct ConvexFuzzWrapper<C: CostModel> {
+    inner: C,
+}
+
+/// A convex ladder over `total` capacity with `count` segments starting
+/// at `base` cost and rising by `step`: first segment takes the bulk,
+/// the tail segments capacity 1 each.
+fn fuzz_ladder(total: i64, count: i64, base: i64, step: i64) -> ArcBundle {
+    let count = count.clamp(1, total.max(1));
+    let mut segments = Vec::with_capacity(count as usize);
+    let head = (total - (count - 1)).max(0);
+    for j in 0..count {
+        segments.push(ArcSpec {
+            capacity: if j == 0 { head } else { 1 },
+            cost: base + j * step,
+        });
+    }
+    ArcBundle::from_segments(segments)
+}
+
+impl<C: CostModel> CostModel for ConvexFuzzWrapper<C> {
+    fn name(&self) -> &'static str {
+        "convex-fuzz-wrapper"
+    }
+    fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
+        self.inner.task_unscheduled_cost(state, task)
+    }
+    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+        // Clock-dependent re-pricing on top of the inner declaration:
+        // legal only because dynamic_task_arcs() is true below.
+        let drift = (state.now / 1_000_000 % 7) as i64;
+        self.inner
+            .task_arcs(state, task)
+            .into_iter()
+            .map(|(target, bundle)| {
+                let base = bundle.segments().first().map(|s| s.cost).unwrap_or(0);
+                (target, ArcBundle::cost(base + drift))
+            })
+            .collect()
+    }
+    fn aggregate_arc(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+        machine: &Machine,
+    ) -> Option<ArcBundle> {
+        let inner = self.inner.aggregate_arc(state, aggregate, machine)?;
+        let total = inner.total_capacity();
+        let base = inner.segments().first().map(|s| s.cost).unwrap_or(0);
+        // Segment count follows the machine's free slots — it changes
+        // exactly when an event dirties the machine, so static models
+        // stay refresh-consistent while the ladder grows and shrinks.
+        let count = 1 + machine.free_slots() as i64 % 3;
+        Some(fuzz_ladder(total, count, base, 1 + machine.id as i64 % 2))
+    }
+    fn aggregate_to_aggregate(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+    ) -> Vec<(AggregateId, ArcBundle)> {
+        self.inner
+            .aggregate_to_aggregate(state, aggregate)
+            .into_iter()
+            .map(|(child, bundle)| {
+                let total = bundle.total_capacity();
+                let base = bundle.segments().first().map(|s| s.cost).unwrap_or(0);
+                (child, fuzz_ladder(total, 2, base, 1))
+            })
+            .collect()
+    }
+    fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
+        self.inner.aggregate_kind(aggregate)
+    }
+    fn running_arc_cost(&self, state: &ClusterState, task: &Task, machine: u64) -> i64 {
+        self.inner.running_arc_cost(state, task, machine)
+    }
+    fn dynamic_aggregate_arcs(&self) -> bool {
+        self.inner.dynamic_aggregate_arcs()
+    }
+    fn dynamic_task_arcs(&self) -> bool {
+        true
+    }
+    fn task_arcs_machine_local(&self) -> bool {
+        self.inner.task_arcs_machine_local()
+    }
+    fn job_gang_minimum(&self, state: &ClusterState, job: &Job) -> i64 {
+        self.inner.job_gang_minimum(state, job)
+    }
+}
 
 /// Canonical, id-independent form of a scheduling flow network: sorted
 /// node kinds, sorted nonzero supplies by kind, and sorted
@@ -428,6 +541,16 @@ fn run_model<C: CostModel>(make: impl Fn() -> C, salt: u64) {
     }
 }
 
+/// The bundle-event matrix: every model re-fuzzed under the
+/// [`ConvexFuzzWrapper`], which layers segment-count churn and clock-
+/// driven bundle re-pricing (dynamic task arcs) onto the same scripts.
+fn run_wrapped_model<C: CostModel>(make: impl Fn() -> C, salt: u64) {
+    for i in 0..SCRIPTS_PER_WRAPPED_MODEL {
+        let model = ConvexFuzzWrapper { inner: make() };
+        run_script(&model, salt.wrapping_add(0xC0 + i * 0x9E37).max(1));
+    }
+}
+
 #[test]
 fn differential_load_spreading() {
     run_model(LoadSpreadingCostModel::new, 0x10AD);
@@ -451,4 +574,29 @@ fn differential_network_aware() {
 #[test]
 fn differential_hierarchy() {
     run_model(HierarchicalTopologyCostModel::new, 0x417AC);
+}
+
+#[test]
+fn differential_convex_bundles_load_spreading() {
+    run_wrapped_model(LoadSpreadingCostModel::new, 0x10AD);
+}
+
+#[test]
+fn differential_convex_bundles_quincy() {
+    run_wrapped_model(|| QuincyCostModel::new(QuincyConfig::default()), 0x0116C7);
+}
+
+#[test]
+fn differential_convex_bundles_octopus() {
+    run_wrapped_model(OctopusCostModel::new, 0x0C107);
+}
+
+#[test]
+fn differential_convex_bundles_network_aware() {
+    run_wrapped_model(NetworkAwareCostModel::new, 0x6E7B);
+}
+
+#[test]
+fn differential_convex_bundles_hierarchy() {
+    run_wrapped_model(HierarchicalTopologyCostModel::new, 0x417AC);
 }

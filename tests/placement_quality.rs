@@ -1,8 +1,13 @@
 //! Integration test for the paper's headline quality claim: flow-based
 //! scheduling with the network-aware policy beats task-by-task baselines
-//! on tail response time under network contention (Fig 19).
+//! on tail response time under network contention (Fig 19) — plus the
+//! convex-bundle claim: load-based policies spread a burst within ONE
+//! solver round (Quincy's convexity trick, ROADMAP item).
 
 use firmament::baselines::{SparrowScheduler, SwarmKitScheduler};
+use firmament::cluster::{ClusterEvent, ClusterState, Job, JobClass, Task, TopologySpec};
+use firmament::core::{Firmament, SchedulingAction};
+use firmament::policies::{CostModel, LoadSpreadingCostModel, OctopusCostModel};
 use firmament::sim::{run_testbed, TestbedConfig, TestbedScheduler};
 
 fn config() -> TestbedConfig {
@@ -37,6 +42,70 @@ fn isolation_is_the_lower_bound() {
     let mut idle = run_testbed(&config(), TestbedScheduler::Idle);
     let mut firmament = run_testbed(&config(), TestbedScheduler::Firmament);
     assert!(idle.percentile(50.0) <= firmament.percentile(50.0) + 1e-9);
+}
+
+/// One-round burst spreading: `k·m` identical tasks over `m` idle
+/// machines, a single `schedule()` call, per-machine load distribution
+/// measured after applying the actions.
+fn burst_loads<C: CostModel>(model: C, machines: usize, slots: u32, k: usize) -> Vec<usize> {
+    let mut state = ClusterState::with_topology(&TopologySpec {
+        machines,
+        machines_per_rack: 4,
+        slots_per_machine: slots,
+    });
+    let mut f = Firmament::new(model);
+    let mut ms: Vec<_> = state.machines.values().cloned().collect();
+    ms.sort_by_key(|m| m.id);
+    for m in ms {
+        f.handle_event(&state, &ClusterEvent::MachineAdded { machine: m })
+            .unwrap();
+    }
+    let job = Job::new(0, JobClass::Batch, 0, 0);
+    let tasks: Vec<Task> = (0..(k * machines) as u64)
+        .map(|i| Task::new(i, 0, 0, 60_000_000))
+        .collect();
+    let ev = ClusterEvent::JobSubmitted { job, tasks };
+    state.apply(&ev);
+    f.handle_event(&state, &ev).unwrap();
+    let outcome = f.schedule(&state).unwrap();
+    for a in &outcome.actions {
+        if let SchedulingAction::Place { task, machine } = a {
+            let ev = ClusterEvent::TaskPlaced {
+                task: *task,
+                machine: *machine,
+                now: 0,
+            };
+            state.apply(&ev);
+            f.handle_event(&state, &ev).unwrap();
+        }
+    }
+    state.machines.values().map(|m| m.running.len()).collect()
+}
+
+/// The tentpole claim: convex ladders make within-round spreading
+/// *optimal*, so one solve of a burst lands ≤ ⌈k⌉+1 tasks per machine;
+/// the uniform-cost variant packs machines full instead.
+#[test]
+fn convex_ladders_spread_a_burst_in_one_round() {
+    let (m, slots, k) = (8, 6, 3);
+    for loads in [
+        burst_loads(LoadSpreadingCostModel::new(), m, slots, k),
+        burst_loads(OctopusCostModel::new(), m, slots, k),
+    ] {
+        assert_eq!(loads.iter().sum::<usize>(), k * m, "everything placed");
+        assert!(
+            loads.iter().all(|&l| l <= k + 1),
+            "convex model exceeded fair share + 1: {loads:?}"
+        );
+    }
+    // Contrast: the pre-bundle uniform arcs give the solver no
+    // within-round gradient, so the same burst skews.
+    let uniform = burst_loads(LoadSpreadingCostModel::uniform(), m, slots, k);
+    assert_eq!(uniform.iter().sum::<usize>(), k * m);
+    assert!(
+        uniform.iter().any(|&l| l > k + 1),
+        "uniform-cost arcs unexpectedly spread within the round: {uniform:?}"
+    );
 }
 
 #[test]
