@@ -1,15 +1,32 @@
 //! Fig 14: Firmament places tasks ~20× faster than Quincy at 90 %
-//! utilization, with identical (optimal) placement quality.
+//! utilization, with identical (optimal) placement quality — plus the
+//! full-scale paper point under capacity-bucketed ladders.
+//!
+//! Part 1 is the paper comparison: the Quincy cost model driven by the
+//! speculative dual solver vs the Quincy configuration (cost scaling
+//! only), placement-latency percentiles at the (scaled) 12,500-machine
+//! point.
+//!
+//! Part 2 runs the same placement-latency experiment under the
+//! **hierarchical topology model with bucketed rack → machine ladders**
+//! ([`BundleShape::Bucketed`]) — the convex load-ladder policy whose
+//! per-slot form was the full-scale graph-size blocker (ROADMAP "Ladder
+//! width vs graph size"). Under `--full` this is the genuine
+//! 12,500-machine paper point (with a shorter simulated horizon so the
+//! full-scale sim fits the bench budget); CI gates it at reduced scale
+//! via the `scale-smoke` job.
 
 use firmament_bench::{header, row, verdict, Scale};
 use firmament_cluster::TopologySpec;
 use firmament_core::Firmament;
 use firmament_mcmf::{DualConfig, SolverKind};
-use firmament_policies::{QuincyConfig, QuincyCostModel};
+use firmament_policies::{
+    BundleShape, HierarchicalTopologyCostModel, QuincyConfig, QuincyCostModel, TopologyConfig,
+};
 use firmament_sim::{run_flow_sim, SimConfig, TraceSpec};
 
-fn run(kind: SolverKind, machines: usize, runtime_scale: f64) -> firmament_sim::SimReport {
-    let config = SimConfig {
+fn config(machines: usize, runtime_scale: f64, duration_s: f64) -> SimConfig {
+    SimConfig {
         topology: TopologySpec {
             machines,
             machines_per_rack: 40,
@@ -25,13 +42,16 @@ fn run(kind: SolverKind, machines: usize, runtime_scale: f64) -> firmament_sim::
             job_size_scale: machines as f64 / 12_500.0,
             ..TraceSpec::default()
         },
-        duration_s: 60.0,
+        duration_s,
         // Charge solver runtime as if the cluster were at paper scale:
         // the scaled-down graph solves proportionally faster, but Fig 14
         // measures how solver runtime shapes placement latency.
         runtime_scale,
         ..SimConfig::default()
-    };
+    }
+}
+
+fn run_quincy(kind: SolverKind, machines: usize, runtime_scale: f64) -> firmament_sim::SimReport {
     let firmament = Firmament::with_solver(
         QuincyCostModel::new(QuincyConfig::default()),
         DualConfig {
@@ -39,15 +59,31 @@ fn run(kind: SolverKind, machines: usize, runtime_scale: f64) -> firmament_sim::
             ..Default::default()
         },
     );
-    run_flow_sim(&config, firmament)
+    run_flow_sim(&config(machines, runtime_scale, 60.0), firmament)
+}
+
+fn run_bucketed(kind: SolverKind, machines: usize, duration_s: f64) -> firmament_sim::SimReport {
+    let firmament = Firmament::with_solver(
+        HierarchicalTopologyCostModel::with_config(TopologyConfig {
+            shape: BundleShape::Bucketed,
+            ..TopologyConfig::default()
+        }),
+        DualConfig {
+            kind,
+            ..Default::default()
+        },
+    );
+    // Faithful runtime charging: at this point the graph *is* the
+    // full-size graph (no scale-up factor).
+    run_flow_sim(&config(machines, 1.0, duration_s), firmament)
 }
 
 fn main() {
     let scale = Scale::from_args();
     let machines = scale.machines(12_500);
     let rts = scale.divisor as f64;
-    let mut firmament = run(SolverKind::Dual, machines, rts);
-    let mut quincy = run(SolverKind::CostScalingOnly, machines, rts);
+    let mut firmament = run_quincy(SolverKind::Dual, machines, rts);
+    let mut quincy = run_quincy(SolverKind::CostScalingOnly, machines, rts);
     header(&["percentile", "firmament_latency_s", "quincy_latency_s"]);
     for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
         row(&[
@@ -58,12 +94,50 @@ fn main() {
     }
     let f50 = firmament.placement_latency.percentile(50.0);
     let q50 = quincy.placement_latency.percentile(50.0);
+
+    // ---- Part 2: the paper point under bucketed convex ladders --------
+    // A shorter horizon at full scale: every round still schedules the
+    // whole 12,500-machine workload; the horizon only bounds how many
+    // churn rounds the sim replays.
+    let duration_s = if scale.divisor == 1 { 10.0 } else { 60.0 };
+    let mut bucketed = run_bucketed(SolverKind::Dual, machines, duration_s);
+    header(&[
+        "series",
+        "machines",
+        "p50_latency_s",
+        "p90_latency_s",
+        "p99_latency_s",
+        "rounds",
+        "median_round_s",
+    ]);
+    row(&[
+        "bucketed-hierarchy-dual".into(),
+        machines.to_string(),
+        format!("{:.4}", bucketed.placement_latency.percentile(50.0)),
+        format!("{:.4}", bucketed.placement_latency.percentile(90.0)),
+        format!("{:.4}", bucketed.placement_latency.percentile(99.0)),
+        bucketed.rounds.to_string(),
+        format!("{:.4}", bucketed.algorithm_runtime.percentile(50.0)),
+    ]);
+    let b50 = bucketed.placement_latency.percentile(50.0);
+    let bucketed_ok = bucketed.rounds > 0 && bucketed.placed_tasks > 0;
+
     verdict(
         "fig14",
-        f50 < q50,
+        f50 < q50 && bucketed_ok,
         &format!(
-            "Firmament median placement latency {f50:.3}s vs Quincy {q50:.3}s ({:.1}x; paper: 20x at full scale)",
-            q50 / f50.max(1e-9)
+            "Firmament median placement latency {f50:.3}s vs Quincy {q50:.3}s \
+             ({:.1}x; paper: 20x at full scale); bucketed-ladder paper point \
+             ran {} rounds at median latency {b50:.3}s",
+            q50 / f50.max(1e-9),
+            bucketed.rounds
         ),
     );
+    // Only the bucketed paper-point gate fails the run: the latency
+    // comparison is wall-clock-sensitive (and known to invert at `--full`,
+    // where faithful runtime charging fits only 1–2 rounds into the
+    // horizon — see ROADMAP), so its verdict is advisory.
+    if !bucketed_ok {
+        std::process::exit(1);
+    }
 }

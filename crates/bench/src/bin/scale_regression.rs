@@ -1,0 +1,242 @@
+//! The cluster-scale regression sweep (ROADMAP "Ladder width vs graph
+//! size" — the gate for every full-scale figure).
+//!
+//! Sweeps machines × slots × the shipped load-based policies ×
+//! [`BundleShape`] over trace-shaped workloads, printing per point:
+//! graph size (nodes/arcs), aggregate → machine ladder arcs vs the
+//! `O(m·log s)` bound, cold- and warm-round wall times, and delta-feed
+//! telemetry. A second section prints the per-slot vs bucketed placement
+//! quality of canonicalized one-round bursts (true-cost delta per task,
+//! max per-machine load vs the fair-share and bucket-boundary bounds).
+//!
+//! Used as the CI `scale-smoke` gate at reduced scale: exits non-zero if
+//! - any bucketed point exceeds the `O(m·log s)` ladder-arc bound,
+//! - any aligned burst deviates from the per-slot optimum at all, or any
+//!   burst exceeds one marginal step per task / the bucket-boundary
+//!   spreading bound,
+//! - bucketed ladders fail to shrink the per-slot ladder arcs at 12
+//!   slots by at least 2×.
+//!
+//! `--full` additionally runs the 12 500-machine paper point (bucketed).
+
+use firmament_bench::scale::{
+    bucket_ceiling, burst_quality, ladder_arc_bound, run_scale_point, BurstOutcome, ScalePoint,
+    ScalePointSpec, ScalePolicy,
+};
+use firmament_bench::{header, row, verdict, Scale};
+use firmament_policies::BundleShape;
+
+fn shape_name(shape: BundleShape) -> &'static str {
+    match shape {
+        BundleShape::PerSlot => "per-slot",
+        BundleShape::Bucketed => "bucketed",
+    }
+}
+
+/// Column set matching [`point_row`] — one definition, used by both the
+/// sweep table and the `--full` paper-point table.
+const POINT_COLUMNS: [&str; 15] = [
+    "policy",
+    "shape",
+    "machines",
+    "slots",
+    "nodes",
+    "arcs",
+    "ladder_arcs",
+    "ladder_bound",
+    "cold_round_s",
+    "warm_round_median_s",
+    "warm_deltas",
+    "warm_repricings",
+    "race_skips",
+    "placed",
+    "unscheduled",
+];
+
+fn point_row(p: &ScalePoint, bound: usize) {
+    row(&[
+        p.spec.policy.name().into(),
+        shape_name(p.spec.shape).into(),
+        p.spec.machines.to_string(),
+        p.spec.slots.to_string(),
+        p.nodes.to_string(),
+        p.arcs.to_string(),
+        p.ladder_arcs.to_string(),
+        bound.to_string(),
+        format!("{:.4}", p.cold_round_s),
+        format!("{:.4}", p.warm_round_median_s()),
+        p.warm_deltas.to_string(),
+        p.warm_repricings.to_string(),
+        p.race_skips.to_string(),
+        p.placed.to_string(),
+        p.unscheduled.to_string(),
+    ]);
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut ok = true;
+
+    // ---- Graph-size / round-time sweep --------------------------------
+    header(&POINT_COLUMNS);
+    let machine_points = [
+        scale.machines(1250),
+        scale.machines(2500),
+        scale.machines(5000),
+    ];
+    let slot_points: [u32; 2] = [12, 48];
+    let mut shrink_ok = true;
+    for &machines in &machine_points {
+        for &slots in &slot_points {
+            for policy in ScalePolicy::ALL {
+                let mut per_shape = Vec::new();
+                for shape in [BundleShape::PerSlot, BundleShape::Bucketed] {
+                    let spec = ScalePointSpec {
+                        utilization: 0.5,
+                        churn_rounds: 3,
+                        seed: 7,
+                        ..ScalePointSpec::new(policy, shape, machines, slots)
+                    };
+                    let p = run_scale_point(&spec);
+                    let bound = ladder_arc_bound(machines, slots, shape);
+                    if p.ladder_arcs > bound {
+                        eprintln!(
+                            "# FAIL {policy:?}/{shape:?} {machines}x{slots}: \
+                             {} ladder arcs exceed the bound {bound}",
+                            p.ladder_arcs
+                        );
+                        ok = false;
+                    }
+                    point_row(&p, bound);
+                    per_shape.push(p.ladder_arcs);
+                }
+                // The compression must actually bite: ≥ 2× fewer ladder
+                // arcs than per-slot at 12+ slots.
+                if per_shape[1] * 2 > per_shape[0] {
+                    eprintln!(
+                        "# FAIL {policy:?} {machines}x{slots}: bucketed {} vs per-slot {} \
+                         ladder arcs — compression under 2x",
+                        per_shape[1], per_shape[0]
+                    );
+                    shrink_ok = false;
+                }
+            }
+        }
+    }
+    ok &= shrink_ok;
+
+    // ---- Placement quality: per-slot vs bucketed bursts ---------------
+    header(&[
+        "policy",
+        "machines",
+        "slots",
+        "burst",
+        "aligned",
+        "perslot_max",
+        "bucketed_max",
+        "perslot_cost",
+        "bucketed_cost",
+        "delta_per_task_units",
+    ]);
+    let (m, slots) = (8usize, 12u32);
+    for policy in ScalePolicy::ALL {
+        // k = 4 lands on a bucket boundary (1, 2, 4, 8, 12): zero delta.
+        // k = 2.5 (20 tasks) is unaligned: bounded by one step per task
+        // and by the bucket boundary above ⌈k⌉ per machine.
+        for &(tasks, aligned) in &[(4 * m, true), (20, false)] {
+            let q = burst_quality(policy, m, slots, tasks);
+            let per_task = q.per_task_units(policy, slots);
+            let fair = tasks.div_ceil(m);
+            row(&[
+                policy.name().into(),
+                m.to_string(),
+                slots.to_string(),
+                tasks.to_string(),
+                aligned.to_string(),
+                q.per_slot.max_load.to_string(),
+                q.bucketed.max_load.to_string(),
+                q.per_slot.true_cost.to_string(),
+                q.bucketed.true_cost.to_string(),
+                format!("{per_task:.3}"),
+            ]);
+            let placed_ok = |b: &BurstOutcome| b.placed == tasks;
+            if !placed_ok(&q.per_slot) || !placed_ok(&q.bucketed) {
+                eprintln!(
+                    "# FAIL {}: burst not fully placed in one round",
+                    policy.name()
+                );
+                ok = false;
+            }
+            if q.per_slot.max_load > fair + 1 {
+                eprintln!(
+                    "# FAIL {}: per-slot burst exceeded fair share + 1: {}",
+                    policy.name(),
+                    q.per_slot.max_load
+                );
+                ok = false;
+            }
+            if q.bucketed.max_load as i64 > bucket_ceiling(fair as i64) {
+                eprintln!(
+                    "# FAIL {}: bucketed burst exceeded the bucket boundary {}: {}",
+                    policy.name(),
+                    bucket_ceiling(fair as i64),
+                    q.bucketed.max_load
+                );
+                ok = false;
+            }
+            if aligned && q.delta != 0 {
+                eprintln!(
+                    "# FAIL {}: boundary-aligned burst deviated from the per-slot optimum by {}",
+                    policy.name(),
+                    q.delta
+                );
+                ok = false;
+            }
+            if per_task > 1.0 {
+                eprintln!(
+                    "# FAIL {}: quality delta {per_task:.3} marginal steps per task exceeds 1",
+                    policy.name()
+                );
+                ok = false;
+            }
+        }
+    }
+
+    // ---- The full-scale paper point (bucketed), only under --full -----
+    if scale.divisor == 1 {
+        header(&POINT_COLUMNS);
+        let spec = ScalePointSpec {
+            utilization: 0.5,
+            churn_rounds: 3,
+            seed: 7,
+            ..ScalePointSpec::new(
+                ScalePolicy::LoadSpreading,
+                BundleShape::Bucketed,
+                12_500,
+                12,
+            )
+        };
+        let p = run_scale_point(&spec);
+        let bound = ladder_arc_bound(12_500, 12, BundleShape::Bucketed);
+        ok &= p.ladder_arcs <= bound;
+        point_row(&p, bound);
+    }
+
+    verdict(
+        "scale_regression",
+        ok,
+        &format!(
+            "bucketed ladders hold aggregate→machine arcs at O(m·log s) \
+             (12 slots: 5 segments/machine vs 12) with burst quality within \
+             1 marginal step per task of the per-slot optimum{}",
+            if scale.divisor == 1 {
+                " — incl. the 12,500-machine paper point"
+            } else {
+                ""
+            }
+        ),
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

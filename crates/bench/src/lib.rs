@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scale;
+
 use firmament_cluster::{ClusterEvent, ClusterState, TopologySpec};
 use firmament_core::Firmament;
 use firmament_policies::CostModel;

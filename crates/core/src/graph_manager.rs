@@ -1948,6 +1948,183 @@ mod tests {
         assert_eq!(g.cost(slots[1]), 10);
     }
 
+    /// Capacity-bucketed ladders go through the same stable-slot path as
+    /// per-slot ladders: a load re-price patches the same 5 (not 12) arcs
+    /// in place and reaches the delta feed as pure `CostChanged` entries —
+    /// never structural churn, never capacity churn (bucket capacities
+    /// depend only on the slot count).
+    #[test]
+    fn bucketed_ladder_reprices_as_pure_cost_deltas() {
+        use firmament_policies::LoadSpreadingCostModel;
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 2,
+            machines_per_rack: 20,
+            slots_per_machine: 12,
+        });
+        let model = LoadSpreadingCostModel::bucketed();
+        let mut mgr = FlowGraphManager::new();
+        let mut ms: Vec<_> = state.machines.values().cloned().collect();
+        ms.sort_by_key(|m| m.id);
+        for m in ms {
+            mgr.apply_event(&model, &state, &ClusterEvent::MachineAdded { machine: m })
+                .unwrap();
+        }
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let tasks: Vec<Task> = (0..2).map(|i| Task::new(i, 0, 0, 1_000_000)).collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        mgr.apply_event(&model, &state, &ev).unwrap();
+        let slots: Vec<ArcId> = mgr.aggregate_machine_slots(0, 0).unwrap().to_vec();
+        assert_eq!(slots.len(), 5, "12 slots → 5 bucketed segments");
+        mgr.refresh(&model, &state).unwrap();
+        mgr.take_deltas();
+
+        let ev = ClusterEvent::TaskPlaced {
+            task: 0,
+            machine: 0,
+            now: 5,
+        };
+        state.apply(&ev);
+        mgr.apply_event(&model, &state, &ev).unwrap();
+        mgr.refresh(&model, &state).unwrap();
+        let after: Vec<ArcId> = mgr.aggregate_machine_slots(0, 0).unwrap().to_vec();
+        assert_eq!(slots, after, "bucket slots keep their identity");
+        let g = mgr.graph();
+        let caps: Vec<i64> = after.iter().map(|&a| g.capacity(a)).collect();
+        assert_eq!(caps, vec![1, 1, 2, 4, 4], "geometric capacities intact");
+        // Ladder shifted up by one standing task (marginal step 10).
+        assert_eq!(g.cost(after[0]), 10);
+        let batch = mgr.take_deltas();
+        let on_bundle = |arc: ArcId| after.contains(&arc);
+        assert!(batch
+            .deltas()
+            .iter()
+            .any(|d| matches!(d, GraphDelta::CostChanged { arc, .. } if on_bundle(*arc))));
+        assert!(
+            !batch.deltas().iter().any(|d| matches!(
+                d,
+                GraphDelta::ArcAdded { arc, .. }
+                    | GraphDelta::ArcRemoved { arc, .. }
+                    | GraphDelta::CapacityChanged { arc, .. }
+                if on_bundle(*arc)
+            )),
+            "a bucketed load re-price must be cost-only"
+        );
+    }
+
+    /// A bucketed ladder whose slot count tracks *free* slots, so every
+    /// placement/completion moves the bucket boundaries themselves.
+    struct BucketedDriftModel;
+
+    impl CostModel for BucketedDriftModel {
+        fn name(&self) -> &'static str {
+            "bucketed-drift"
+        }
+        fn task_unscheduled_cost(&self, _: &ClusterState, _: &Task) -> i64 {
+            100_000
+        }
+        fn task_arcs(&self, _: &ClusterState, _: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+            vec![(ArcTarget::Aggregate(AGG), ArcBundle::cost(1))]
+        }
+        fn aggregate_arc(
+            &self,
+            _: &ClusterState,
+            _: AggregateId,
+            machine: &Machine,
+        ) -> Option<ArcBundle> {
+            let running = machine.running.len() as i64;
+            let free = machine.slots as i64 - running;
+            Some(ArcBundle::bucketed(free, |j| 10 * (running + j)))
+        }
+        fn aggregate_kind(&self, _: AggregateId) -> NodeKind {
+            NodeKind::ClusterAggregator
+        }
+    }
+
+    /// Bucket-boundary drift under slot-count churn re-prices in place:
+    /// segment capacities and costs are patched on the cached slots (and
+    /// the tail parks/revives), with **no** `ArcAdded`/`ArcRemoved` in the
+    /// delta feed.
+    #[test]
+    fn bucketed_boundary_drift_reprices_in_place() {
+        let mut state = ClusterState::with_topology(&TopologySpec {
+            machines: 1,
+            machines_per_rack: 20,
+            slots_per_machine: 12,
+        });
+        let model = BucketedDriftModel;
+        let mut mgr = FlowGraphManager::new();
+        let m0 = state.machines.values().next().unwrap().clone();
+        mgr.apply_event(&model, &state, &ClusterEvent::MachineAdded { machine: m0 })
+            .unwrap();
+        let j = Job::new(0, JobClass::Batch, 0, 0);
+        let tasks: Vec<Task> = (0..6).map(|i| Task::new(i, 0, 0, 1_000_000)).collect();
+        let ev = ClusterEvent::JobSubmitted { job: j, tasks };
+        state.apply(&ev);
+        mgr.apply_event(&model, &state, &ev).unwrap();
+        let slots: Vec<ArcId> = mgr.aggregate_machine_slots(AGG, 0).unwrap().to_vec();
+        assert_eq!(slots.len(), 5, "12 free slots → 5 buckets");
+        mgr.refresh(&model, &state).unwrap();
+        mgr.take_deltas();
+
+        // Four placements: free 12 → 8, buckets [1,1,2,4,4] → [1,1,2,4]
+        // — the last slot parks, the others re-price/re-size in place.
+        for t in 0..4u64 {
+            let ev = ClusterEvent::TaskPlaced {
+                task: t,
+                machine: 0,
+                now: 5 + t,
+            };
+            state.apply(&ev);
+            mgr.apply_event(&model, &state, &ev).unwrap();
+        }
+        mgr.refresh(&model, &state).unwrap();
+        let after: Vec<ArcId> = mgr.aggregate_machine_slots(AGG, 0).unwrap().to_vec();
+        assert_eq!(slots, after, "boundary drift keeps slot identity");
+        let g = mgr.graph();
+        let caps: Vec<i64> = after.iter().map(|&a| g.capacity(a)).collect();
+        assert_eq!(caps, vec![1, 1, 2, 4, 0], "tail parked, not removed");
+        assert_eq!(g.cost(after[0]), 40, "ladder re-anchored at load 4");
+        let batch = mgr.take_deltas();
+        // The placements themselves rewire task arcs (legitimate structural
+        // deltas); the *bundle* slots must only see cost/capacity patches.
+        let on_bundle = |arc: ArcId| after.contains(&arc);
+        assert!(
+            !batch.deltas().iter().any(|d| matches!(
+                d,
+                GraphDelta::ArcAdded { arc, .. } | GraphDelta::ArcRemoved { arc, .. }
+                if on_bundle(*arc)
+            )),
+            "drifted boundaries must not churn bundle structure: {:?}",
+            batch.deltas()
+        );
+        assert!(batch
+            .deltas()
+            .iter()
+            .any(|d| matches!(d, GraphDelta::CostChanged { arc, .. } if on_bundle(*arc))));
+        assert!(batch
+            .deltas()
+            .iter()
+            .any(|d| matches!(d, GraphDelta::CapacityChanged { arc, .. } if on_bundle(*arc))));
+
+        // Completions drift the boundaries back; the parked slot revives.
+        for t in 0..4u64 {
+            let ev = ClusterEvent::TaskCompleted {
+                task: t,
+                now: 20 + t,
+            };
+            state.apply(&ev);
+            mgr.apply_event(&model, &state, &ev).unwrap();
+        }
+        mgr.refresh(&model, &state).unwrap();
+        let revived: Vec<ArcId> = mgr.aggregate_machine_slots(AGG, 0).unwrap().to_vec();
+        assert_eq!(slots, revived);
+        let g = mgr.graph();
+        let caps: Vec<i64> = revived.iter().map(|&a| g.capacity(a)).collect();
+        assert_eq!(caps, vec![1, 1, 2, 4, 4], "full ladder revived in place");
+        assert_eq!(g.cost(revived[0]), 0);
+    }
+
     /// Models that declare decreasing-cost ladders are rejected with the
     /// typed error, from every hook.
     struct NonConvexModel {

@@ -64,6 +64,12 @@ pub struct SolverStats {
     /// Warm-start safety-valve trips this round (the warm attempt was
     /// abandoned for a bounded cold re-solve).
     pub bailouts: u64,
+    /// `true` when the speculative dual race was short-circuited: the
+    /// round's batch was re-price-only with no exposed violation (all cost
+    /// rises on flowless arcs — the convex-ladder clock-advance shape), so
+    /// only the warm cost-scaling path ran, in O(Δ), and no relaxation
+    /// thread (or graph clone) was spawned.
+    pub race_skipped: bool,
     /// Which MCMF algorithm won the speculative race — a convenience copy
     /// of [`RoundOutcome::winner`] so this struct is self-contained when
     /// logged on its own.
@@ -292,6 +298,7 @@ impl<C: CostModel> Firmament<C> {
                 nodes_touched: cs.map(|s| s.nodes_touched).unwrap_or(0),
                 iterations: cs.map(|s| s.iterations).unwrap_or(0),
                 bailouts: cs.map(|s| s.bailouts).unwrap_or(0),
+                race_skipped: outcome.race_skipped,
                 winner: Some(outcome.winner),
             },
             objective: outcome.solution.objective,
@@ -457,6 +464,41 @@ mod tests {
             "no changes → no actions, got {:?}",
             o2.actions
         );
+    }
+
+    /// The re-price-only race short-circuit, end to end: once everything
+    /// is placed, a pure clock advance only *raises* costs on flowless
+    /// arcs (wait-scaled unscheduled costs of placed tasks, upper ladder
+    /// segments), so the round is proven quiescent and the dual executor
+    /// runs the warm path alone — `RoundOutcome::solver.race_skipped`
+    /// records the skip, and the placements stay put.
+    #[test]
+    fn reprice_only_clock_advance_skips_the_race() {
+        let (mut state, mut f) = setup(3, 2);
+        submit(&mut state, &mut f, 0, 4, 600_000_000);
+        let o1 = f.schedule(&state).unwrap();
+        assert!(!o1.solver.race_skipped, "structural round races");
+        apply_actions(&mut state, &mut f, &o1.actions.clone());
+        // Settle the post-placement round (structural task-arc rewires).
+        let o2 = f.schedule(&state).unwrap();
+        apply_actions(&mut state, &mut f, &o2.actions.clone());
+
+        // Pure clock advance: every surviving cost change is a wait-cost
+        // rise on a flowless arc.
+        let ev = ClusterEvent::Tick { now: 30_000_000 };
+        state.apply(&ev);
+        f.handle_event(&state, &ev).unwrap();
+        let o3 = f.schedule(&state).unwrap();
+        assert!(
+            o3.solver.race_skipped,
+            "re-price-only round must skip the race: {:?}",
+            o3.solver
+        );
+        assert_eq!(
+            o3.solver.repricings, o3.solver.deltas_fed,
+            "the whole batch is cost drift"
+        );
+        assert!(o3.actions.is_empty(), "no churn on a quiescent round");
     }
 
     #[test]

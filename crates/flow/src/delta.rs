@@ -607,6 +607,22 @@ impl DeltaBatch {
             .count()
     }
 
+    /// `true` when the whole batch is cost drift: every delta is a
+    /// [`GraphDelta::CostChanged`] (vacuously true for an empty, fully
+    /// quiescent batch). No structure moved, no capacity changed, no flow
+    /// was disturbed — the shape a pure clock-advance round produces when
+    /// convex-ladder costs drift under load.
+    ///
+    /// A re-price-only batch *may* still expose a reduced-cost violation
+    /// (a cost fall, or a rise on a flow-carrying arc); whether the round
+    /// is provably quiescent additionally needs the flow state — see
+    /// `DualSolver`'s re-price-only race short-circuit.
+    pub fn is_reprice_only(&self) -> bool {
+        self.deltas
+            .iter()
+            .all(|d| matches!(d, GraphDelta::CostChanged { .. }))
+    }
+
     /// Replays the batch onto `graph`, which must be a snapshot of the
     /// state the batch was recorded against. Reproduces structure exactly
     /// (ids included); does not touch flow except where capacity clamps

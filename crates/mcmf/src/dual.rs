@@ -68,6 +68,12 @@ pub struct DualOutcome {
     /// (even as the race loser) — the delta-fed warm-start telemetry
     /// (nodes touched, bailouts) surfaced on `RoundOutcome`.
     pub cs_stats: Option<crate::common::SolveStats>,
+    /// `true` when a configured dual race was short-circuited because the
+    /// round's delta batch was re-price-only and provably quiescent (no
+    /// exposed reduced-cost violation): the warm cost-scaling path ran
+    /// alone in O(Δ) and no relaxation thread was spawned. Always `false`
+    /// for single-algorithm configurations (nothing was skipped).
+    pub race_skipped: bool,
 }
 
 /// Firmament's MCMF solver: speculative execution of relaxation and
@@ -155,6 +161,7 @@ impl DualSolver {
                         solution: sol,
                         graph: g,
                         cs_stats: None,
+                        race_skipped: false,
                     }),
                     Err(e) => Err((e, g)),
                 }
@@ -167,6 +174,7 @@ impl DualSolver {
                         cs_stats: Some(sol.stats.clone()),
                         solution: sol,
                         graph: g,
+                        race_skipped: false,
                     }),
                     Err(e) => Err((e, g)),
                 }
@@ -182,6 +190,30 @@ impl DualSolver {
         deltas: Option<&DeltaBatch>,
         opts: &SolveOptions,
     ) -> Result<DualOutcome, (SolveError, FlowGraph)> {
+        // Re-price-only short-circuit (ROADMAP "re-price-only rounds could
+        // skip the solver race"): a round whose whole batch is cost drift
+        // and exposes no reduced-cost violation — every change a cost rise
+        // on a flowless arc, the common convex-ladder shape under rising
+        // load — leaves the warm solver's certificate intact. The warm
+        // path proves quiescence in O(Δ); spinning up the relaxation race
+        // (plus its full graph clone) would only burn a cold solve to
+        // reach the same optimum. Falls/flow-carrying rises may expose
+        // violations, so those rounds still race.
+        if let Some(batch) = deltas {
+            if self.incremental.is_warm() && reprice_only_quiescent(&graph, batch) {
+                let mut g = graph;
+                return match self.incremental.solve_with_deltas(&mut g, deltas, opts) {
+                    Ok(sol) => Ok(DualOutcome {
+                        winner: sol.algorithm,
+                        cs_stats: Some(sol.stats.clone()),
+                        solution: sol,
+                        graph: g,
+                        race_skipped: true,
+                    }),
+                    Err(e) => Err((e, g)),
+                };
+            }
+        }
         let cancel_relax = CancelToken::new();
         let cancel_cs = CancelToken::new();
         let mut relax_opts = opts.clone();
@@ -264,6 +296,7 @@ impl DualSolver {
                         solution: rs,
                         graph: rg,
                         cs_stats,
+                        race_skipped: false,
                     }
                 } else {
                     DualOutcome {
@@ -271,6 +304,7 @@ impl DualSolver {
                         solution: cs,
                         graph: cg,
                         cs_stats,
+                        race_skipped: false,
                     }
                 }
             }
@@ -279,12 +313,14 @@ impl DualSolver {
                 solution: rs,
                 graph: rg,
                 cs_stats,
+                race_skipped: false,
             },
             ((Err(_), _), (Ok(cs), cg)) => DualOutcome {
                 winner: cs.algorithm,
                 solution: cs,
                 graph: cg,
                 cs_stats,
+                race_skipped: false,
             },
             ((Err(re), _), (Err(ce), cg)) => {
                 // Both failed: propagate the more informative error and
@@ -315,6 +351,31 @@ impl DualSolver {
         }
         Ok(outcome)
     }
+}
+
+/// Whether a re-price-only batch provably exposes **no** reduced-cost
+/// violation against the warm certificate, without consulting prices:
+///
+/// - a cost *rise* on a *flowless* arc only grows the forward reduced
+///   cost, and the reverse residual has no capacity — nothing to repair;
+/// - a cost *fall* may push the forward residual's reduced cost negative;
+/// - a rise on a *flow-carrying* arc may do the same to the reverse
+///   residual.
+///
+/// Only the first shape is accepted; it is exactly what convex-ladder
+/// upper segments produce as load rises, so pure clock-advance rounds
+/// qualify while anything that could move flow still races. (The warm
+/// solver reaches the same conclusion from its prices; this check is the
+/// cheap, price-free sufficient condition.)
+fn reprice_only_quiescent(graph: &FlowGraph, batch: &DeltaBatch) -> bool {
+    // The `_ => false` arm is `DeltaBatch::is_reprice_only` folded into
+    // the single pass: any structural/capacity/flow delta disqualifies.
+    batch.deltas().iter().all(|d| match *d {
+        firmament_flow::delta::GraphDelta::CostChanged { arc, old, new } => {
+            new >= old && graph.arc_alive(arc) && graph.flow(arc) == 0
+        }
+        _ => false,
+    })
 }
 
 #[cfg(test)]
@@ -384,6 +445,104 @@ mod tests {
             .unwrap();
         let after: Vec<i64> = inst.graph.arc_ids().map(|a| inst.graph.flow(a)).collect();
         assert_eq!(before, after);
+    }
+
+    /// The re-price-only short-circuit (ROADMAP item): a warm round whose
+    /// batch is all flowless cost rises must skip the relaxation race and
+    /// run the warm path only — in O(Δ), touching nothing.
+    #[test]
+    fn reprice_only_round_skips_the_race() {
+        let mut inst = scheduling_instance(21, &InstanceSpec::default());
+        let mut solver = DualSolver::default();
+        let out = solver
+            .solve_owned(inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+        assert!(!out.race_skipped, "first (structural) round races");
+        inst.graph = out.graph;
+
+        // Pure cost drift: raise every flowless non-sink arc, the shape a
+        // convex ladder produces as load rises.
+        inst.graph.set_change_tracking(true);
+        let arcs: Vec<_> = inst.graph.arc_ids().collect();
+        let mut bumped = 0;
+        for a in arcs {
+            if inst.graph.flow(a) == 0 && inst.graph.dst(a) != inst.sink {
+                let c = inst.graph.cost(a);
+                inst.graph.set_arc_cost(a, c + 7).unwrap();
+                bumped += 1;
+            }
+        }
+        assert!(bumped > 0);
+        let batch = DeltaBatch::compact(inst.graph.take_changes());
+        assert!(batch.is_reprice_only());
+        let before = inst.graph.objective();
+        let out = solver
+            .solve_owned_with_deltas(inst.graph, Some(&batch), &SolveOptions::unlimited())
+            .unwrap();
+        assert!(out.race_skipped, "proven-quiescent round must not race");
+        assert_eq!(out.winner, AlgorithmKind::IncrementalCostScaling);
+        assert_eq!(out.solution.objective, before, "flow untouched");
+        assert_eq!(
+            out.cs_stats.as_ref().unwrap().nodes_touched,
+            0,
+            "warm path proves quiescence without repair work"
+        );
+        assert!(is_optimal(&out.graph));
+    }
+
+    /// A fully quiescent round (empty batch) also skips the race.
+    #[test]
+    fn empty_batch_round_skips_the_race() {
+        let inst = scheduling_instance(22, &InstanceSpec::default());
+        let mut solver = DualSolver::default();
+        let out = solver
+            .solve_owned(inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+        let out = solver
+            .solve_owned_with_deltas(
+                out.graph,
+                Some(&DeltaBatch::empty()),
+                &SolveOptions::unlimited(),
+            )
+            .unwrap();
+        assert!(out.race_skipped);
+        assert!(is_optimal(&out.graph));
+    }
+
+    /// A cost *fall* (or a rise on a flow-carrying arc) may expose a
+    /// violation, so those re-price-only rounds still run the full race —
+    /// and still land on the re-priced optimum.
+    #[test]
+    fn exposing_repricings_still_race() {
+        let mut inst = scheduling_instance(23, &InstanceSpec::default());
+        let mut solver = DualSolver::default();
+        let out = solver
+            .solve_owned(inst.graph, &SolveOptions::unlimited())
+            .unwrap();
+        inst.graph = out.graph;
+        inst.graph.set_change_tracking(true);
+        // Make one flowless arc drastically cheaper: the optimum may move.
+        let a = inst
+            .graph
+            .arc_ids()
+            .find(|&a| {
+                inst.graph.flow(a) == 0 && inst.graph.dst(a) != inst.sink && inst.graph.cost(a) > 0
+            })
+            .unwrap();
+        inst.graph.set_arc_cost(a, 0).unwrap();
+        let batch = DeltaBatch::compact(inst.graph.take_changes());
+        assert!(batch.is_reprice_only(), "still a pure re-price batch");
+        let out = solver
+            .solve_owned_with_deltas(inst.graph, Some(&batch), &SolveOptions::unlimited())
+            .unwrap();
+        assert!(
+            !out.race_skipped,
+            "a cost fall can expose a violation — must race"
+        );
+        assert!(is_optimal(&out.graph));
+        let mut fresh = out.graph.clone();
+        let scratch = crate::cost_scaling::solve(&mut fresh, &SolveOptions::unlimited()).unwrap();
+        assert_eq!(out.solution.objective, scratch.objective);
     }
 
     #[test]

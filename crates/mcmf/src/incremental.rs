@@ -1103,6 +1103,86 @@ mod tests {
         }
     }
 
+    /// Baseline for the ROADMAP "warm-start cascade on drain-heavy
+    /// bursts" gap (discovered during PR 3): when a §5.3.2 drain frees a
+    /// slot that a *waiting* task should take, the re-exposed arc violates
+    /// by ≈ `F·c_unsched`, the ε-schedule runs near its full depth, and
+    /// the coarse-ε discharge disturbs a large region — so warm work on a
+    /// drain-then-backfill script is nowhere near the order-of-magnitude
+    /// win structural-only rounds see.
+    ///
+    /// This test *pins the current bounded ratio* (warm ≤ 2× scratch
+    /// iterations — the safety valve guarantees ≤ 4× in the worst case)
+    /// so the future fix — a bounded cycle-cancel (the repair is usually a
+    /// 4-arc augmenting cycle) or a zero-reduced-cost push lookahead —
+    /// has a measured baseline to beat. When that lands, tighten the
+    /// bound here toward the structural-round ratio (~0.1×).
+    #[test]
+    fn drain_backfill_cascade_baseline_for_cycle_cancel_fix() {
+        for seed in [3, 11, 19] {
+            // Oversubscribed: 200 tasks on 180 slots, so ~20 tasks wait on
+            // their unscheduled arcs when the instance is solved.
+            let spec = InstanceSpec {
+                tasks: 200,
+                machines: 30,
+                slots_per_machine: 6,
+                ..InstanceSpec::default()
+            };
+            let mut inst = scheduling_instance(seed, &spec);
+            let mut inc = IncrementalCostScaling::default();
+            inc.solve(&mut inst.graph, &SolveOptions::unlimited())
+                .unwrap();
+
+            // Drain-then-backfill: placed tasks complete, freeing slots a
+            // waiting task should take (a real optimality move worth
+            // `c_unsched − c_pref` per backfill).
+            inst.graph.set_change_tracking(true);
+            let victims: Vec<NodeId> = inst
+                .tasks
+                .iter()
+                .copied()
+                .filter(|&t| {
+                    inst.graph.adj(t).iter().any(|&a| {
+                        a.is_forward()
+                            && inst.graph.flow(a) > 0
+                            && inst.graph.dst(a) != inst.unscheduled
+                    })
+                })
+                .take(10)
+                .collect();
+            assert_eq!(victims.len(), 10, "seed {seed}: need placed victims");
+            for t in victims {
+                drain_task_flow(&mut inst.graph, t);
+                inst.graph.remove_node(t).unwrap();
+                let d = inst.graph.supply(inst.sink);
+                inst.graph.set_supply(inst.sink, d + 1).unwrap();
+                grow_unscheduled_capacity(&mut inst, -1);
+            }
+            let batch = DeltaBatch::compact(inst.graph.take_changes());
+
+            let mut scratch_graph = inst.graph.clone();
+            let scratch =
+                crate::cost_scaling::solve(&mut scratch_graph, &SolveOptions::unlimited()).unwrap();
+            let warm = inc
+                .solve_with_deltas(&mut inst.graph, Some(&batch), &SolveOptions::unlimited())
+                .unwrap();
+            assert!(is_optimal(&inst.graph), "seed {seed}");
+            assert_eq!(warm.objective, scratch.objective, "seed {seed}");
+            // The backfill actually happened: the freed capacity is used
+            // by previously-unscheduled flow (objective strictly better
+            // than leaving the drained slots empty would allow is implied
+            // by optimality; here we just pin the work ratio).
+            assert!(
+                warm.stats.iterations <= 2 * scratch.stats.iterations.max(1),
+                "seed {seed}: drain-backfill warm work {} exceeds the pinned \
+                 2x scratch baseline {} — if this got *better*, tighten the \
+                 bound (ROADMAP: warm-start cascade on drain-heavy bursts)",
+                warm.stats.iterations,
+                scratch.stats.iterations
+            );
+        }
+    }
+
     /// The safety valve: a warm solve capped at a tiny work multiple must
     /// fall back to a cold solve and still return the optimum.
     #[test]

@@ -213,6 +213,80 @@ impl ArcBundle {
         }
     }
 
+    /// The capacity-bucketed compression of a per-slot convex ladder:
+    /// `O(log slots)` segments with **geometrically growing capacities**
+    /// (1, 1, 2, 4, 8, …, last bucket truncated), each priced at the
+    /// rounded *mean* of the per-slot marginal costs it covers.
+    ///
+    /// This is the classic convex-cost-to-arcs compression: a per-slot
+    /// ladder multiplies aggregate → machine arcs by the slot count
+    /// (12 500 machines × 12 slots = 150 000 parallel arcs for
+    /// load-spreading alone), while the bucketed form holds the arc count
+    /// at `⌈log₂ slots⌉ + 1` segments per machine (12 slots → 5) and
+    /// still realizes the declared convex cost:
+    ///
+    /// - **Convexity is preserved**: `marginal_cost` must be
+    ///   non-decreasing over `0..slots` (the per-slot convexity contract);
+    ///   bucket means of a non-decreasing sequence are non-decreasing, and
+    ///   round-half-up is monotone, so the bucketed ladder always passes
+    ///   the manager's `NonConvexBundle` validation.
+    /// - **Cost fidelity**: for any load ending on a bucket boundary, the
+    ///   bucketed total equals the per-slot total up to mean-rounding —
+    ///   strictly less than 1 cost unit per task. Inside a bucket the
+    ///   deviation is bounded by the bucket's marginal spread, i.e. one
+    ///   ladder step per task for linearly rising marginals (the
+    ///   `scale_regression` suite pins both bounds against the per-slot
+    ///   optimum on exact instances).
+    /// - **Spreading granularity**: with equal machines, a one-round burst
+    ///   still fills every machine's cheap buckets before anyone's
+    ///   expensive ones; balance is exact whenever the per-machine fair
+    ///   share lands on a bucket boundary (1, 2, 4, 8, …, slots) and
+    ///   bucket-granular otherwise — the deliberate trade for O(log)
+    ///   arcs.
+    ///
+    /// The segment *count* depends only on `slots`, never on the costs, so
+    /// re-pricing a bucketed bundle under load drift patches the same
+    /// slots in place (pure `CostChanged` deltas) — the bundle's stable
+    /// slot identity is exactly that of the per-slot form.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use firmament_policies::ArcBundle;
+    ///
+    /// // The linear load ladder 10·j over 12 slots compresses 12 → 5
+    /// // segments with capacities 1, 1, 2, 4, 4.
+    /// let b = ArcBundle::bucketed(12, |j| 10 * j);
+    /// assert_eq!(b.segments().len(), 5);
+    /// assert_eq!(b.total_capacity(), 12);
+    /// assert!(b.is_convex());
+    /// let caps: Vec<i64> = b.segments().iter().map(|s| s.capacity).collect();
+    /// assert_eq!(caps, vec![1, 1, 2, 4, 4]);
+    /// // Bucket [4, 8) is priced at the mean of 40, 50, 60, 70.
+    /// assert_eq!(b.segments()[3].cost, 55);
+    /// ```
+    pub fn bucketed(slots: i64, marginal_cost: impl Fn(i64) -> i64) -> Self {
+        let mut segments = Vec::new();
+        let mut lo = 0i64;
+        let mut cap = 1i64;
+        while lo < slots {
+            let width = cap.min(slots - lo);
+            let sum: i64 = (lo..lo + width).map(&marginal_cost).sum();
+            // Round-half-up mean; monotone in the exact mean, so convexity
+            // of the marginals carries over to the bucket costs.
+            let cost = (2 * sum + width).div_euclid(2 * width);
+            segments.push(ArcSpec {
+                capacity: width,
+                cost,
+            });
+            lo += width;
+            if segments.len() >= 2 {
+                cap *= 2;
+            }
+        }
+        ArcBundle { segments }
+    }
+
     /// The ordered segments.
     pub fn segments(&self) -> &[ArcSpec] {
         &self.segments
@@ -251,6 +325,66 @@ impl From<ArcSpec> for ArcBundle {
     fn from(spec: ArcSpec) -> Self {
         ArcBundle {
             segments: vec![spec],
+        }
+    }
+}
+
+/// How a load-based cost model materializes its convex per-slot cost
+/// ladders — the graph-size knob for full-scale clusters.
+///
+/// The shipped load-based models ([`LoadSpreadingCostModel`],
+/// [`OctopusCostModel`], [`HierarchicalTopologyCostModel`]) declare one
+/// rising marginal cost per machine slot. `PerSlot` materializes exactly
+/// that — one capacity-1 arc per slot, slot-exact spreading, `O(m·s)`
+/// aggregate → machine arcs. `Bucketed` compresses each ladder via
+/// [`ArcBundle::bucketed`] into `O(log s)` geometric-capacity segments —
+/// `O(m·log s)` arcs, within one ladder step per task of the per-slot
+/// optimum, bucket-granular spreading. At the paper's 12 500-machine ×
+/// 12-slot scale that is 62 500 ladder arcs instead of 150 000.
+///
+/// [`LoadSpreadingCostModel`]: crate::LoadSpreadingCostModel
+/// [`OctopusCostModel`]: crate::OctopusCostModel
+/// [`HierarchicalTopologyCostModel`]: crate::HierarchicalTopologyCostModel
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BundleShape {
+    /// One capacity-1 segment per slot: slot-exact within-round spreading
+    /// at `O(slots)` arcs per bundle (the default).
+    #[default]
+    PerSlot,
+    /// Geometric capacity buckets ([`ArcBundle::bucketed`]): `O(log slots)`
+    /// arcs per bundle, placement quality within ~1 ladder step per task.
+    Bucketed,
+}
+
+impl BundleShape {
+    /// Materializes a convex ladder over `slots` units with the given
+    /// per-unit marginal cost, in this shape. The single constructor the
+    /// load-based models route their ladders through, so a shape knob is
+    /// one field instead of per-hook branching.
+    pub fn ladder(self, slots: i64, marginal_cost: impl Fn(i64) -> i64) -> ArcBundle {
+        match self {
+            BundleShape::PerSlot => ArcBundle::ladder((0..slots.max(0)).map(marginal_cost)),
+            BundleShape::Bucketed => ArcBundle::bucketed(slots.max(0), marginal_cost),
+        }
+    }
+
+    /// Upper bound on the number of segments [`ladder`](Self::ladder)
+    /// produces for `slots` units: `slots` for `PerSlot`,
+    /// `⌈log₂ slots⌉ + 1` for `Bucketed`. The quantity the
+    /// `scale_regression` suite asserts per machine.
+    pub fn max_segments(self, slots: i64) -> usize {
+        let slots = slots.max(0);
+        match self {
+            BundleShape::PerSlot => slots as usize,
+            BundleShape::Bucketed => {
+                if slots <= 1 {
+                    slots as usize
+                } else {
+                    // ⌈log₂ slots⌉ + 1, computed without floats.
+                    let ceil_log2 = 64 - (slots - 1).leading_zeros() as usize;
+                    (ceil_log2 + 1).min(slots as usize)
+                }
+            }
         }
     }
 }
@@ -588,6 +722,87 @@ mod tests {
         // Empty and single-segment bundles are trivially convex.
         assert!(ArcBundle::from_segments(Vec::new()).is_convex());
         assert!(ArcBundle::single(10, -5).is_convex());
+    }
+
+    #[test]
+    fn bucketed_capacities_grow_geometrically() {
+        for slots in 1..=64i64 {
+            let b = ArcBundle::bucketed(slots, |j| j);
+            assert_eq!(b.total_capacity(), slots, "capacity preserved");
+            assert!(b.is_convex(), "slots {slots}");
+            assert!(
+                b.segments().len() <= BundleShape::Bucketed.max_segments(slots),
+                "slots {slots}: {} segments exceed the ⌈log₂⌉+1 bound {}",
+                b.segments().len(),
+                BundleShape::Bucketed.max_segments(slots)
+            );
+            // Capacities are 1, 1, 2, 4, … with only the last truncated.
+            let caps: Vec<i64> = b.segments().iter().map(|s| s.capacity).collect();
+            for (i, w) in caps.iter().enumerate() {
+                let full = if i < 2 { 1i64 } else { 1 << (i - 1) };
+                if i + 1 < caps.len() {
+                    assert_eq!(*w, full, "slots {slots} bucket {i}");
+                } else {
+                    assert!(*w <= full, "slots {slots} last bucket over-wide");
+                }
+            }
+        }
+        // The acceptance example: 12 slots → 5 segments instead of 12.
+        assert_eq!(ArcBundle::bucketed(12, |j| 10 * j).segments().len(), 5);
+    }
+
+    #[test]
+    fn bucketed_prices_boundary_loads_within_rounding() {
+        // At every bucket boundary, the bucketed prefix total equals the
+        // per-slot prefix total up to strictly-less-than-1-per-task mean
+        // rounding (exact for these linear marginals, whose bucket sums
+        // divide evenly or round by < width/2).
+        let f = |j: i64| 7 * j + 3;
+        let slots = 32i64;
+        let b = ArcBundle::bucketed(slots, f);
+        let mut boundary = 0i64;
+        let mut bucketed_total = 0i64;
+        for seg in b.segments() {
+            boundary += seg.capacity;
+            bucketed_total += seg.capacity * seg.cost;
+            let per_slot_total: i64 = (0..boundary).map(f).sum();
+            assert!(
+                (bucketed_total - per_slot_total).abs() < boundary,
+                "boundary {boundary}: bucketed {bucketed_total} vs per-slot {per_slot_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucketed_handles_degenerate_slot_counts() {
+        assert!(ArcBundle::bucketed(0, |_| 1).is_empty());
+        let one = ArcBundle::bucketed(1, |j| 10 * j);
+        assert_eq!(
+            one.segments(),
+            &[ArcSpec {
+                capacity: 1,
+                cost: 0
+            }]
+        );
+        // Flat marginals stay flat (convex, equal-cost buckets).
+        let flat = ArcBundle::bucketed(8, |_| 5);
+        assert!(flat.is_convex());
+        assert!(flat.segments().iter().all(|s| s.cost == 5));
+    }
+
+    #[test]
+    fn shape_ladder_dispatches_and_bounds() {
+        let per_slot = BundleShape::PerSlot.ladder(6, |j| j);
+        assert_eq!(per_slot.segments().len(), 6);
+        assert_eq!(per_slot, ArcBundle::ladder(0..6));
+        let bucketed = BundleShape::Bucketed.ladder(6, |j| j);
+        assert_eq!(bucketed, ArcBundle::bucketed(6, |j| j));
+        assert!(bucketed.segments().len() < per_slot.segments().len());
+        assert_eq!(BundleShape::PerSlot.max_segments(12), 12);
+        assert_eq!(BundleShape::Bucketed.max_segments(12), 5);
+        assert_eq!(BundleShape::Bucketed.max_segments(1), 1);
+        assert_eq!(BundleShape::Bucketed.max_segments(0), 0);
+        assert_eq!(BundleShape::default(), BundleShape::PerSlot);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! topology-aware policies scale (§3.3, Fig 6).
 
 use crate::cost_model::{
-    rack_capacities, wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, CostModel,
+    rack_capacities, wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, BundleShape, CostModel,
 };
 use firmament_cluster::{ClusterState, Machine, RackId, Task};
 use firmament_flow::NodeKind;
@@ -54,6 +54,9 @@ pub struct TopologyConfig {
     pub base_unscheduled_cost: i64,
     /// Unscheduled-cost growth per second of waiting.
     pub wait_cost_per_sec: i64,
+    /// How the rack → machine load ladders are materialized: per-slot arcs
+    /// or capacity-bucketed `O(log slots)` segments (full-scale clusters).
+    pub shape: BundleShape,
 }
 
 impl Default for TopologyConfig {
@@ -63,6 +66,7 @@ impl Default for TopologyConfig {
             machine_load_cost: 10,
             base_unscheduled_cost: 100_000,
             wait_cost_per_sec: 100,
+            shape: BundleShape::PerSlot,
         }
     }
 }
@@ -109,6 +113,15 @@ impl HierarchicalTopologyCostModel {
     pub fn with_config(config: TopologyConfig) -> Self {
         HierarchicalTopologyCostModel { config }
     }
+
+    /// Default tuning with capacity-bucketed rack → machine ladders
+    /// ([`BundleShape::Bucketed`]): `O(log slots)` arcs per machine.
+    pub fn bucketed() -> Self {
+        HierarchicalTopologyCostModel::with_config(TopologyConfig {
+            shape: BundleShape::Bucketed,
+            ..TopologyConfig::default()
+        })
+    }
 }
 
 impl CostModel for HierarchicalTopologyCostModel {
@@ -143,9 +156,9 @@ impl CostModel for HierarchicalTopologyCostModel {
     ) -> Option<ArcBundle> {
         (aggregate != ROOT_AGG && agg_rack(aggregate) == machine.rack).then(|| {
             let running = machine.running.len() as i64;
-            ArcBundle::ladder(
-                (0..machine.slots as i64).map(|j| self.config.machine_load_cost * (running + j)),
-            )
+            self.config.shape.ladder(machine.slots as i64, |j| {
+                self.config.machine_load_cost * (running + j)
+            })
         })
     }
 

@@ -58,7 +58,9 @@ pub mod network_aware;
 pub mod octopus;
 pub mod quincy;
 
-pub use cost_model::{rack_capacities, AggregateId, ArcBundle, ArcSpec, ArcTarget, CostModel};
+pub use cost_model::{
+    rack_capacities, AggregateId, ArcBundle, ArcSpec, ArcTarget, BundleShape, CostModel,
+};
 pub use hierarchy::{HierarchicalTopologyCostModel, TopologyConfig};
 pub use load_spreading::LoadSpreadingCostModel;
 pub use network_aware::NetworkAwareCostModel;

@@ -24,7 +24,9 @@
 //! and with them the re-priced arcs — catch up. The `convex_spreading`
 //! bench bin demonstrates the difference.
 
-use crate::cost_model::{wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, CostModel};
+use crate::cost_model::{
+    wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, BundleShape, CostModel,
+};
 use firmament_cluster::{ClusterState, Machine, Task};
 use firmament_flow::NodeKind;
 
@@ -44,13 +46,35 @@ pub struct LoadSpreadingCostModel {
     /// `false` keeps the legacy single-segment (uniform-cost) arcs whose
     /// spreading only bites across rounds.
     convex: bool,
+    /// How the convex ladder is materialized: per-slot arcs (slot-exact
+    /// spreading) or capacity-bucketed `O(log slots)` segments (the
+    /// full-cluster-scale shape). Ignored by the uniform variant.
+    shape: BundleShape,
 }
 
 impl LoadSpreadingCostModel {
     /// Creates the cost model with convex per-slot ladders (one-round
     /// spreading) — the default.
     pub fn new() -> Self {
-        LoadSpreadingCostModel { convex: true }
+        LoadSpreadingCostModel {
+            convex: true,
+            shape: BundleShape::PerSlot,
+        }
+    }
+
+    /// Creates the cost model with convex ladders in the given
+    /// [`BundleShape`] — `Bucketed` holds aggregate → machine arcs at
+    /// `O(machines · log slots)` for full-scale clusters.
+    pub fn with_shape(shape: BundleShape) -> Self {
+        LoadSpreadingCostModel {
+            convex: true,
+            shape,
+        }
+    }
+
+    /// Shorthand for [`with_shape`](Self::with_shape)`(BundleShape::Bucketed)`.
+    pub fn bucketed() -> Self {
+        Self::with_shape(BundleShape::Bucketed)
     }
 
     /// Creates the pre-bundle uniform-cost variant: a single segment per
@@ -58,16 +82,33 @@ impl LoadSpreadingCostModel {
     /// baseline for the `convex_spreading` bench — uniform costs pack a
     /// burst instead of spreading it within the round.
     pub fn uniform() -> Self {
-        LoadSpreadingCostModel { convex: false }
+        LoadSpreadingCostModel {
+            convex: false,
+            shape: BundleShape::PerSlot,
+        }
+    }
+
+    /// The ladder shape this model materializes.
+    pub fn shape(&self) -> BundleShape {
+        self.shape
+    }
+
+    /// The per-slot marginal cost of the `j`-th additional task on a
+    /// machine already running `running` tasks — the ladder both shapes
+    /// realize (exactly for `PerSlot`, bucket-mean for `Bucketed`).
+    /// Public so quality harnesses can evaluate placements under the true
+    /// convex cost.
+    pub fn marginal_cost(running: i64, j: i64) -> i64 {
+        COST_PER_TASK * (running + j)
     }
 }
 
 impl CostModel for LoadSpreadingCostModel {
     fn name(&self) -> &'static str {
-        if self.convex {
-            "load-spreading"
-        } else {
-            "load-spreading-uniform"
+        match (self.convex, self.shape) {
+            (true, BundleShape::PerSlot) => "load-spreading",
+            (true, BundleShape::Bucketed) => "load-spreading-bucketed",
+            (false, _) => "load-spreading-uniform",
         }
     }
 
@@ -89,13 +130,15 @@ impl CostModel for LoadSpreadingCostModel {
         let running = machine.running.len() as i64;
         let slots = machine.slots as i64;
         if self.convex {
-            // One segment per slot: the j-th additional task on this
-            // machine costs as if the machine already ran `running + j`
-            // tasks — the convex expansion of the linear load cost, so
-            // balance is optimal within a single solve.
-            Some(ArcBundle::ladder(
-                (0..slots).map(|j| COST_PER_TASK * (running + j)),
-            ))
+            // The j-th additional task on this machine costs as if the
+            // machine already ran `running + j` tasks — the convex
+            // expansion of the linear load cost, so balance is optimal
+            // within a single solve. The shape knob decides whether that
+            // ladder is one arc per slot or O(log slots) capacity buckets.
+            Some(
+                self.shape
+                    .ladder(slots, |j| Self::marginal_cost(running, j)),
+            )
         } else {
             // Uniform: every unit through X → machine costs the same.
             Some(ArcBundle::single(slots, COST_PER_TASK * running))
@@ -148,6 +191,38 @@ mod tests {
             costs,
             vec![20, 30, 40, 50],
             "ladder starts at the standing load"
+        );
+    }
+
+    #[test]
+    fn bucketed_shape_compresses_the_same_ladder() {
+        let state = ClusterState::default();
+        let mut m = Machine::new(0, 0, 12);
+        let per_slot = LoadSpreadingCostModel::new()
+            .aggregate_arc(&state, CLUSTER_AGG, &m)
+            .unwrap();
+        let bucketed = LoadSpreadingCostModel::bucketed()
+            .aggregate_arc(&state, CLUSTER_AGG, &m)
+            .unwrap();
+        assert_eq!(per_slot.segments().len(), 12);
+        assert_eq!(bucketed.segments().len(), 5, "12 slots → 5 buckets");
+        assert_eq!(bucketed.total_capacity(), 12);
+        assert!(bucketed.is_convex());
+        // Both realize the same marginal ladder: full-ladder totals match
+        // exactly (linear marginals have integral bucket means).
+        let total =
+            |b: &ArcBundle| -> i64 { b.segments().iter().map(|s| s.capacity * s.cost).sum() };
+        assert_eq!(total(&per_slot), total(&bucketed));
+        // Standing load shifts the bucketed ladder like the per-slot one.
+        m.add_task(7);
+        let busy = LoadSpreadingCostModel::bucketed()
+            .aggregate_arc(&state, CLUSTER_AGG, &m)
+            .unwrap();
+        assert_eq!(busy.segments()[0].cost, COST_PER_TASK);
+        assert_eq!(
+            busy.segments().len(),
+            5,
+            "segment count tracks slots, not load — re-pricing is slot-stable"
         );
     }
 

@@ -23,7 +23,9 @@
 //! leverage: a genuinely different placement behavior in ~40 lines of
 //! cost arithmetic, with zero graph bookkeeping.
 
-use crate::cost_model::{wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, CostModel};
+use crate::cost_model::{
+    wait_scaled_cost, AggregateId, ArcBundle, ArcTarget, BundleShape, CostModel,
+};
 use firmament_cluster::{ClusterState, Machine, Task};
 use firmament_flow::NodeKind;
 
@@ -39,6 +41,9 @@ pub struct OctopusConfig {
     pub base_unscheduled_cost: i64,
     /// Unscheduled-cost growth per second of waiting.
     pub wait_cost_per_sec: i64,
+    /// How the quadratic marginal ladder is materialized: per-slot arcs or
+    /// capacity-bucketed `O(log slots)` segments (full-scale clusters).
+    pub shape: BundleShape,
 }
 
 impl Default for OctopusConfig {
@@ -47,6 +52,7 @@ impl Default for OctopusConfig {
             load_cost_scale: 10,
             base_unscheduled_cost: 1_000_000,
             wait_cost_per_sec: 1_000,
+            shape: BundleShape::PerSlot,
         }
     }
 }
@@ -67,6 +73,15 @@ impl OctopusCostModel {
     /// Creates the cost model with explicit tuning.
     pub fn with_config(config: OctopusConfig) -> Self {
         OctopusCostModel { config }
+    }
+
+    /// Default tuning with capacity-bucketed ladders
+    /// ([`BundleShape::Bucketed`]): `O(log slots)` arcs per machine.
+    pub fn bucketed() -> Self {
+        OctopusCostModel::with_config(OctopusConfig {
+            shape: BundleShape::Bucketed,
+            ..OctopusConfig::default()
+        })
     }
 
     /// Marginal cost of taking a machine from load `l` to `l + 1`:
@@ -104,10 +119,13 @@ impl CostModel for OctopusCostModel {
         // The quadratic's convex expansion: segment j prices the marginal
         // cost of co-locating at load `running + j`, which rises with
         // every task already there, so idle machines win first — within
-        // one solver round.
-        Some(ArcBundle::ladder(
-            (0..machine.slots as i64).map(|j| self.marginal(load + j)),
-        ))
+        // one solver round. The shape knob trades slot-exactness for
+        // O(log slots) arcs at scale.
+        Some(
+            self.config
+                .shape
+                .ladder(machine.slots as i64, |j| self.marginal(load + j)),
+        )
     }
 
     fn aggregate_kind(&self, _aggregate: AggregateId) -> NodeKind {
@@ -149,6 +167,28 @@ mod tests {
             costs[1] - costs[0],
             "quadratic marginals rise linearly"
         );
+    }
+
+    #[test]
+    fn bucketed_shape_compresses_the_quadratic_ladder() {
+        let state = ClusterState::default();
+        let model = OctopusCostModel::bucketed();
+        let m = Machine::new(0, 0, 12);
+        let bundle = model.aggregate_arc(&state, CLUSTER_AGG, &m).unwrap();
+        assert_eq!(bundle.segments().len(), 5, "12 slots → 5 buckets");
+        assert_eq!(bundle.total_capacity(), 12);
+        assert!(bundle.is_convex());
+        // Bucket sums still recover the quadratic at bucket boundaries
+        // (quadratic marginal sums over power-of-two buckets divide
+        // evenly: Σ 10·(2l+1) over l = lo..hi is 10·(hi² − lo²)).
+        let quad = |k: i64| model.config.load_cost_scale * k * k;
+        let mut boundary = 0i64;
+        let mut total = 0i64;
+        for s in bundle.segments() {
+            boundary += s.capacity;
+            total += s.capacity * s.cost;
+            assert_eq!(total, quad(boundary), "boundary {boundary}");
+        }
     }
 
     #[test]

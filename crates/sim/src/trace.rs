@@ -251,6 +251,31 @@ impl GoogleTraceGenerator {
         JobArrival { time, job, tasks }
     }
 
+    /// Generates one identical-task burst job arriving at `time`: `tasks`
+    /// tasks of `duration_us` each, no inputs, no locality. The workload
+    /// knob for scale sweeps (the `scale_regression` testbed) that want
+    /// the `k·m`-burst spreading shape on top of — or instead of — the
+    /// Google-like background trace, reproducibly across shapes and
+    /// policies.
+    pub fn burst_job_at(&mut self, time: Time, tasks: usize, duration_us: Time) -> JobArrival {
+        let job_id = self.next_job;
+        self.next_job += 1;
+        let mut job = Job::new(job_id, JobClass::Batch, 2, time);
+        let mut ts = Vec::with_capacity(tasks);
+        for _ in 0..tasks {
+            let id = self.next_task;
+            self.next_task += 1;
+            let t = Task::new(id, job_id, time, duration_us);
+            job.tasks.push(id);
+            ts.push(t);
+        }
+        JobArrival {
+            time,
+            job,
+            tasks: ts,
+        }
+    }
+
     /// Generates the initial resident workload that brings the cluster to
     /// the target utilization at t = 0, with residual durations. Returns
     /// the arrivals (all at time 0).
@@ -394,6 +419,26 @@ mod tests {
                 assert!(!s.blocks.holders(*b).is_empty());
             }
         }
+    }
+
+    #[test]
+    fn burst_jobs_are_uniform_and_inputless() {
+        let mut g = GoogleTraceGenerator::new(TraceSpec {
+            machines: 10,
+            seed: 13,
+            ..TraceSpec::default()
+        });
+        let a = g.burst_job_at(5, 24, 60_000_000);
+        assert_eq!(a.tasks.len(), 24);
+        assert_eq!(a.time, 5);
+        assert!(a
+            .tasks
+            .iter()
+            .all(|t| t.duration == 60_000_000 && t.input_blocks.is_empty()));
+        // Ids keep flowing from the shared counters.
+        let b = g.burst_job_at(9, 2, 1_000_000);
+        assert!(b.job.id > a.job.id);
+        assert!(b.tasks[0].id >= 24);
     }
 
     #[test]

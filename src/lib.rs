@@ -143,6 +143,47 @@
 //! available via [`mcmf::canonical::canonicalize_flow`], which maps any
 //! degenerate optimum to the canonical one.
 //!
+//! # Capacity-bucketed ladders and the scale testbed (0.5)
+//!
+//! Per-slot convex ladders multiply aggregate → machine arcs by the slot
+//! count — 150,000 parallel arcs for load-spreading at the paper's
+//! 12,500-machine × 12-slot scale. [`policies::ArcBundle::bucketed`] is
+//! the classic convex-cost compression: `O(log slots)` segments with
+//! geometrically growing capacities (1, 1, 2, 4, …), each priced at the
+//! rounded mean of the per-slot marginals it covers — convexity is
+//! preserved (bucket means of a non-decreasing marginal are
+//! non-decreasing), any load on a bucket boundary prices exactly like the
+//! per-slot ladder, and the segment count depends only on the slot count,
+//! so re-pricing under load drift stays a pure `CostChanged` delta on the
+//! same stable slots (bucket-boundary drift under slot-count churn
+//! re-sizes/parks/revives those slots in place — no structural churn).
+//!
+//! The shipped load-based models carry a [`policies::BundleShape`] knob
+//! (`PerSlot`, the default, vs `Bucketed`):
+//!
+//! | model | bucketed constructor |
+//! |-------|----------------------|
+//! | `LoadSpreadingCostModel` | [`bucketed()`](policies::LoadSpreadingCostModel::bucketed) / [`with_shape`](policies::LoadSpreadingCostModel::with_shape) |
+//! | `OctopusCostModel` | [`bucketed()`](policies::OctopusCostModel::bucketed) / `OctopusConfig::shape` |
+//! | `HierarchicalTopologyCostModel` | [`bucketed()`](policies::HierarchicalTopologyCostModel::bucketed) / `TopologyConfig::shape` |
+//!
+//! The trade, quantified by the `scale_regression` testbed
+//! (`firmament-bench`'s `scale` module, `tests/scale_regression.rs`, and
+//! the CI `scale-smoke` job): arcs drop from `O(m·s)` to `O(m·log s)`
+//! (12 slots → 5 segments/machine; 62,500 vs 150,000 ladder arcs at the
+//! full-scale fig3 point, which now runs), while one-round burst
+//! spreading goes bucket-granular — exact at bucket boundaries, within
+//! one marginal step per task of the per-slot optimum otherwise (pinned
+//! against canonicalized exact optima).
+//!
+//! Also in 0.5: **re-price-only rounds skip the solver race.** A round
+//! whose whole `DeltaBatch` is `CostChanged` entries
+//! ([`flow::delta::DeltaBatch::is_reprice_only`]) with every change a
+//! rise on a flowless arc is proven quiescent; the dual executor then
+//! runs the warm cost-scaling path alone (O(Δ), no relaxation thread, no
+//! graph clone) and records the skip on
+//! [`core::SolverStats::race_skipped`].
+//!
 //! [`policies::ArcBundle`]: policies::ArcBundle
 //! [`ArcBundle::cost`]: policies::ArcBundle::cost
 //! [`ArcBundle::single`]: policies::ArcBundle::single

@@ -44,6 +44,9 @@ const SCRIPTS_PER_MODEL: u64 = 50;
 /// and segment-count churn layered on; fewer scripts keep the doubled
 /// matrix inside the CI budget.
 const SCRIPTS_PER_WRAPPED_MODEL: u64 = 30;
+/// The bucketed-wrapper matrix (a third full-model arm) gets its own
+/// smaller budget for the same reason.
+const SCRIPTS_PER_BUCKETED_MODEL: u64 = 20;
 const ROUNDS_PER_SCRIPT: usize = 15;
 
 /// Wraps any cost model to exercise the **bundle event alphabet** the
@@ -132,6 +135,95 @@ impl<C: CostModel> CostModel for ConvexFuzzWrapper<C> {
                 let total = bundle.total_capacity();
                 let base = bundle.segments().first().map(|s| s.cost).unwrap_or(0);
                 (child, fuzz_ladder(total, 2, base, 1))
+            })
+            .collect()
+    }
+    fn aggregate_kind(&self, aggregate: AggregateId) -> NodeKind {
+        self.inner.aggregate_kind(aggregate)
+    }
+    fn running_arc_cost(&self, state: &ClusterState, task: &Task, machine: u64) -> i64 {
+        self.inner.running_arc_cost(state, task, machine)
+    }
+    fn dynamic_aggregate_arcs(&self) -> bool {
+        self.inner.dynamic_aggregate_arcs()
+    }
+    fn dynamic_task_arcs(&self) -> bool {
+        true
+    }
+    fn task_arcs_machine_local(&self) -> bool {
+        self.inner.task_arcs_machine_local()
+    }
+    fn job_gang_minimum(&self, state: &ClusterState, job: &Job) -> i64 {
+        self.inner.job_gang_minimum(state, job)
+    }
+}
+
+/// Wraps any cost model to exercise **capacity-bucketed ladders under
+/// slot-count churn** — the [`ArcBundle::bucketed`] counterpart of
+/// [`ConvexFuzzWrapper`]:
+///
+/// - every aggregate → machine bundle becomes a *bucketed* ladder whose
+///   slot count tracks the machine's free slots (`total − free % 3`), so
+///   placements/completions/preemptions move the **bucket boundaries
+///   themselves**: segment capacities re-size, the tail parks/revives,
+///   and the manager's in-place re-pricing path must keep the
+///   incremental graph identical to a from-scratch rebuild;
+/// - EC→EC bundles are bucketed over their declared capacity;
+/// - waiting-task bundles re-price with the clock
+///   ([`CostModel::dynamic_task_arcs`]), as in the convex wrapper.
+///
+/// All outputs are pure functions of `ClusterState` plus the inner
+/// model's declarations, so the differential oracle stays sound.
+struct BucketedFuzzWrapper<C: CostModel> {
+    inner: C,
+}
+
+impl<C: CostModel> CostModel for BucketedFuzzWrapper<C> {
+    fn name(&self) -> &'static str {
+        "bucketed-fuzz-wrapper"
+    }
+    fn task_unscheduled_cost(&self, state: &ClusterState, task: &Task) -> i64 {
+        self.inner.task_unscheduled_cost(state, task)
+    }
+    fn task_arcs(&self, state: &ClusterState, task: &Task) -> Vec<(ArcTarget, ArcBundle)> {
+        let drift = (state.now / 1_000_000 % 5) as i64;
+        self.inner
+            .task_arcs(state, task)
+            .into_iter()
+            .map(|(target, bundle)| {
+                let base = bundle.segments().first().map(|s| s.cost).unwrap_or(0);
+                (target, ArcBundle::cost(base + drift))
+            })
+            .collect()
+    }
+    fn aggregate_arc(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+        machine: &Machine,
+    ) -> Option<ArcBundle> {
+        let inner = self.inner.aggregate_arc(state, aggregate, machine)?;
+        let total = inner.total_capacity();
+        let base = inner.segments().first().map(|s| s.cost).unwrap_or(0);
+        // The bucketed slot count follows the machine's free slots, so
+        // events that change occupancy move the bucket boundaries: a
+        // shrink re-sizes buckets and parks the tail, a grow revives it.
+        let slots = (total - machine.free_slots() as i64 % 3).max(1);
+        let step = 1 + machine.id as i64 % 2;
+        Some(ArcBundle::bucketed(slots, |j| base + j * step))
+    }
+    fn aggregate_to_aggregate(
+        &self,
+        state: &ClusterState,
+        aggregate: AggregateId,
+    ) -> Vec<(AggregateId, ArcBundle)> {
+        self.inner
+            .aggregate_to_aggregate(state, aggregate)
+            .into_iter()
+            .map(|(child, bundle)| {
+                let total = bundle.total_capacity();
+                let base = bundle.segments().first().map(|s| s.cost).unwrap_or(0);
+                (child, ArcBundle::bucketed(total.max(1), |j| base + j))
             })
             .collect()
     }
@@ -551,6 +643,16 @@ fn run_wrapped_model<C: CostModel>(make: impl Fn() -> C, salt: u64) {
     }
 }
 
+/// The bucketed matrix: every model re-fuzzed under the
+/// [`BucketedFuzzWrapper`], whose bucketed slot counts churn with machine
+/// occupancy so bucket boundaries drift across refreshes.
+fn run_bucketed_model<C: CostModel>(make: impl Fn() -> C, salt: u64) {
+    for i in 0..SCRIPTS_PER_BUCKETED_MODEL {
+        let model = BucketedFuzzWrapper { inner: make() };
+        run_script(&model, salt.wrapping_add(0xB0C4 + i * 0x9E37).max(1));
+    }
+}
+
 #[test]
 fn differential_load_spreading() {
     run_model(LoadSpreadingCostModel::new, 0x10AD);
@@ -599,4 +701,49 @@ fn differential_convex_bundles_network_aware() {
 #[test]
 fn differential_convex_bundles_hierarchy() {
     run_wrapped_model(HierarchicalTopologyCostModel::new, 0x417AC);
+}
+
+#[test]
+fn differential_bucketed_load_spreading() {
+    run_bucketed_model(LoadSpreadingCostModel::new, 0x10AD);
+}
+
+#[test]
+fn differential_bucketed_quincy() {
+    run_bucketed_model(|| QuincyCostModel::new(QuincyConfig::default()), 0x0116C7);
+}
+
+#[test]
+fn differential_bucketed_octopus() {
+    run_bucketed_model(OctopusCostModel::new, 0x0C107);
+}
+
+#[test]
+fn differential_bucketed_network_aware() {
+    run_bucketed_model(NetworkAwareCostModel::new, 0x6E7B);
+}
+
+#[test]
+fn differential_bucketed_hierarchy() {
+    run_bucketed_model(HierarchicalTopologyCostModel::new, 0x417AC);
+}
+
+/// The shipped bucketed model variants themselves (not just wrappers)
+/// stay refresh-consistent: the `BundleShape::Bucketed` knob on every
+/// load-based model runs a reduced script matrix.
+#[test]
+fn differential_bucketed_shipped_models() {
+    use firmament::policies::BundleShape;
+    for i in 0..SCRIPTS_PER_BUCKETED_MODEL {
+        let seed = 0x5CA1Eu64.wrapping_add(i * 0x9E37).max(1);
+        run_script(&LoadSpreadingCostModel::bucketed(), seed);
+        run_script(&OctopusCostModel::bucketed(), seed);
+        run_script(
+            &HierarchicalTopologyCostModel::with_config(firmament::policies::TopologyConfig {
+                shape: BundleShape::Bucketed,
+                ..Default::default()
+            }),
+            seed,
+        );
+    }
 }

@@ -1,0 +1,174 @@
+//! Cluster-scale regression suite: the bounds that gate every full-scale
+//! figure (fig3/fig14), asserted by test so a change that silently
+//! re-inflates the graph — or degrades bucketed placement quality — fails
+//! the default `cargo test` tier, not just a bench run someone forgot.
+//!
+//! Two bound families, both over the `firmament_bench::scale` testbed:
+//!
+//! - **Graph size**: capacity-bucketed ladders hold aggregate → machine
+//!   arcs at `O(m·log s)` — 12 slots means ≤ 5 segments per machine
+//!   instead of 12, and the measured ladder-arc count of a trace-warmed
+//!   cluster must sit under `machines × (⌈log₂ slots⌉ + 1)` for every
+//!   shipped load-based policy.
+//! - **Placement quality**: one-round bursts solved under `Bucketed`,
+//!   canonicalized via `mcmf::canonical` and evaluated under the true
+//!   per-slot marginal cost, must match the per-slot optimum *exactly*
+//!   when the per-machine fair share lands on a bucket boundary and stay
+//!   within one marginal step per task otherwise; per-machine spreading
+//!   stays within `⌈k⌉ + 1` for per-slot and the next bucket boundary
+//!   above `⌈k⌉` for bucketed.
+//!
+//! The CI `scale-smoke` job re-runs these bounds at a larger, release
+//! scale through the `scale_regression` bench bin; the sizes here are
+//! picked to stay fast in a debug build.
+
+use firmament::policies::BundleShape;
+use firmament_bench::scale::{
+    bucket_ceiling, bucketed_segments_for, burst_quality, ladder_arc_bound, run_scale_point,
+    ScalePointSpec, ScalePolicy,
+};
+
+/// 12 slots → ≤ 5 bucketed segments per machine (vs 12 per-slot), and the
+/// bound is logarithmic across slot counts for every shipped policy.
+#[test]
+fn bucketed_segments_are_logarithmic_in_slots() {
+    for policy in ScalePolicy::ALL {
+        assert_eq!(bucketed_segments_for(policy, 12), 5, "{}", policy.name());
+        for slots in [1u32, 2, 4, 8, 12, 16, 48, 64] {
+            let n = bucketed_segments_for(policy, slots);
+            assert!(
+                n <= BundleShape::Bucketed.max_segments(slots as i64),
+                "{} at {slots} slots: {n} segments",
+                policy.name()
+            );
+        }
+        // Doubling the slots adds O(1) segments, not O(slots).
+        let at_12 = bucketed_segments_for(policy, 12);
+        let at_48 = bucketed_segments_for(policy, 48);
+        assert!(
+            at_48 <= at_12 + 2,
+            "{}: 12→48 slots grew segments {at_12}→{at_48}",
+            policy.name()
+        );
+    }
+}
+
+/// The O(m·log s) arc bound on a real trace-warmed graph: the measured
+/// aggregate → machine arc count stays under the bound for `Bucketed`
+/// and the compression vs `PerSlot` is at least 2× at 12 slots.
+#[test]
+fn warmed_cluster_ladder_arcs_hold_the_log_bound() {
+    for policy in ScalePolicy::ALL {
+        let mut measured = Vec::new();
+        for shape in [BundleShape::PerSlot, BundleShape::Bucketed] {
+            let spec = ScalePointSpec {
+                utilization: 0.4,
+                churn_rounds: 2,
+                seed: 11,
+                ..ScalePointSpec::new(policy, shape, 120, 12)
+            };
+            let p = run_scale_point(&spec);
+            let bound = ladder_arc_bound(120, 12, shape);
+            assert!(
+                p.ladder_arcs <= bound,
+                "{} {:?}: {} ladder arcs exceed bound {bound}",
+                policy.name(),
+                shape,
+                p.ladder_arcs
+            );
+            assert!(p.placed > 0, "{}: warmup placed nothing", policy.name());
+            assert!(
+                p.warm_deltas > 0,
+                "{}: churn rounds must ride the delta feed",
+                policy.name()
+            );
+            measured.push(p.ladder_arcs);
+        }
+        assert!(
+            measured[1] * 2 <= measured[0],
+            "{}: bucketed {} vs per-slot {} — compression under 2x",
+            policy.name(),
+            measured[1],
+            measured[0]
+        );
+    }
+}
+
+/// Boundary-aligned bursts: fair share k = 4 sits on a bucket boundary
+/// (1, 2, 4, 8, 12), so the bucketed placement must price *identically*
+/// to the per-slot optimum — zero true-cost delta — and spread exactly
+/// as tightly (≤ ⌈k⌉ + 1 per machine).
+#[test]
+fn aligned_burst_quality_delta_is_zero() {
+    let (m, slots, k) = (6usize, 12u32, 4usize);
+    for policy in ScalePolicy::ALL {
+        let q = burst_quality(policy, m, slots, k * m);
+        assert_eq!(q.per_slot.placed, k * m, "{}", policy.name());
+        assert_eq!(q.bucketed.placed, k * m, "{}", policy.name());
+        assert_eq!(
+            q.delta,
+            0,
+            "{}: aligned burst deviated from the per-slot optimum \
+             (per-slot loads {:?}, bucketed loads {:?})",
+            policy.name(),
+            q.per_slot.loads,
+            q.bucketed.loads
+        );
+        assert!(q.per_slot.max_load <= k + 1, "{}", policy.name());
+        assert!(q.bucketed.max_load <= k + 1, "{}", policy.name());
+    }
+}
+
+/// Unaligned bursts: the bucketed placement stays within **one marginal
+/// step per task** of the per-slot optimum (the "≤ 1 cost unit" bound,
+/// exact instances, canonicalized) and within the bucket boundary above
+/// the fair share per machine.
+#[test]
+fn unaligned_burst_quality_within_one_step_per_task() {
+    let (m, slots) = (6usize, 12u32);
+    for policy in ScalePolicy::ALL {
+        for tasks in [9usize, 15, 21, 27] {
+            let q = burst_quality(policy, m, slots, tasks);
+            assert_eq!(q.per_slot.placed, tasks, "{}", policy.name());
+            assert_eq!(q.bucketed.placed, tasks, "{}", policy.name());
+            assert!(
+                q.delta >= 0,
+                "{} {tasks}: per-slot must be optimal for the true cost",
+                policy.name()
+            );
+            let per_task = q.per_task_units(policy, slots);
+            assert!(
+                per_task <= 1.0,
+                "{} {tasks} tasks: {per_task:.3} marginal steps per task > 1 \
+                 (per-slot {:?} vs bucketed {:?})",
+                policy.name(),
+                q.per_slot.loads,
+                q.bucketed.loads
+            );
+            let fair = tasks.div_ceil(m);
+            assert!(
+                q.per_slot.max_load <= fair + 1,
+                "{} {tasks}: per-slot max {}",
+                policy.name(),
+                q.per_slot.max_load
+            );
+            assert!(
+                (q.bucketed.max_load as i64) <= bucket_ceiling(fair as i64),
+                "{} {tasks}: bucketed max {} exceeds boundary {}",
+                policy.name(),
+                q.bucketed.max_load,
+                bucket_ceiling(fair as i64)
+            );
+        }
+    }
+}
+
+/// The fig3-blocking arithmetic, pinned: at the paper's 12,500-machine ×
+/// 12-slot point, per-slot load-spreading would hold 150,000 parallel
+/// ladder arcs; bucketed holds 62,500. (Pure arithmetic — the measured
+/// full-scale point runs in the `scale_regression`/fig3 bench bins.)
+#[test]
+fn paper_point_arc_arithmetic() {
+    assert_eq!(ladder_arc_bound(12_500, 12, BundleShape::PerSlot), 150_000);
+    assert_eq!(ladder_arc_bound(12_500, 12, BundleShape::Bucketed), 62_500);
+}
